@@ -1,0 +1,1 @@
+bench/exp_a1.ml: Array Float List Printf Rina_core Rina_exp Rina_sim Rina_util

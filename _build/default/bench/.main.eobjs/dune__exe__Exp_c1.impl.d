@@ -1,0 +1,1 @@
+bench/exp_c1.ml: Array List Printf Rina_core Rina_exp Rina_sim Rina_util Tcpip

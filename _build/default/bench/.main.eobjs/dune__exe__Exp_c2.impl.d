@@ -1,0 +1,1 @@
+bench/exp_c2.ml: Array Bytes Char Rina_core Rina_exp Rina_sim Rina_util String Tcpip

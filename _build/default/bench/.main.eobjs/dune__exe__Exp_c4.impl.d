@@ -1,0 +1,1 @@
+bench/exp_c4.ml: List Rina_core Rina_exp Rina_sim Rina_util

@@ -1,0 +1,1 @@
+bench/exp_f3.ml: List Rina_core Rina_exp Rina_sim Rina_util

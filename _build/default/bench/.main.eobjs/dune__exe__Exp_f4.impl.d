@@ -1,0 +1,1 @@
+bench/exp_f4.ml: Bytes Format List Printf Rina_core Rina_exp Rina_sim Rina_util Sys Tcpip

@@ -1,0 +1,1 @@
+bench/exp_f5.ml: Bytes List Printf Rina_core Rina_exp Rina_sim Rina_util String Sys Tcpip

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_a1 Exp_c1 Exp_c2 Exp_c3 Exp_c4 Exp_f1 Exp_f2 Exp_f3 Exp_f4 Exp_f5 List Micro Printf Sys

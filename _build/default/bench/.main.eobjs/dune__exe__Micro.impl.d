@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Hashtbl Instance List Measure Printf Rina_core Rina_sim Rina_util Staged Tcpip Test Time Toolkit

@@ -1,0 +1,77 @@
+(* A1 — ablation: how much do the management-plane robustness
+   mechanisms matter?
+
+   The DIF's management traffic (hellos, enrollment, LSA floods,
+   directory sync) is unreliable by design; three mechanisms keep the
+   layer convergent when management PDUs are lost:
+
+     refresh   periodic re-flood of own LSA + directory (anti-entropy)
+     sync      full database exchange when an adjacency forms
+
+   This ablation builds a 4-node line whose links lose 15% of frames
+   and measures, over 8 seeds: did the DIF converge within 60 s, how
+   long did convergence take, and did a subsequent flow allocation
+   succeed — with the refresh mechanism on (default policy) and off
+   (refresh_ticks = 0).  (The sync mechanism cannot be disabled by
+   policy; its effect is visible in how much worse refresh-off already
+   is.) *)
+
+module Engine = Rina_sim.Engine
+module Table = Rina_util.Table
+module Topo = Rina_exp.Topo
+module Scenario = Rina_exp.Scenario
+
+let trial ~refresh_on ~seed =
+  let policy =
+    if refresh_on then Rina_core.Policy.default
+    else
+      {
+        Rina_core.Policy.default with
+        Rina_core.Policy.routing =
+          { Rina_core.Policy.default_routing with Rina_core.Policy.refresh_ticks = 0 };
+      }
+  in
+  let net =
+    Topo.line ~seed ~policy ~loss:(Rina_sim.Loss.Bernoulli 0.15) ~n:4 ()
+  in
+  let converged =
+    Array.for_all Rina_core.Ipcp.is_enrolled net.Topo.nodes
+    && Array.for_all (fun m -> Rina_core.Ipcp.lsdb_size m = 4) net.Topo.nodes
+  in
+  let t_converged = Engine.now net.Topo.engine in
+  let alloc_ok =
+    match Scenario.open_flow net ~src:0 ~dst:3 ~qos_id:1 () with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  (converged, t_converged, alloc_ok)
+
+let row table ~refresh_on =
+  let seeds = [ 101; 202; 303; 404; 505; 606; 707; 808 ] in
+  let results = List.map (fun seed -> trial ~refresh_on ~seed) seeds in
+  let n = List.length results in
+  let conv = List.filter (fun (c, _, _) -> c) results in
+  let allocs = List.filter (fun (_, _, a) -> a) results in
+  let mean_t =
+    match conv with
+    | [] -> nan
+    | _ ->
+      List.fold_left (fun acc (_, t, _) -> acc +. t) 0. conv
+      /. float_of_int (List.length conv)
+  in
+  Table.add_rowf table "%s | %d/%d | %s | %d/%d"
+    (if refresh_on then "refresh on (default)" else "refresh off (ablated)")
+    (List.length conv) n
+    (if Float.is_nan mean_t then "-" else Printf.sprintf "%.1f s" mean_t)
+    (List.length allocs) n
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "A1 (ablation): management-plane anti-entropy — 4-node line, 15% frame loss, 8 seeds"
+      ~columns:[ "configuration"; "converged <=60s"; "mean time"; "flow alloc ok" ]
+  in
+  row table ~refresh_on:true;
+  row table ~refresh_on:false;
+  Table.print table

@@ -1,0 +1,131 @@
+(* C1 — §6.5 scalability: routing state and update traffic vs network
+   size, for a flat DIF, a recursive two-level arrangement of DIFs,
+   and the distance-vector baseline.
+
+   The claim: with the repeating structure, per-node routing state is
+   bounded by the scope a node actually participates in (its cluster,
+   plus the backbone for border members), instead of growing with the
+   whole network, and update traffic is confined the same way. *)
+
+module Engine = Rina_sim.Engine
+module Ipcp = Rina_core.Ipcp
+module Dif = Rina_core.Dif
+module Link = Rina_sim.Link
+module Table = Rina_util.Table
+module Topo = Rina_exp.Topo
+module Scenario = Rina_exp.Scenario
+
+(* Flat: one DIF over a random graph of n members. *)
+let flat n =
+  let net = Topo.random_graph ~seed:(100 + n) ~n ~degree:3 () in
+  let states =
+    Array.to_list (Array.map (fun m -> Ipcp.lsdb_size m) net.Topo.nodes)
+  in
+  let avg = float_of_int (List.fold_left ( + ) 0 states) /. float_of_int n in
+  let mx = List.fold_left max 0 states in
+  let msgs = Scenario.sum_metric net "lsa_tx" in
+  (avg, mx, msgs)
+
+(* Recursive: k clusters of c members each (lines), plus a backbone
+   DIF joining one border member per cluster over inter-cluster links. *)
+let recursive ~clusters ~cluster_size =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 77 in
+  let mk_link () = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.002 () in
+  let cluster_difs =
+    List.init clusters (fun ci ->
+        let dif = Dif.create engine (Printf.sprintf "cluster-%d" ci) in
+        let members =
+          List.init cluster_size (fun i ->
+              Dif.add_member dif ~name:(Printf.sprintf "c%d-n%d" ci i) ())
+        in
+        List.iteri
+          (fun i m ->
+            if i > 0 then begin
+              let link = mk_link () in
+              Dif.connect dif (List.nth members (i - 1)) m
+                (Link.endpoint_a link, Link.endpoint_b link)
+            end)
+          members;
+        Dif.run_until_converged dif ();
+        (dif, members))
+    |> Array.of_list
+  in
+  (* Backbone DIF over the cluster borders (member 0 of each cluster's
+     node also hosts a backbone IPC process; inter-cluster wires). *)
+  let backbone = Dif.create engine "backbone" in
+  let borders =
+    Array.mapi
+      (fun ci _ -> Dif.add_member backbone ~name:(Printf.sprintf "gw-%d" ci) ())
+      cluster_difs
+  in
+  Array.iteri
+    (fun ci _ ->
+      if ci > 0 then begin
+        let link = mk_link () in
+        Dif.connect backbone borders.(ci - 1) borders.(ci)
+          (Link.endpoint_a link, Link.endpoint_b link)
+      end)
+    cluster_difs;
+  Dif.run_until_converged backbone ();
+  (* Per-node routing state: every node holds its cluster's LSDB; the
+     border node additionally holds the backbone's. *)
+  let states = ref [] in
+  Array.iteri
+    (fun ci (_, members) ->
+      List.iteri
+        (fun i m ->
+          let s = Ipcp.lsdb_size m in
+          let s = if i = 0 then s + Ipcp.lsdb_size borders.(ci) else s in
+          states := s :: !states)
+        members)
+    cluster_difs;
+  let n = clusters * cluster_size in
+  let avg = float_of_int (List.fold_left ( + ) 0 !states) /. float_of_int n in
+  let mx = List.fold_left max 0 !states in
+  let msgs =
+    Array.fold_left
+      (fun acc (dif, _) ->
+        List.fold_left
+          (fun acc m -> acc + Rina_util.Metrics.get (Ipcp.metrics m) "lsa_tx")
+          acc (Dif.members dif))
+      0 cluster_difs
+    + List.fold_left
+        (fun acc m -> acc + Rina_util.Metrics.get (Ipcp.metrics m) "lsa_tx")
+        0 (Dif.members backbone)
+  in
+  (avg, mx, msgs)
+
+(* Baseline: DV routers in a line, one prefix per link. *)
+let dv n =
+  let net = Topo.ip_line ~seed:(100 + n) ~routers:n () in
+  let tables =
+    Array.to_list (Array.map (fun r -> Tcpip.Node.table_size r) net.Topo.routers)
+  in
+  let avg =
+    float_of_int (List.fold_left ( + ) 0 tables) /. float_of_int (max 1 n)
+  in
+  let mx = List.fold_left max 0 tables in
+  (avg, mx)
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "C1: routing state & update traffic vs size (§6.5) — LSDB entries / routes per node"
+      ~columns:[ "n"; "architecture"; "avg state"; "max state"; "routing msgs" ]
+  in
+  List.iter
+    (fun n ->
+      let avg, mx, msgs = flat n in
+      Table.add_rowf table "%d | RINA flat (1 DIF) | %.1f | %d | %d" n avg mx msgs;
+      let clusters = int_of_float (sqrt (float_of_int n)) in
+      let cluster_size = n / clusters in
+      let avg, mx, msgs = recursive ~clusters ~cluster_size in
+      Table.add_rowf table "%d | RINA recursive (%dx%d + backbone) | %.1f | %d | %d"
+        (clusters * cluster_size) clusters cluster_size avg mx msgs;
+      let avg, mx = dv n in
+      Table.add_rowf table "%d | IP distance vector (line) | %.1f | %d | (periodic)" n
+        avg mx)
+    [ 9; 16; 36; 64 ];
+  Table.print table

@@ -1,0 +1,262 @@
+(* F4 — Figure 4: two-step routing and multihoming failover.
+
+   RINA side: host H -- router R == M, where R and M share TWO
+   parallel links (two points of attachment).  A CBR stream H→M runs
+   while the primary R–M link fails.  Because a route is a sequence of
+   node addresses and the PoA is chosen per hop (the figure's second
+   step), R repairs the path locally: no routing update leaves the
+   R–M adjacency, and the interruption is the detection time.
+
+   Baselines: a TCP connection pinned to the failed interface address
+   (it can only die: the address names the interface, not the node);
+   and IP distance-vector rerouting around a failed link in a diamond
+   topology.  Both are run for crash (carrier-signalled) and silent
+   (timeout-detected) failures. *)
+
+module Engine = Rina_sim.Engine
+module Ipcp = Rina_core.Ipcp
+module Link = Rina_sim.Link
+module Table = Rina_util.Table
+module Topo = Rina_exp.Topo
+module Scenario = Rina_exp.Scenario
+module Workload = Rina_exp.Workload
+
+let cbr_rate = 2_000_000.
+
+let sdu_size = 1000
+
+(* --- RINA: two points of attachment, fail the active one --- *)
+
+let rina_case ?(fail = true) ~silent () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 47 in
+  let dif = Rina_core.Dif.create engine "net" in
+  let h = Rina_core.Dif.add_member dif ~name:"H" () in
+  let r = Rina_core.Dif.add_member dif ~name:"R" () in
+  let m = Rina_core.Dif.add_member dif ~name:"M" () in
+  let mk () = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.002 () in
+  let l_hr = mk () and l_rm1 = mk () and l_rm2 = mk () in
+  Rina_core.Dif.connect dif h r (Link.endpoint_a l_hr, Link.endpoint_b l_hr);
+  Rina_core.Dif.connect dif r m (Link.endpoint_a l_rm1, Link.endpoint_b l_rm1);
+  Rina_core.Dif.connect dif r m (Link.endpoint_a l_rm2, Link.endpoint_b l_rm2);
+  Rina_core.Dif.run_until_converged dif ();
+  let net =
+    { Topo.engine; rng; dif; nodes = [| h; r; m |]; links = [| l_hr; l_rm1; l_rm2 |] }
+  in
+  let sink = Workload.sink () in
+  match Scenario.open_flow net ~src:0 ~dst:2 ~qos_id:0 ~sink () with
+  | Error e -> Error e
+  | Ok (flow, _) ->
+    let t0 = Engine.now engine in
+    Workload.cbr engine ~send:flow.Ipcp.send ~rate:cbr_rate ~size:sdu_size
+      ~until:(t0 +. 12.) ();
+    Topo.wait engine 3.;
+    let lsa_before = Scenario.sum_metric net "lsa_tx" in
+    let reroute_before = Scenario.sum_metric net "local_reroute" in
+    (* Fail whichever parallel link carries the stream (the chosen PoA
+       is the lowest port id, bound to l_rm1). *)
+    if fail then
+      if silent then Link.set_blackhole l_rm1 true else Link.set_up l_rm1 false;
+    let fail_time = Engine.now engine in
+    Topo.wait engine 9.5;
+    let lsa_after = Scenario.sum_metric net "lsa_tx" in
+    let reroute_after = Scenario.sum_metric net "local_reroute" in
+    Ok
+      ( sink,
+        fail_time,
+        t0,
+        reroute_after - reroute_before,
+        lsa_after - lsa_before )
+
+(* The sink records latencies but not arrival times; measure the
+   outage as expected-minus-received around the failure window using
+   sequence numbers instead: the CBR sender stamps consecutive seqs,
+   so lost = max_seq_seen + 1 - count. *)
+
+let run_rina table ~silent =
+  (* Control run without failure: its LSA count over the same window
+     is pure periodic refresh, subtracted so the row shows only
+     failure-triggered routing traffic. *)
+  let control_lsa =
+    match rina_case ~fail:false ~silent () with
+    | Ok (_, _, _, _, lsa) -> lsa
+    | Error _ -> 0
+  in
+  match rina_case ~silent () with
+  | Error e ->
+    Table.add_rowf table "RINA 2 PoAs, %s | FAILED: %s | - | - | -"
+      (if silent then "silent failure" else "carrier loss")
+      e
+  | Ok (sink, _fail_time, _t0, reroutes, lsa_delta) ->
+    let sent = sink.Workload.seen_max_seq + 1 in
+    let lost = sent - sink.Workload.count in
+    let interval = float_of_int (8 * sdu_size) /. cbr_rate in
+    let outage = float_of_int lost *. interval in
+    Table.add_rowf table "RINA 2 PoAs, %s | %.0f ms | %d | %d local, %d LSA floods | yes"
+      (if silent then "silent failure" else "carrier loss")
+      (1000. *. outage) lost reroutes
+      (max 0 (lsa_delta - control_lsa))
+
+(* --- TCP pinned to a failed interface --- *)
+
+let run_tcp table ~silent =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 47 in
+  (* H --- M over one link; M has a second (idle) interface: TCP bound
+     to the first address cannot use it. *)
+  let h = Tcpip.Node.create engine "H" in
+  let m = Tcpip.Node.create engine "M" in
+  let l1 = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.002 () in
+  let l2 = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.002 () in
+  let net1 = Tcpip.Ip.prefix_of_string "10.1.0.0/16" in
+  let net2 = Tcpip.Ip.prefix_of_string "10.2.0.0/16" in
+  let a_h1 = Tcpip.Ip.addr_of_string "10.1.0.1" in
+  let a_m1 = Tcpip.Ip.addr_of_string "10.1.0.2" in
+  let a_h2 = Tcpip.Ip.addr_of_string "10.2.0.1" in
+  let a_m2 = Tcpip.Ip.addr_of_string "10.2.0.2" in
+  ignore (Tcpip.Node.add_iface h (Link.endpoint_a l1) ~addr:a_h1 ~prefix:net1);
+  ignore (Tcpip.Node.add_iface m (Link.endpoint_b l1) ~addr:a_m1 ~prefix:net1);
+  ignore (Tcpip.Node.add_iface h (Link.endpoint_a l2) ~addr:a_h2 ~prefix:net2);
+  ignore (Tcpip.Node.add_iface m (Link.endpoint_b l2) ~addr:a_m2 ~prefix:net2);
+  let th = Tcpip.Tcp.attach h and tm = Tcpip.Tcp.attach m in
+  let received = ref 0 in
+  Tcpip.Tcp.listen tm ~port:5001 ~on_accept:(fun conn ->
+      Tcpip.Tcp.set_on_receive conn (fun _ -> incr received));
+  let err_time = ref None in
+  let conn_ref = ref None in
+  Tcpip.Tcp.connect th ~src:a_h1 ~dst:a_m1 ~dport:5001 ~on_result:(function
+    | Ok conn ->
+      conn_ref := Some conn;
+      Tcpip.Tcp.set_on_error conn (fun _ ->
+          err_time := Some (Engine.now engine))
+    | Error _ -> ());
+  Engine.run ~until:(Engine.now engine +. 1.) engine;
+  (* Steady stream, then fail the path at t=3. *)
+  (match !conn_ref with
+   | Some conn ->
+     let rec feeder () =
+       Tcpip.Tcp.send conn (Bytes.make sdu_size 'd');
+       if Engine.now engine < 20. then
+         ignore (Engine.schedule engine ~delay:0.004 feeder)
+     in
+     feeder ()
+   | None -> ());
+  Engine.run ~until:3.0 engine;
+  if silent then Link.set_blackhole l1 true else Link.set_up l1 false;
+  let fail_time = Engine.now engine in
+  Engine.run ~until:60.0 engine;
+  match !err_time with
+  | Some t ->
+    Table.add_rowf table
+      "TCP pinned to failed iface, %s | connection ABORTED after %.1f s | all in flight | n/a | no (second iface idle)"
+      (if silent then "silent failure" else "carrier loss")
+      (t -. fail_time)
+  | None ->
+    Table.add_rowf table "TCP pinned to failed iface, %s | still hung at +57 s | - | - | no"
+      (if silent then "silent failure" else "carrier loss")
+
+(* --- IP distance vector around a diamond --- *)
+
+let run_dv table ~silent ~period =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 47 in
+  let mk name = Tcpip.Node.create engine ~forwarding:true name in
+  (* Asymmetric diamond: top path r0-r1-r3 is 2 hops, bottom path
+     r0-r2a-r2b-r3 is 3 hops, so DV deterministically prefers the top
+     and failing it forces a reroute. *)
+  let r0 = mk "r0" and r1 = mk "r1" and r2a = mk "r2a" and r2b = mk "r2b" and r3 = mk "r3" in
+  let ha = Tcpip.Node.create engine "ha" and hb = Tcpip.Node.create engine "hb" in
+  let link_no = ref 0 in
+  let wire a b =
+    incr link_no;
+    let l = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.002 () in
+    let subnet = Tcpip.Ip.addr_of_octets 10 !link_no 0 0 in
+    let prefix = Tcpip.Ip.prefix subnet 16 in
+    ignore (Tcpip.Node.add_iface a (Link.endpoint_a l) ~addr:(subnet lor 1) ~prefix);
+    ignore (Tcpip.Node.add_iface b (Link.endpoint_b l) ~addr:(subnet lor 2) ~prefix);
+    (l, subnet)
+  in
+  let _, s_ha = wire ha r0 in
+  let l_top, _ = wire r0 r1 in
+  let _ = wire r1 r3 in
+  let _ = wire r0 r2a in
+  let _ = wire r2a r2b in
+  let _ = wire r2b r3 in
+  let _, s_hb = wire r3 hb in
+  ignore s_ha;
+  ignore (Tcpip.Node.add_static_route ha (Tcpip.Ip.prefix 0 0) ~if_id:1 ());
+  ignore (Tcpip.Node.add_static_route hb (Tcpip.Ip.prefix 0 0) ~if_id:1 ());
+  let dvs =
+    List.map (fun r -> Tcpip.Dv.start r ~period ()) [ r0; r1; r2a; r2b; r3 ]
+  in
+  Engine.run ~until:(6. *. period) engine;
+  (* Make the top path preferred by giving the bottom path an extra
+     metric: DV picks shortest hop count; top = r0-r1-r3 (2 hops),
+     bottom = r0-r2-r3 (2 hops) — tie; force top by failing bottom
+     first briefly?  Simpler: both equal; fail whichever r0 uses. *)
+  let u_ha = Tcpip.Udp.attach ha and u_hb = Tcpip.Udp.attach hb in
+  let got = ref 0 and last_gap = ref 0. and last_rx = ref 0. in
+  Tcpip.Udp.listen u_hb ~port:7000 (fun ~src:_ ~sport:_ _ ->
+      let now = Engine.now engine in
+      if Sys.getenv_opt "F4_DEBUG" <> None && silent && now > 32.9 && now < 45. then
+        Printf.eprintf "arrival %.4f\n%!" now;
+      if !last_rx > 0. && now -. !last_rx > !last_gap then
+        last_gap := now -. !last_rx;
+      last_rx := now;
+      incr got);
+  let a_src = Tcpip.Ip.addr_of_string "10.1.0.1" in
+  let b_dst = s_hb lor 2 in
+  let interval = float_of_int (8 * sdu_size) /. cbr_rate in
+  let rec stream () =
+    Tcpip.Udp.send u_ha ~src:a_src ~dst:b_dst ~sport:7000 ~dport:7000
+      (Bytes.make sdu_size 'u');
+    (* Keep streaming well past the slowest recovery (route expiry is
+       3.5 periods) so the outage window can close. *)
+    if Engine.now engine < (6. *. period) +. 28. then
+      ignore (Engine.schedule engine ~delay:interval stream)
+  in
+  stream ();
+  Engine.run ~until:(Engine.now engine +. 3.) engine;
+  let adv_before =
+    List.fold_left (fun acc dv -> acc + Tcpip.Dv.advertisements_sent dv) 0 dvs
+  in
+  (if Sys.getenv_opt "F4_DEBUG" <> None then
+     List.iter
+       (fun (p, (r : Tcpip.Node.route)) ->
+         Printf.eprintf "r0: %s via if%d metric %d from %s\n%!"
+           (Format.asprintf "%a" Tcpip.Ip.pp_prefix p)
+           r.Tcpip.Node.rt_if r.Tcpip.Node.rt_metric
+           (match r.Tcpip.Node.rt_learned_from with
+            | Some a -> Tcpip.Ip.string_of_addr a
+            | None -> "static"))
+       (Tcpip.Node.routes r0));
+  (if silent then Link.set_blackhole l_top true else Link.set_up l_top false);
+  let fail_time = Engine.now engine in
+  last_gap := 0.;
+  last_rx := fail_time;
+  Engine.run ~until:(fail_time +. 25.) engine;
+  let adv_after =
+    List.fold_left (fun acc dv -> acc + Tcpip.Dv.advertisements_sent dv) 0 dvs
+  in
+  Table.add_rowf table
+    "IP DV diamond reroute, %s | %.0f ms | ~%.0f | %d DV advertisements | n/a"
+    (if silent then "silent failure" else "carrier loss")
+    (1000. *. !last_gap)
+    (!last_gap /. interval)
+    (adv_after - adv_before)
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "F4: multihoming failover (Fig. 4) — 2 Mb/s CBR, failure injected mid-stream"
+      ~columns:
+        [ "configuration"; "outage"; "SDUs lost"; "repair traffic"; "session survives" ]
+  in
+  run_rina table ~silent:false;
+  run_rina table ~silent:true;
+  run_tcp table ~silent:false;
+  run_tcp table ~silent:true;
+  run_dv table ~silent:false ~period:5.0;
+  run_dv table ~silent:true ~period:5.0;
+  Table.print table

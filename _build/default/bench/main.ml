@@ -1,0 +1,34 @@
+(* Regenerates every figure/claim experiment of the paper (see
+   DESIGN.md §3 and EXPERIMENTS.md).  With no arguments all
+   experiments run in order; pass names (f1 f2 f3 f4 f5 c1 c2 c3 c4
+   micro) to run a subset. *)
+
+let experiments =
+  [
+    ("f1", Exp_f1.run);
+    ("f2", Exp_f2.run);
+    ("f3", Exp_f3.run);
+    ("f4", Exp_f4.run);
+    ("f5", Exp_f5.run);
+    ("c1", Exp_c1.run);
+    ("c2", Exp_c2.run);
+    ("c3", Exp_c3.run);
+    ("c4", Exp_c4.run);
+    ("a1", Exp_a1.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> List.map fst experiments
+    | _ :: names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+        run ();
+        print_newline ()
+      | None -> Printf.eprintf "unknown experiment %S\n" name)
+    requested

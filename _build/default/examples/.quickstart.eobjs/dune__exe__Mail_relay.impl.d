@@ -1,0 +1,1 @@
+examples/mail_relay.ml: Bytes Printf Queue Rina_core Rina_sim Rina_util String

@@ -1,0 +1,1 @@
+examples/marketplace.ml: Printf Rina_core Rina_exp Rina_sim Rina_util

@@ -1,0 +1,1 @@
+examples/mobile_video.ml: Array List Printf Rina_core Rina_exp Rina_sim Rina_util String

@@ -1,0 +1,1 @@
+examples/recursive_internet.ml: Bytes List Printf Rina_core Rina_sim Rina_util

@@ -1,0 +1,127 @@
+(* Marketplace (§6.6/§6.7): competing IPC-service providers and
+   "boutique e-malls".
+
+   Run with:  dune exec examples/marketplace.exe
+
+   Two provider DIFs span the same pair of cities over their own
+   infrastructure:
+
+     budget-net : best-effort only, FIFO scheduling, open enrollment
+                  (the "mega-mall" — today's Internet as one private
+                  DIF with weak joining requirements);
+     premium-net: priority scheduling, password-protected enrollment,
+                  and an ACL that only serves paying customers
+                  (a boutique e-mall selling IPC with QoS).
+
+   A video service registers in both.  A free rider gets best-effort
+   service from budget-net, is refused enrollment by premium-net, and
+   a paying customer gets the low-latency cube from premium-net while
+   both networks carry identical background load. *)
+
+module Engine = Rina_sim.Engine
+module Link = Rina_sim.Link
+module Dif = Rina_core.Dif
+module Ipcp = Rina_core.Ipcp
+module Types = Rina_core.Types
+module Policy = Rina_core.Policy
+module Workload = Rina_exp.Workload
+
+let build_provider ?credentials engine rng ~name ~policy =
+  (* Each provider owns a 2-router backbone between the cities. *)
+  let dif = Dif.create engine ~policy name in
+  let west = Dif.add_member dif ?credentials ~name:(name ^ "-west") () in
+  let east = Dif.add_member dif ?credentials ~name:(name ^ "-east") () in
+  let link = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.01 () in
+  Dif.connect dif ~rate_a:9_500_000. ~rate_b:9_500_000. west east
+    (Link.endpoint_a link, Link.endpoint_b link);
+  Dif.run_until_converged dif ();
+  (dif, west, east)
+
+let () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 5 in
+  let budget_policy = Policy.default in
+  let premium_policy =
+    {
+      Policy.default with
+      Policy.scheduler = Policy.Priority_queueing;
+      Policy.auth = Policy.Auth_password "gold-card";
+      Policy.acl =
+        Policy.Allow_pairs
+          [ ("paying-customer", "video-service"); ("bg-src", "bg-sink") ];
+    }
+  in
+  let _, b_west, b_east = build_provider engine rng ~name:"budget-net" ~policy:budget_policy in
+  let _, p_west, p_east =
+    build_provider ~credentials:"gold-card" engine rng ~name:"premium-net"
+      ~policy:premium_policy
+  in
+  Printf.printf "two provider DIFs up at t=%.1fs\n" (Engine.now engine);
+
+  (* The video service sells through both providers. *)
+  let serve dif_label node =
+    Ipcp.register_app node (Types.apn "video-service") ~on_flow:(fun flow ->
+        Printf.printf "[video@%s] streaming to %s\n" dif_label
+          (Types.apn_to_string flow.Ipcp.remote_app);
+        (* 2 Mb/s stream for 10 s of virtual time. *)
+        Workload.cbr engine ~send:flow.Ipcp.send ~rate:2_000_000. ~size:1000
+          ~until:(Engine.now engine +. 10.) ())
+  in
+  serve "budget" b_east;
+  serve "premium" p_east;
+
+  (* Background load saturating both backbones. *)
+  let load dif_label node peer =
+    Ipcp.register_app peer (Types.apn "bg-sink") ~on_flow:(fun flow ->
+        flow.Ipcp.set_on_receive (fun _ -> ()));
+    Ipcp.register_app node (Types.apn "bg-src") ~on_flow:(fun _ -> ());
+    Ipcp.allocate_flow node ~src:(Types.apn "bg-src") ~dst:(Types.apn "bg-sink")
+      ~qos_id:0
+      ~on_result:(function
+        | Ok flow ->
+          Workload.cbr engine ~send:flow.Ipcp.send ~rate:11_000_000. ~size:1000
+            ~until:(Engine.now engine +. 12.) ()
+        | Error e -> Printf.printf "[bg@%s] %s\n" dif_label e)
+  in
+  (* Background shares the video's direction (east -> west) so it
+     contends for the same bottleneck queue. *)
+  load "budget" b_east b_west;
+  load "premium" p_east p_west;
+
+  (* Customers. *)
+  let watch label node qos_id =
+    let sink = Workload.sink () in
+    Ipcp.register_app node (Types.apn label) ~on_flow:(fun _ -> ());
+    Ipcp.allocate_flow node ~src:(Types.apn label) ~dst:(Types.apn "video-service")
+      ~qos_id
+      ~on_result:(function
+        | Ok flow ->
+          flow.Ipcp.set_on_receive (fun sdu ->
+              Workload.on_sdu sink ~now:(Engine.now engine) sdu)
+        | Error e -> Printf.printf "[%s] allocation refused: %s\n" label e);
+    sink
+  in
+  let free_rider = watch "free-rider" b_west 0 in
+  let paying = watch "paying-customer" p_west Rina_core.Qos.low_latency.Rina_core.Qos.id in
+
+  (* The free rider also tries the premium network: enrollment of its
+     own IPC process fails (wrong credentials), and even a flow
+     request from inside is stopped by the ACL. *)
+  Ipcp.register_app p_west (Types.apn "free-rider") ~on_flow:(fun _ -> ());
+  Ipcp.allocate_flow p_west ~src:(Types.apn "free-rider")
+    ~dst:(Types.apn "video-service") ~qos_id:2
+    ~on_result:(function
+      | Ok _ -> Printf.printf "[free-rider] unexpectedly admitted to premium!\n"
+      | Error e -> Printf.printf "[free-rider] premium-net says: %s\n" e);
+
+  Engine.run ~until:(Engine.now engine +. 15.) engine;
+  let report label (sink : Workload.sink) =
+    let sent = sink.Workload.seen_max_seq + 1 in
+    Printf.printf "[%s] received %d/%d SDUs, p99 latency %.1f ms\n" label
+      sink.Workload.count (max sent sink.Workload.count)
+      (1000. *. Rina_util.Stats.percentile sink.Workload.received 99.)
+  in
+  report "free-rider  on budget-net (best effort)" free_rider;
+  report "paying user on premium-net (low latency)" paying;
+  Printf.printf
+    "the same IPC mechanisms, different policies: that is the market (§6.6).\n"

@@ -1,0 +1,115 @@
+(* Mobile video (§6.4): a mobile host streams while driving past three
+   base stations on a shared wireless medium.
+
+   Run with:  dune exec examples/mobile_video.exe
+
+   The base stations and the mobile are members of one DIF.  Radio
+   channels exist between the mobile and every base station but only
+   carry frames while in range (the medium models range and
+   distance-dependent loss).  Movement changes which channels have
+   carrier; the DIF treats each change as multihoming — enrollment
+   happened once, the address never changes, and the stream survives
+   every handoff. *)
+
+module Engine = Rina_sim.Engine
+module Medium = Rina_sim.Medium
+module Link = Rina_sim.Link
+module Dif = Rina_core.Dif
+module Ipcp = Rina_core.Ipcp
+module Types = Rina_core.Types
+module Workload = Rina_exp.Workload
+
+let () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 42 in
+  let medium = Medium.create engine rng ~bit_rate:20_000_000. ~base_delay:0.001 in
+  (* Base stations at x = 0, 150, 300 with 100-unit radio range; the
+     mobile starts under BS1 and drives right at 10 units/s. *)
+  let bs_pos = [| 0.; 150.; 300. |] in
+  let bs_nodes = Array.map (fun x -> Medium.add_node medium ~x ~y:0.) bs_pos in
+  let mobile_node = Medium.add_node medium ~x:0. ~y:0. in
+
+  let dif = Dif.create engine "metro" in
+  let server = Dif.add_member dif ~name:"video-server" () in
+  let hub = Dif.add_member dif ~name:"hub" () in
+  let stations =
+    Array.init 3 (fun i -> Dif.add_member dif ~name:(Printf.sprintf "bs%d" (i + 1)) ())
+  in
+  let mobile = Dif.add_member dif ~name:"mobile" () in
+  (* Wired backhaul: server - hub - each base station. *)
+  let wire a b =
+    let l = Link.create engine rng ~bit_rate:100_000_000. ~delay:0.002 () in
+    Dif.connect dif a b (Link.endpoint_a l, Link.endpoint_b l)
+  in
+  wire server hub;
+  Array.iter (fun bs -> wire hub bs) stations;
+  (* Radio channels mobile <-> each base station (both directions of
+     each pair registered on the medium). *)
+  Array.iteri
+    (fun i bs ->
+      let down =
+        Medium.channel medium ~local:bs_nodes.(i) ~remote:mobile_node ~range:100. ()
+      in
+      let up =
+        Medium.channel medium ~local:mobile_node ~remote:bs_nodes.(i) ~range:100. ()
+      in
+      Dif.connect dif bs mobile (down, up))
+    stations;
+  Dif.run_until_converged dif ();
+  Printf.printf "metro DIF converged at t=%.1fs; mobile address stays %d throughout\n"
+    (Engine.now engine) (Ipcp.address mobile);
+
+  (* The stream: the player on the mobile requests the video by name;
+     the server pushes 1.5 Mb/s for 35 virtual seconds. *)
+  let sink = Workload.sink () in
+  Ipcp.register_app server (Types.apn "video") ~on_flow:(fun flow ->
+      Workload.cbr engine ~send:flow.Ipcp.send ~rate:1_500_000. ~size:1000
+        ~until:(Engine.now engine +. 35.) ());
+  Ipcp.register_app mobile (Types.apn "player") ~on_flow:(fun _ -> ());
+  Ipcp.allocate_flow mobile ~src:(Types.apn "player") ~dst:(Types.apn "video")
+    ~qos_id:0
+    ~on_result:(function
+      | Error e -> Printf.printf "stream failed: %s\n" e
+      | Ok flow ->
+        flow.Ipcp.set_on_receive (fun sdu ->
+            Workload.on_sdu sink ~now:(Engine.now engine) sdu));
+
+  (* The drive: 10 units/s to the right, past all three cells, with a
+     status line every 5 s of virtual time. *)
+  let speed = 10.0 in
+  let rec drive () =
+    let x, _ = Medium.position mobile_node in
+    Medium.set_position medium mobile_node ~x:(x +. (speed *. 0.5)) ~y:0.;
+    if x < 330. then ignore (Engine.schedule engine ~delay:0.5 drive)
+  in
+  drive ();
+  let last_count = ref 0 in
+  let rec status () =
+    let x, _ = Medium.position mobile_node in
+    let serving =
+      List.filter_map
+        (fun (i, peers) ->
+          ignore peers;
+          if Medium.distance mobile_node bs_nodes.(i) <= 100. then
+            Some (Printf.sprintf "bs%d" (i + 1))
+          else None)
+        [ (0, ()); (1, ()); (2, ()) ]
+    in
+    Printf.printf
+      "t=%5.1f  x=%5.0f  coverage={%s}  received %5d SDUs (+%d)  addr=%d\n"
+      (Engine.now engine) x
+      (String.concat "," serving)
+      sink.Workload.count
+      (sink.Workload.count - !last_count)
+      (Ipcp.address mobile);
+    last_count := sink.Workload.count;
+    if Engine.now engine < 38. then ignore (Engine.schedule engine ~delay:5. status)
+  in
+  ignore (Engine.schedule engine ~delay:1. status);
+  Engine.run ~until:(Engine.now engine +. 40.) engine;
+  let sent = sink.Workload.seen_max_seq + 1 in
+  Printf.printf
+    "drive complete: %d/%d SDUs delivered across two handoffs; the mobile's\n\
+     address and the flow survived every cell change (mobility is dynamic\n\
+     multihoming, Fig. 5).\n"
+    sink.Workload.count sent

@@ -1,0 +1,116 @@
+(* Recursive internet (§4): the same IPC layer repeating over
+   different scopes until it is tailored to the media.
+
+   Run with:  dune exec examples/recursive_internet.exe
+
+   Three ranks of DIFs:
+
+     rank 1  per-link DIFs, one per wire (tailored to the medium)
+     rank 2  two regional DIFs (an access ISP and a transit ISP),
+             each riding flows of its link DIFs
+     rank 3  one "internet" DIF joining hosts across both regions,
+             riding flows of the regional DIFs
+
+   An application flow then crosses all of it, and the program prints
+   the layer inventory: every DIF, its scope (member count) and each
+   member's address — visible only *inside* its own DIF. *)
+
+module Engine = Rina_sim.Engine
+module Link = Rina_sim.Link
+module Dif = Rina_core.Dif
+module Ipcp = Rina_core.Ipcp
+module Shim = Rina_core.Shim
+module Types = Rina_core.Types
+
+let engine = Engine.create ()
+
+let rng = Rina_util.Prng.create 11
+
+(* A rank-1 DIF over one wire. *)
+let link_dif name =
+  let link = Link.create engine rng ~bit_rate:50_000_000. ~delay:0.002 () in
+  let dif = Dif.create engine name in
+  let a = Dif.add_member dif ~name:(name ^ ".a") () in
+  let b = Dif.add_member dif ~name:(name ^ ".b") () in
+  Dif.connect dif a b
+    ( Shim.wrap ~dif:name (Link.endpoint_a link),
+      Shim.wrap ~dif:name (Link.endpoint_b link) );
+  Dif.run_until_converged dif ();
+  (dif, a, b)
+
+let () =
+  (* Physical layout:
+       host1 -w1- acc1 -w2- acc2 -w3- tr1 -w4- tr2 -w5- host2
+     access ISP covers {host1, acc1, acc2}; transit covers
+     {acc2, tr1, tr2, host2} (acc2 is the border). *)
+  let w1, w1a, w1b = link_dif "wire1" in
+  let w2, w2a, w2b = link_dif "wire2" in
+  let w3, w3a, w3b = link_dif "wire3" in
+  let w4, w4a, w4b = link_dif "wire4" in
+  let w5, w5a, w5b = link_dif "wire5" in
+
+  (* Rank 2: the access ISP's DIF over wires 1-2. *)
+  let access = Dif.create engine "access-isp" in
+  let a_host1 = Dif.add_member access ~name:"acc.host1" () in
+  let a_r1 = Dif.add_member access ~name:"acc.r1" () in
+  let a_r2 = Dif.add_member access ~name:"acc.r2" () in
+  Dif.stack_connect ~lower_a:w1a ~lower_b:w1b ~upper_a:a_host1 ~upper_b:a_r1 ();
+  Dif.stack_connect ~lower_a:w2a ~lower_b:w2b ~upper_a:a_r1 ~upper_b:a_r2 ();
+  Dif.run_until_converged access ~max_time:60. ();
+
+  (* Rank 2: the transit ISP's DIF over wires 3-5. *)
+  let transit = Dif.create engine "transit-isp" in
+  let t_r2 = Dif.add_member transit ~name:"tr.r2" () in
+  let t_r3 = Dif.add_member transit ~name:"tr.r3" () in
+  let t_r4 = Dif.add_member transit ~name:"tr.r4" () in
+  let t_host2 = Dif.add_member transit ~name:"tr.host2" () in
+  Dif.stack_connect ~lower_a:w3a ~lower_b:w3b ~upper_a:t_r2 ~upper_b:t_r3 ();
+  Dif.stack_connect ~lower_a:w4a ~lower_b:w4b ~upper_a:t_r3 ~upper_b:t_r4 ();
+  Dif.stack_connect ~lower_a:w5a ~lower_b:w5b ~upper_a:t_r4 ~upper_b:t_host2 ();
+  Dif.run_until_converged transit ~max_time:60. ();
+
+  (* Rank 3: the internet DIF joins the two hosts and the border
+     router; its (N-1) channels are flows of the regional DIFs. *)
+  let internet = Dif.create engine "internet" in
+  let i_host1 = Dif.add_member internet ~name:"inet.host1" () in
+  let i_border = Dif.add_member internet ~name:"inet.border" () in
+  let i_host2 = Dif.add_member internet ~name:"inet.host2" () in
+  Dif.stack_connect ~lower_a:a_host1 ~lower_b:a_r2 ~upper_a:i_host1 ~upper_b:i_border ();
+  Dif.stack_connect ~lower_a:t_r2 ~lower_b:t_host2 ~upper_a:i_border ~upper_b:i_host2 ();
+  Dif.run_until_converged internet ~max_time:90. ();
+
+  (* The layer inventory. *)
+  Printf.printf "layer inventory at t=%.1fs\n" (Engine.now engine);
+  List.iter
+    (fun (rank, dif) ->
+      Printf.printf "  rank %d  %-12s scope=%d members:" rank (Dif.name dif)
+        (List.length (Dif.members dif));
+      List.iter
+        (fun m ->
+          Printf.printf " %s@%d" (Types.apn_to_string (Ipcp.name m)) (Ipcp.address m))
+        (Dif.members dif);
+      print_newline ())
+    [
+      (1, w1); (1, w2); (1, w3); (1, w4); (1, w5);
+      (2, access); (2, transit);
+      (3, internet);
+    ];
+
+  (* An application conversation across the whole stack. *)
+  Ipcp.register_app i_host2 (Types.apn "far-app") ~on_flow:(fun flow ->
+      flow.Ipcp.set_on_receive (fun sdu ->
+          Printf.printf "[far-app] t=%.3f got %S across 3 ranks of IPC\n"
+            (Engine.now engine) (Bytes.to_string sdu);
+          flow.Ipcp.send (Bytes.of_string "ack from the other side")));
+  Ipcp.register_app i_host1 (Types.apn "near-app") ~on_flow:(fun _ -> ());
+  Ipcp.allocate_flow i_host1 ~src:(Types.apn "near-app") ~dst:(Types.apn "far-app")
+    ~qos_id:1
+    ~on_result:(function
+      | Error e -> Printf.printf "[near-app] failed: %s\n" e
+      | Ok flow ->
+        flow.Ipcp.set_on_receive (fun sdu ->
+            Printf.printf "[near-app] t=%.3f reply: %S\n" (Engine.now engine)
+              (Bytes.to_string sdu));
+        flow.Ipcp.send (Bytes.of_string "hello through the recursion"));
+  Engine.run ~until:(Engine.now engine +. 10.) engine;
+  Printf.printf "done at t=%.1fs\n" (Engine.now engine)

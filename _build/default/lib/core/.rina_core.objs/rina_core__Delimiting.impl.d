@@ -1,0 +1,1 @@
+lib/core/delimiting.ml: Bytes Char List

@@ -1,0 +1,1 @@
+lib/core/dif.ml: Bytes Char Ipcp List Policy Qos Rina_sim Rina_util String Types

@@ -1,0 +1,1 @@
+lib/core/dif.mli: Ipcp Policy Qos Rina_sim Types

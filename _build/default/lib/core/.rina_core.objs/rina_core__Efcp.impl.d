@@ -1,0 +1,1 @@
+lib/core/efcp.ml: Bytes Float Hashtbl Pdu Policy Printf Queue Rina_sim Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/efcp.mli: Pdu Policy Rina_sim Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/ipcp.ml: Bytes Delimiting Efcp Hashtbl Lazy List Pdu Policy Printf Qos Rib Riep Rina_sim Rina_util Rmt Routing Sdu_protection String Types

@@ -1,0 +1,1 @@
+lib/core/ipcp.mli: Policy Qos Rib Rina_sim Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/pdu.ml: Bytes Format Printf Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/pdu.mli: Format Types

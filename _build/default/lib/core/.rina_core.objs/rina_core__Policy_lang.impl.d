@@ -1,0 +1,1 @@
+lib/core/policy_lang.ml: Policy Printf String

@@ -1,0 +1,1 @@
+lib/core/qos.ml: Format List Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/qos.mli: Format Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/rib.ml: Bytes Format Hashtbl Int64 List Printf Rina_util String

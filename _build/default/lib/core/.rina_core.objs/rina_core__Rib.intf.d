@@ -1,0 +1,1 @@
+lib/core/rib.mli: Format Rina_util

@@ -1,0 +1,1 @@
+lib/core/riep.ml: Format Printf Rib Rina_util

@@ -1,0 +1,1 @@
+lib/core/riep.mli: Format Rib

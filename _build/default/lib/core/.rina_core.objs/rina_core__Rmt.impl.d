@@ -1,0 +1,1 @@
+lib/core/rmt.ml: Array Bytes Hashtbl List Option Pdu Policy Queue Rina_sim Rina_util Sdu_protection Types

@@ -1,0 +1,1 @@
+lib/core/rmt.mli: Pdu Policy Rina_sim Rina_util Types

@@ -1,0 +1,1 @@
+lib/core/routing.ml: Format Hashtbl List Printf Rina_util String Types

@@ -1,0 +1,1 @@
+lib/core/sdu_protection.ml: Array Bytes Char Int32 Lazy

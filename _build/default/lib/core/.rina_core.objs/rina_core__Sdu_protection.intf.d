@@ -1,0 +1,1 @@
+lib/core/sdu_protection.mli:

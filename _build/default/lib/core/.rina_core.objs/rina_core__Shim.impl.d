@@ -1,0 +1,1 @@
+lib/core/shim.ml: Bytes Char Int32 Rina_sim Rina_util String

@@ -1,0 +1,1 @@
+lib/core/shim.mli: Rina_sim Types

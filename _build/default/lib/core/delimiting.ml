@@ -1,0 +1,49 @@
+let flag_first = 1
+
+let flag_last = 2
+
+let overhead = 1
+
+let fragment ~mtu sdu =
+  if mtu <= 0 then invalid_arg "Delimiting.fragment: mtu must be positive";
+  let len = Bytes.length sdu in
+  let pieces = if len = 0 then 1 else (len + mtu - 1) / mtu in
+  List.init pieces (fun i ->
+      let off = i * mtu in
+      let size = min mtu (len - off) in
+      let size = max size 0 in
+      let frag = Bytes.create (size + overhead) in
+      let flags =
+        (if i = 0 then flag_first else 0) lor (if i = pieces - 1 then flag_last else 0)
+      in
+      Bytes.set frag 0 (Char.chr flags);
+      Bytes.blit sdu off frag overhead size;
+      frag)
+
+type reassembler = { mutable parts : bytes list; mutable active : bool; mutable discarded : int }
+
+let create_reassembler () = { parts = []; active = false; discarded = 0 }
+
+let push t frag =
+  if Bytes.length frag < overhead then
+    invalid_arg "Delimiting.push: fragment shorter than header";
+  let flags = Char.code (Bytes.get frag 0) in
+  let body = Bytes.sub frag overhead (Bytes.length frag - overhead) in
+  let first = flags land flag_first <> 0 and last = flags land flag_last <> 0 in
+  if first then begin
+    if t.active then t.discarded <- t.discarded + 1;
+    t.parts <- [ body ];
+    t.active <- true
+  end
+  else if t.active then t.parts <- body :: t.parts
+  else (* middle fragment of an SDU whose start we never saw: ignore *)
+    ();
+  if last && t.active then begin
+    let sdu = Bytes.concat Bytes.empty (List.rev t.parts) in
+    t.parts <- [];
+    t.active <- false;
+    Some sdu
+  end
+  else None
+
+let discarded t = t.discarded

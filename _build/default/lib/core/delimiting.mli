@@ -1,0 +1,28 @@
+(** SDU delimiting: fragmentation of application SDUs into user-data
+    fields no larger than the DIF's MTU, and exact reassembly on the
+    receiving side.
+
+    Each fragment carries a 1-byte header with FIRST/LAST flags.  The
+    reassembler relies on EFCP's in-order delivery for reliable flows;
+    on unreliable flows a lost fragment makes it discard the partial
+    SDU when the next FIRST arrives (counted as [sdus_discarded]). *)
+
+val fragment : mtu:int -> bytes -> bytes list
+(** Split an SDU into delimited fragments, each of length at most
+    [mtu] + {!overhead}.  The empty SDU yields one fragment.
+    @raise Invalid_argument if [mtu <= 0]. *)
+
+val overhead : int
+(** Header bytes per fragment. *)
+
+type reassembler
+
+val create_reassembler : unit -> reassembler
+
+val push : reassembler -> bytes -> bytes option
+(** Feed one delimited fragment (in delivery order); returns the
+    complete SDU when its LAST fragment arrives.
+    @raise Invalid_argument on a malformed fragment. *)
+
+val discarded : reassembler -> int
+(** SDUs dropped because a new SDU began mid-reassembly. *)

@@ -1,0 +1,365 @@
+type unacked = { payload : bytes; mutable sent_at : float; mutable retries : int }
+
+type t = {
+  engine : Rina_sim.Engine.t;
+  config : Policy.efcp;
+  in_order : bool;
+  local_cep : Types.cep_id;
+  remote_cep : Types.cep_id;
+  qos_id : Types.qos_id;
+  send_pdu : Pdu.t -> unit;
+  deliver : bytes -> unit;
+  on_error : string -> unit;
+  metrics : Rina_util.Metrics.t;
+  (* --- sender --- *)
+  mutable next_seq : int;        (* next sequence number to assign *)
+  mutable snd_una : int;         (* lowest unacknowledged sequence *)
+  mutable send_limit : int;      (* may send seq < send_limit (peer credit) *)
+  retx : (int, unacked) Hashtbl.t;
+  backlog : bytes Queue.t;
+  mutable rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable have_rtt : bool;
+  mutable rto_timer : Rina_sim.Engine.handle option;
+  mutable dup_acks : int;
+  mutable last_ack_seen : int;
+  mutable cwnd : float;     (* AIMD congestion window, in PDUs *)
+  mutable ssthresh : float;
+  mutable recover_until : int;  (* NewReno: one fast rtx per window *)
+  (* --- receiver --- *)
+  mutable rcv_next : int;
+  ooo : (int, bytes) Hashtbl.t;
+  mutable highest_delivered : int;  (* for unreliable in-order flows *)
+  mutable ack_timer : Rina_sim.Engine.handle option;
+  mutable closed : bool;
+  mutable errored : bool;
+}
+
+let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ~send_pdu ~deliver
+    ~on_error () =
+  {
+    engine;
+    config;
+    in_order;
+    local_cep;
+    remote_cep;
+    qos_id;
+    send_pdu;
+    deliver;
+    on_error;
+    metrics = Rina_util.Metrics.create ();
+    next_seq = 1;
+    snd_una = 1;
+    send_limit = 1 + config.Policy.window;
+    retx = Hashtbl.create 64;
+    backlog = Queue.create ();
+    rto = config.Policy.init_rto;
+    srtt = 0.;
+    rttvar = 0.;
+    have_rtt = false;
+    rto_timer = None;
+    dup_acks = 0;
+    last_ack_seen = 0;
+    cwnd = 2.;
+    ssthresh = float_of_int config.Policy.window;
+    recover_until = 0;
+    rcv_next = 1;
+    ooo = Hashtbl.create 64;
+    highest_delivered = 0;
+    ack_timer = None;
+    closed = false;
+    errored = false;
+  }
+
+let metrics t = t.metrics
+
+let in_flight t = t.next_seq - t.snd_una
+
+let backlog t = Queue.length t.backlog
+
+let srtt t = if t.have_rtt then Some t.srtt else None
+
+let reliable t =
+  match t.config.Policy.rtx_strategy with
+  | Policy.Selective_repeat | Policy.Go_back_n -> true
+  | Policy.No_rtx -> false
+
+let max_rto = 8.0
+
+let cancel_timer handle_ref =
+  match handle_ref with Some h -> Rina_sim.Engine.cancel h | None -> ()
+
+let fail t reason =
+  if not t.errored then begin
+    t.errored <- true;
+    Rina_util.Metrics.incr t.metrics "flow_errors";
+    t.on_error reason
+  end
+
+let dtp_pdu t seq payload =
+  let flags = if seq = 1 then Pdu.flag_drf else 0 in
+  Pdu.make ~pdu_type:Pdu.Dtp ~dst_addr:Types.no_address ~src_addr:Types.no_address
+    ~dst_cep:t.remote_cep ~src_cep:t.local_cep ~qos_id:t.qos_id ~seq ~flags payload
+
+(* Forward declaration pattern for the timer/transmit recursion. *)
+let rec arm_rto_timer t =
+  cancel_timer t.rto_timer;
+  t.rto_timer <- None;
+  if reliable t && in_flight t > 0 && not t.closed then
+    t.rto_timer <-
+      Some (Rina_sim.Engine.schedule t.engine ~delay:t.rto (fun () -> on_rto t))
+
+and on_rto t =
+  if t.closed || t.errored then ()
+  else begin
+    Rina_util.Metrics.incr t.metrics "rto_fired";
+    t.rto <- Float.min max_rto (2. *. t.rto);
+    if t.config.Policy.congestion_control then begin
+      t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
+      t.cwnd <- 2.
+    end;
+    (match t.config.Policy.rtx_strategy with
+     | Policy.Selective_repeat -> retransmit_seq t t.snd_una
+     | Policy.Go_back_n ->
+       (* Resend the whole outstanding window, lowest first. *)
+       for seq = t.snd_una to t.next_seq - 1 do
+         retransmit_seq t seq
+       done
+     | Policy.No_rtx -> ());
+    arm_rto_timer t
+  end
+
+and retransmit_seq t seq =
+  match Hashtbl.find_opt t.retx seq with
+  | None -> ()
+  | Some u ->
+    if u.retries >= t.config.Policy.max_rtx then
+      fail t (Printf.sprintf "seq %d exceeded %d retransmissions" seq u.retries)
+    else begin
+      u.retries <- u.retries + 1;
+      u.sent_at <- Rina_sim.Engine.now t.engine;
+      Rina_util.Metrics.incr t.metrics "pdus_rtx";
+      t.send_pdu (dtp_pdu t seq u.payload)
+    end
+
+let transmit t payload =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  if reliable t then
+    Hashtbl.replace t.retx seq
+      { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0 };
+  Rina_util.Metrics.incr t.metrics "pdus_sent";
+  t.send_pdu (dtp_pdu t seq payload);
+  if t.rto_timer = None then arm_rto_timer t
+
+(* Unreliable flows carry no acknowledgements, so credit never refills;
+   they are simply not flow-controlled. *)
+let effective_window t =
+  let w = t.config.Policy.window in
+  if t.config.Policy.congestion_control then
+    min w (max 1 (int_of_float t.cwnd))
+  else w
+
+let window_open t =
+  (not (reliable t))
+  || (t.next_seq < t.send_limit && in_flight t < effective_window t)
+
+let drain_backlog t =
+  while (not (Queue.is_empty t.backlog)) && window_open t && not t.errored do
+    transmit t (Queue.pop t.backlog)
+  done
+
+let send t payload =
+  if t.closed || t.errored then ()
+  else if window_open t && Queue.is_empty t.backlog then transmit t payload
+  else begin
+    Queue.push payload t.backlog;
+    let hwm = Rina_util.Metrics.get t.metrics "backlog_hwm" in
+    if Queue.length t.backlog > hwm then
+      Rina_util.Metrics.add t.metrics "backlog_hwm"
+        (Queue.length t.backlog - hwm)
+  end
+
+(* --- receiver side --- *)
+
+let recv_credit t =
+  let used = Hashtbl.length t.ooo in
+  max 1 (t.config.Policy.window - used)
+
+let send_ack_now t =
+  cancel_timer t.ack_timer;
+  t.ack_timer <- None;
+  Rina_util.Metrics.incr t.metrics "acks_sent";
+  t.send_pdu
+    (Pdu.make ~pdu_type:Pdu.Ack ~dst_addr:Types.no_address
+       ~src_addr:Types.no_address ~dst_cep:t.remote_cep ~src_cep:t.local_cep
+       ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t) Bytes.empty)
+
+let schedule_ack t =
+  if t.config.Policy.ack_delay <= 0. then send_ack_now t
+  else
+    match t.ack_timer with
+    | Some _ -> ()
+    | None ->
+      t.ack_timer <-
+        Some
+          (Rina_sim.Engine.schedule t.engine ~delay:t.config.Policy.ack_delay
+             (fun () ->
+               t.ack_timer <- None;
+               if not t.closed then send_ack_now t))
+
+let deliver_in_sequence t =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.ooo t.rcv_next with
+    | Some payload ->
+      Hashtbl.remove t.ooo t.rcv_next;
+      t.rcv_next <- t.rcv_next + 1;
+      Rina_util.Metrics.incr t.metrics "delivered";
+      t.deliver payload
+    | None -> continue := false
+  done
+
+let handle_dtp t (pdu : Pdu.t) =
+  if reliable t then begin
+    if pdu.Pdu.seq < t.rcv_next || Hashtbl.mem t.ooo pdu.Pdu.seq then
+      Rina_util.Metrics.incr t.metrics "dup_rcvd"
+    else if pdu.Pdu.seq = t.rcv_next then begin
+      t.rcv_next <- t.rcv_next + 1;
+      Rina_util.Metrics.incr t.metrics "delivered";
+      t.deliver pdu.Pdu.payload;
+      deliver_in_sequence t
+    end
+    else begin
+      (* Out of order. *)
+      match t.config.Policy.rtx_strategy with
+      | Policy.Selective_repeat ->
+        if Hashtbl.length t.ooo < t.config.Policy.window then begin
+          Hashtbl.replace t.ooo pdu.Pdu.seq pdu.Pdu.payload;
+          Rina_util.Metrics.incr t.metrics "ooo_buffered"
+        end
+        else Rina_util.Metrics.incr t.metrics "ooo_overflow"
+      | Policy.Go_back_n | Policy.No_rtx ->
+        Rina_util.Metrics.incr t.metrics "gbn_discards"
+    end;
+    (* Out-of-order arrivals trigger an immediate (duplicate) ack so the
+       sender's fast-retransmit logic can fire. *)
+    if pdu.Pdu.seq <> t.rcv_next - 1 then send_ack_now t else schedule_ack t
+  end
+  else begin
+    (* Unreliable: deliver subject only to the ordering constraint. *)
+    if t.in_order && pdu.Pdu.seq <= t.highest_delivered then
+      Rina_util.Metrics.incr t.metrics "stale_dropped"
+    else begin
+      t.highest_delivered <- max t.highest_delivered pdu.Pdu.seq;
+      Rina_util.Metrics.incr t.metrics "delivered";
+      t.deliver pdu.Pdu.payload
+    end
+  end
+
+let rtt_sample t sample =
+  if t.have_rtt then begin
+    (* Jacobson/Karels. *)
+    let err = sample -. t.srtt in
+    t.srtt <- t.srtt +. (0.125 *. err);
+    t.rttvar <- t.rttvar +. (0.25 *. (Float.abs err -. t.rttvar))
+  end
+  else begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.;
+    t.have_rtt <- true
+  end;
+  t.rto <-
+    Float.min max_rto
+      (Float.max t.config.Policy.min_rto (t.srtt +. (4. *. t.rttvar)))
+
+let handle_ack t (pdu : Pdu.t) =
+  Rina_util.Metrics.incr t.metrics "acks_rcvd";
+  let ack = pdu.Pdu.ack in
+  if ack > t.snd_una then begin
+    t.dup_acks <- 0;
+    let newly_acked = ack - t.snd_una in
+    (* RTT sample from the newest PDU this ack covers — but only on a
+       single-step in-order advance, and never from a retransmitted
+       PDU (Karn).  An ack that jumps a repaired gap would credit the
+       whole repair stall to the path RTT. *)
+    (if ack = t.last_ack_seen + 1 then
+       match Hashtbl.find_opt t.retx (ack - 1) with
+       | Some u when u.retries = 0 ->
+         rtt_sample t (Rina_sim.Engine.now t.engine -. u.sent_at)
+       | Some _ | None -> ());
+    for seq = t.snd_una to ack - 1 do
+      Hashtbl.remove t.retx seq
+    done;
+    t.snd_una <- ack;
+    if t.config.Policy.congestion_control then begin
+      (* Slow start below ssthresh, additive increase above. *)
+      let per_ack =
+        if t.cwnd < t.ssthresh then 1.0 else 1.0 /. Float.max 1. t.cwnd
+      in
+      t.cwnd <-
+        Float.min
+          (float_of_int t.config.Policy.window)
+          (t.cwnd +. (per_ack *. float_of_int newly_acked))
+    end;
+    (* Progress: shed any RTO backoff so one loss burst does not tax
+       the rest of the transfer. *)
+    if t.have_rtt then
+      t.rto <-
+        Float.max t.config.Policy.min_rto (t.srtt +. (4. *. t.rttvar))
+    else t.rto <- t.config.Policy.init_rto;
+    arm_rto_timer t
+  end
+  else if ack = t.last_ack_seen && in_flight t > 0 then begin
+    t.dup_acks <- t.dup_acks + 1;
+    (* One fast retransmit per window of data (NewReno's recovery
+       point), or duplicate acks from a burst loss retransmit the same
+       PDU over and over and spuriously exhaust its retry budget. *)
+    if
+      t.dup_acks >= 3
+      && t.config.Policy.rtx_strategy = Policy.Selective_repeat
+      && ack >= t.recover_until
+    then begin
+      Rina_util.Metrics.incr t.metrics "fast_rtx";
+      if t.config.Policy.congestion_control then begin
+        t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
+        t.cwnd <- t.ssthresh
+      end;
+      t.recover_until <- t.next_seq;
+      retransmit_seq t t.snd_una;
+      t.dup_acks <- 0
+    end
+  end;
+  t.last_ack_seen <- max t.last_ack_seen ack;
+  t.send_limit <- max t.send_limit (ack + pdu.Pdu.window);
+  drain_backlog t
+
+let handle_pdu t (pdu : Pdu.t) =
+  if t.closed then ()
+  else
+    match pdu.Pdu.pdu_type with
+    | Pdu.Dtp -> handle_dtp t pdu
+    | Pdu.Ack -> handle_ack t pdu
+    | Pdu.Mgmt | Pdu.Hello -> Rina_util.Metrics.incr t.metrics "foreign_pdus"
+
+let debug t =
+  Printf.sprintf
+    "next_seq=%d snd_una=%d limit=%d inflight=%d backlog=%d cwnd=%.1f rto=%.3f \
+     timer=%b rcv_next=%d ooo=%d closed=%b errored=%b"
+    t.next_seq t.snd_una t.send_limit (in_flight t) (Queue.length t.backlog)
+    t.cwnd t.rto
+    (t.rto_timer <> None)
+    t.rcv_next (Hashtbl.length t.ooo) t.closed t.errored
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    cancel_timer t.rto_timer;
+    cancel_timer t.ack_timer;
+    t.rto_timer <- None;
+    t.ack_timer <- None;
+    Hashtbl.reset t.retx;
+    Hashtbl.reset t.ooo;
+    Queue.clear t.backlog
+  end

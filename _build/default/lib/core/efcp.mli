@@ -1,0 +1,62 @@
+(** Error and Flow Control Protocol: one instance per flow endpoint.
+
+    EFCP is the short-timescale half of an IPC process: per-PDU
+    sequencing (DTP) plus the transfer-control loop (DTCP) —
+    retransmission, cumulative acknowledgements with credit windows,
+    RTT estimation (Jacobson), exponential RTO backoff and fast
+    retransmit on triple duplicate acks.  All behavioural knobs come
+    from {!Policy.efcp}, so the same machine runs as stop-and-wait
+    (window 1), go-back-N, selective repeat or bare sequencing
+    ([No_rtx]) — the mechanism/policy split experiment C4 measures.
+
+    EFCP neither knows addresses nor ports: it emits PDUs through the
+    [send_pdu] closure (the IPC process fills in addressing and hands
+    them to the RMT) and receives via {!handle_pdu}. *)
+
+type t
+
+val create :
+  Rina_sim.Engine.t ->
+  config:Policy.efcp ->
+  in_order:bool ->
+  local_cep:Types.cep_id ->
+  remote_cep:Types.cep_id ->
+  qos_id:Types.qos_id ->
+  send_pdu:(Pdu.t -> unit) ->
+  deliver:(bytes -> unit) ->
+  on_error:(string -> unit) ->
+  unit ->
+  t
+(** [deliver] receives user-data fields in the order mandated by
+    [in_order]; [on_error] fires once if the flow is declared broken
+    (max retransmissions exceeded). *)
+
+val send : t -> bytes -> unit
+(** Queue one user-data field (at most [config.mtu] bytes — the caller
+    fragments first) for transmission; transparently buffered while
+    the window is closed. *)
+
+val handle_pdu : t -> Pdu.t -> unit
+(** Process an incoming [Dtp] or [Ack] PDU belonging to this
+    connection; other types are counted and ignored. *)
+
+val close : t -> unit
+(** Cancel timers and drop state; no further callbacks fire. *)
+
+val metrics : t -> Rina_util.Metrics.t
+(** [pdus_sent], [pdus_rtx], [fast_rtx], [acks_sent], [acks_rcvd],
+    [delivered], [dup_rcvd], [ooo_buffered], [gbn_discards],
+    [backlog_hwm]... *)
+
+val in_flight : t -> int
+(** PDUs sent and not yet acknowledged. *)
+
+val backlog : t -> int
+(** User-data fields waiting for the window to open. *)
+
+val srtt : t -> float option
+(** Smoothed RTT estimate, once at least one sample exists. *)
+
+val debug : t -> string
+(** One-line internal state dump (sender/receiver counters, window,
+    timer state) for tests and troubleshooting. *)

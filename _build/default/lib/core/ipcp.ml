@@ -1,0 +1,1203 @@
+module Chan = Rina_sim.Chan
+module Engine = Rina_sim.Engine
+module Metrics = Rina_util.Metrics
+module W = Rina_util.Codec.Writer
+module R = Rina_util.Codec.Reader
+
+type flow = {
+  port_id : Types.port_id;
+  qos : Qos.t;
+  remote_app : Types.apn;
+  send : bytes -> unit;
+  set_on_receive : (bytes -> unit) -> unit;
+  close : unit -> unit;
+  flow_metrics : unit -> Metrics.t;
+}
+
+(* Per-flow endpoint state held by the IPC process. *)
+type flow_state = {
+  fs_port : Types.port_id;
+  fs_local_cep : Types.cep_id;
+  fs_remote_cep : Types.cep_id;
+  fs_remote_addr : Types.address;
+  fs_local_app : Types.apn;
+  fs_remote_app : Types.apn;
+  fs_qos : Qos.t;
+  fs_efcp : Efcp.t;
+  fs_reasm : Delimiting.reassembler;
+  mutable fs_on_receive : bytes -> unit;
+  mutable fs_closed : bool;
+}
+
+type pending_alloc = {
+  pa_on_result : (flow, string) result -> unit;
+  pa_local_cep : Types.cep_id;
+  pa_port : Types.port_id;
+  pa_qos : Qos.t;
+  pa_src_app : Types.apn;
+  pa_dst_app : Types.apn;
+  pa_dst_addr : Types.address;
+  pa_timeout : Engine.handle;
+}
+
+type app_reg = { ar_name : Types.apn; ar_on_flow : flow -> unit }
+
+(* Management view of an RMT port. *)
+type nport = {
+  np_id : Types.port_id;
+  np_chan : Chan.t;
+  np_cost : float;
+  mutable np_peer : Types.address;  (* 0 until the peer's hello *)
+  mutable np_peer_name : string;
+  mutable np_last_hello : float;
+}
+
+type enroll_state = E_none | E_pending of Types.port_id
+
+(* A member waiting for the namespace manager to grant an address for
+   a joiner it is admitting. *)
+type pending_grant = {
+  pg_port : Types.port_id;
+  pg_invoke : int;  (* invoke id of the joiner's M_CONNECT *)
+  pg_timeout : Engine.handle;
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Rina_sim.Trace.t option;
+  name : Types.apn;
+  dif : Types.dif_name;
+  policy : Policy.t;
+  credentials : string;
+  qos_cubes : Qos.t list;
+  rib : Rib.t;
+  rmt : Rmt.t;
+  lsdb : Routing.t;
+  metrics : Metrics.t;
+  nports : (Types.port_id, nport) Hashtbl.t;
+  flows : (Types.cep_id, flow_state) Hashtbl.t;
+  apps : (string, app_reg) Hashtbl.t;
+  pending : (int, pending_alloc) Hashtbl.t;
+  pending_grants : (int, pending_grant) Hashtbl.t;
+  mutable address : Types.address;
+  mutable enrolled : bool;
+  mutable enroll_state : enroll_state;
+  mutable next_cep : int;
+  mutable next_flow_port : int;
+  mutable next_invoke : int;
+  mutable next_hops : Routing.next_hops;
+  mutable chosen_poa : (Types.address, Types.port_id) Hashtbl.t;
+  mutable own_lsa_seq : int;
+  mutable last_adjacency : (Types.address * float) list;
+  mutable recompute_scheduled : bool;
+  mutable enrolled_hooks : (unit -> unit) list;
+  mutable hello_ticks : int;
+  mutable auto_enroll : bool;
+      (* join automatically when a member's hello is seen; cleared by
+         [leave] so a deliberate departure sticks *)
+  mutable isolation_watchers : (bool -> unit) list;
+      (* fired with [true] = attached when the live-adjacency set flips
+         between empty and non-empty *)
+  mutable was_attached : bool;
+}
+
+let trace t event =
+  match t.trace with
+  | Some tr ->
+    Rina_sim.Trace.record tr
+      ~component:(t.dif ^ ":" ^ Types.apn_to_string t.name)
+      ~event
+  | None -> ()
+
+(* ---------- small codecs for management payloads ---------- *)
+
+(* Identity announcements carry a token proving knowledge of the DIF's
+   shared secret, so an outsider cannot claim a member address and get
+   past the ingress filter.  (A real deployment would use a MAC; the
+   *structure* — membership gates the data plane — is what §6.1
+   claims.)  With [Auth_none] the token is trivially forgeable, which
+   faithfully models a public DIF with weak joining requirements. *)
+let hello_token t ~name ~addr =
+  let secret =
+    match t.policy.Policy.auth with
+    | Policy.Auth_none -> ""
+    | Policy.Auth_password s -> s
+  in
+  Sdu_protection.crc32
+    (Bytes.of_string (Printf.sprintf "%s|%s|%d" secret name addr))
+
+let encode_hello t =
+  let w = W.create () in
+  let name = Types.apn_to_string t.name in
+  W.string w name;
+  W.u32 w t.address;
+  W.u32 w (hello_token t ~name ~addr:t.address);
+  W.contents w
+
+let decode_hello data =
+  try
+    let r = R.create data in
+    let name = R.string r in
+    let addr = R.u32 r in
+    let token = R.u32 r in
+    R.expect_end r;
+    Ok (name, addr, token)
+  with R.Decode_error msg -> Error msg
+
+type flow_req = {
+  fr_src_app : Types.apn;
+  fr_dst_app : Types.apn;
+  fr_qos_id : Types.qos_id;
+  fr_src_addr : Types.address;
+  fr_src_cep : Types.cep_id;
+}
+
+let encode_flow_req fr =
+  let w = W.create () in
+  W.string w (Types.apn_to_string fr.fr_src_app);
+  W.string w (Types.apn_to_string fr.fr_dst_app);
+  W.u16 w fr.fr_qos_id;
+  W.u32 w fr.fr_src_addr;
+  W.u32 w fr.fr_src_cep;
+  W.contents w
+
+let decode_flow_req data =
+  try
+    let r = R.create data in
+    let fr_src_app = Types.apn_of_string (R.string r) in
+    let fr_dst_app = Types.apn_of_string (R.string r) in
+    let fr_qos_id = R.u16 r in
+    let fr_src_addr = R.u32 r in
+    let fr_src_cep = R.u32 r in
+    R.expect_end r;
+    Ok { fr_src_app; fr_dst_app; fr_qos_id; fr_src_addr; fr_src_cep }
+  with R.Decode_error msg -> Error msg
+
+(* Enrollment snapshot: address grant plus the member's replicated
+   state (directory + address pool + link-state DB). *)
+let encode_snapshot t ~granted =
+  let w = W.create () in
+  W.u32 w granted;
+  let entries =
+    List.filter_map
+      (fun path ->
+        match Rib.read t.rib path with Some v -> Some (path, v) | None -> None)
+      (Rib.children t.rib "/dir")
+  in
+  W.u16 w (List.length entries);
+  List.iter
+    (fun (path, v) ->
+      W.string w path;
+      Rib.encode_value w v)
+    entries;
+  let lsas = Routing.all t.lsdb in
+  W.u16 w (List.length lsas);
+  List.iter (fun lsa -> W.bytes w (Routing.Lsa.encode lsa)) lsas;
+  W.contents w
+
+let decode_snapshot data =
+  try
+    let r = R.create data in
+    let granted = R.u32 r in
+    let n = R.u16 r in
+    let entries =
+      List.init n (fun _ ->
+          let path = R.string r in
+          let v = Rib.decode_value r in
+          (path, v))
+    in
+    let m = R.u16 r in
+    let lsas =
+      List.init m (fun _ ->
+          match Routing.Lsa.decode (R.bytes r) with
+          | Ok lsa -> lsa
+          | Error msg -> raise (R.Decode_error msg))
+    in
+    R.expect_end r;
+    Ok (granted, entries, lsas)
+  with R.Decode_error msg -> Error msg
+
+(* ---------- port / adjacency helpers ---------- *)
+
+let nport_alive t np =
+  np.np_chan.Chan.is_up ()
+  && Engine.now t.engine -. np.np_last_hello <= t.policy.Policy.routing.Policy.dead_interval
+
+(* Live (neighbour, cost) pairs, one entry per distinct peer (cheapest
+   point of attachment). *)
+let adjacency_set t =
+  let best : (Types.address, float) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ np ->
+      if np.np_peer > 0 && nport_alive t np then
+        match Hashtbl.find_opt best np.np_peer with
+        | Some c when c <= np.np_cost -> ()
+        | Some _ | None -> Hashtbl.replace best np.np_peer np.np_cost)
+    t.nports;
+  Hashtbl.fold (fun addr cost acc -> (addr, cost) :: acc) best []
+  |> List.sort compare
+
+(* Second routing step (Fig. 4): choose the point of attachment to a
+   neighbour among possibly several ports, with stickiness so we can
+   count genuine failovers. *)
+let port_to_peer t peer =
+  let candidates =
+    Hashtbl.fold
+      (fun _ np acc ->
+        if np.np_peer = peer && nport_alive t np then np.np_id :: acc else acc)
+      t.nports []
+    |> List.sort compare
+  in
+  match candidates with
+  | [] ->
+    Hashtbl.remove t.chosen_poa peer;
+    None
+  | first :: _ -> (
+    match Hashtbl.find_opt t.chosen_poa peer with
+    | Some p when List.mem p candidates -> Some p
+    | Some _ ->
+      (* Previous point of attachment died: local failover, no routing
+         update needed beyond this hop. *)
+      Metrics.incr t.metrics "local_reroute";
+      Hashtbl.replace t.chosen_poa peer first;
+      Some first
+    | None ->
+      Hashtbl.replace t.chosen_poa peer first;
+      Some first)
+
+let forward t (pdu : Pdu.t) =
+  match Hashtbl.find_opt t.next_hops pdu.Pdu.dst_addr with
+  | None -> None
+  | Some (next_hop, _) -> port_to_peer t next_hop
+
+(* ---------- management PDU transmission ---------- *)
+
+let mgmt_pdu t ~dst msg =
+  Pdu.make ~pdu_type:Pdu.Mgmt ~dst_addr:dst ~src_addr:t.address
+    ~ttl:t.policy.Policy.max_ttl (Riep.encode msg)
+
+let send_mgmt t ~dst msg =
+  Metrics.incr t.metrics "mgmt_tx";
+  Rmt.send t.rmt (mgmt_pdu t ~dst msg)
+
+let send_mgmt_on_port t ~port msg =
+  Metrics.incr t.metrics "mgmt_tx";
+  Rmt.send_on_port t.rmt port (mgmt_pdu t ~dst:Types.no_address msg)
+
+let adjacent_ports t =
+  Hashtbl.fold
+    (fun _ np acc -> if np.np_peer > 0 && nport_alive t np then np :: acc else acc)
+    t.nports []
+
+(* ---------- flooding ---------- *)
+
+let flood_lsa t ?except_port lsa =
+  List.iter
+    (fun np ->
+      if Some np.np_id <> except_port then begin
+        Metrics.incr t.metrics "lsa_tx";
+        send_mgmt_on_port t ~port:np.np_id
+          (Riep.make ~opcode:Riep.M_write ~obj_class:"lsa"
+             ~obj_name:(string_of_int lsa.Routing.Lsa.origin)
+             ~obj_value:(Rib.V_bytes (Routing.Lsa.encode lsa))
+             ())
+      end)
+    (adjacent_ports t)
+
+let flood_rib_write t ?except_port path value =
+  List.iter
+    (fun np ->
+      if Some np.np_id <> except_port then begin
+        if String.starts_with ~prefix:"/dir/" path then
+          Metrics.incr t.metrics "dir_tx";
+        send_mgmt_on_port t ~port:np.np_id
+          (Riep.make ~opcode:Riep.M_write ~obj_class:"rib" ~obj_name:path
+             ~obj_value:value ())
+      end)
+    (adjacent_ports t)
+
+let flood_rib_delete t ?except_port path =
+  List.iter
+    (fun np ->
+      if Some np.np_id <> except_port then
+        send_mgmt_on_port t ~port:np.np_id
+          (Riep.make ~opcode:Riep.M_delete ~obj_class:"rib" ~obj_name:path ()))
+    (adjacent_ports t)
+
+(* ---------- routing recomputation ---------- *)
+
+let schedule_recompute t =
+  if not t.recompute_scheduled then begin
+    t.recompute_scheduled <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:0. (fun () ->
+           t.recompute_scheduled <- false;
+           t.next_hops <- Routing.spf t.lsdb ~source:t.address;
+           Metrics.incr t.metrics "spf_runs"))
+  end
+
+let rebuild_own_lsa t =
+  if t.enrolled then begin
+    let adj = adjacency_set t in
+    let attached = adj <> [] in
+    if attached <> t.was_attached then begin
+      t.was_attached <- attached;
+      (* This process just lost (or regained) all points of attachment;
+         flows through it are dead (alive) — tell local holders of
+         flow-backed channels (mobility's "controlled link failure"). *)
+      List.iter (fun f -> f attached) t.isolation_watchers
+    end;
+    if adj <> t.last_adjacency then begin
+      t.last_adjacency <- adj;
+      t.own_lsa_seq <- t.own_lsa_seq + 1;
+      let lsa =
+        { Routing.Lsa.origin = t.address; seq = t.own_lsa_seq; neighbors = adj }
+      in
+      ignore (Routing.install t.lsdb lsa);
+      trace t "lsa_update";
+      flood_lsa t lsa;
+      schedule_recompute t
+    end
+  end
+
+(* ---------- hello protocol ---------- *)
+
+let send_hello t np =
+  Rmt.send_on_port t.rmt np.np_id
+    (Pdu.make ~pdu_type:Pdu.Hello ~dst_addr:Types.no_address ~src_addr:t.address
+       (encode_hello t))
+
+(* Database exchange on adjacency establishment: a freshly-risen
+   adjacency may separate two parts of the DIF that hold different
+   state (enrollment races, mobility re-attachment), so push our whole
+   LSDB, directory and address pool to the new peer. *)
+let sync_peer t np =
+  if t.enrolled then begin
+    List.iter
+      (fun lsa ->
+        Metrics.incr t.metrics "lsa_tx";
+        send_mgmt_on_port t ~port:np.np_id
+          (Riep.make ~opcode:Riep.M_write ~obj_class:"lsa"
+             ~obj_name:(string_of_int lsa.Routing.Lsa.origin)
+             ~obj_value:(Rib.V_bytes (Routing.Lsa.encode lsa))
+             ()))
+      (Routing.all t.lsdb);
+    List.iter
+      (fun path ->
+        match Rib.read t.rib path with
+        | Some v ->
+          Metrics.incr t.metrics "dir_tx";
+          send_mgmt_on_port t ~port:np.np_id
+            (Riep.make ~opcode:Riep.M_write ~obj_class:"rib" ~obj_name:path
+               ~obj_value:v ())
+        | None -> ())
+      (Rib.children t.rib "/dir")
+  end
+
+let rec start_enrollment t np =
+  if t.auto_enroll && t.enroll_state = E_none && not t.enrolled then begin
+    t.enroll_state <- E_pending np.np_id;
+    trace t "enroll_start";
+    send_mgmt_on_port t ~port:np.np_id
+      (Riep.make ~opcode:Riep.M_connect ~obj_class:"enrollment"
+         ~obj_name:(Types.apn_to_string t.name)
+         ~obj_value:(Rib.V_str t.credentials) ());
+    ignore
+      (Engine.schedule t.engine ~delay:2.0 (fun () ->
+           match t.enroll_state with
+           | E_pending p when p = np.np_id && not t.enrolled ->
+             (* Give up; a later hello will retry. *)
+             t.enroll_state <- E_none;
+             Metrics.incr t.metrics "enroll_timeout"
+           | E_pending _ | E_none -> ()))
+  end
+
+and handle_hello t port_id (pdu : Pdu.t) =
+  match Hashtbl.find_opt t.nports port_id with
+  | None -> ()
+  | Some np -> (
+    match decode_hello pdu.Pdu.payload with
+    | Error _ -> Metrics.incr t.metrics "bad_hello"
+    | Ok (peer_name, peer_addr, token)
+      when peer_addr > 0 && token <> hello_token t ~name:peer_name ~addr:peer_addr
+      ->
+      ignore peer_name;
+      Metrics.incr t.metrics "hello_rejected";
+      trace t "hello_rejected"
+    | Ok (peer_name, peer_addr, _) ->
+      np.np_last_hello <- Engine.now t.engine;
+      np.np_peer_name <- peer_name;
+      if np.np_peer <> peer_addr then begin
+        np.np_peer <- peer_addr;
+        (* Refresh our own LSA first so the database pushed to the new
+           peer already contains the adjacency that just formed. *)
+        rebuild_own_lsa t;
+        if peer_addr > 0 then sync_peer t np
+      end
+      else rebuild_own_lsa t;
+      if (not t.enrolled) && peer_addr > 0 then start_enrollment t np)
+
+(* ---------- enrollment (member side) ---------- *)
+
+(* The namespace manager: the DIF's founding member (address 1) is
+   the single allocator, so concurrent enrollments through different
+   members can never be granted the same address.  (The paper's §6.1:
+   management applications assign internal addresses; replicating the
+   allocator is a policy refinement left out here.) *)
+let namespace_manager_addr = 1
+
+let local_grant t =
+  let next_free =
+    match Rib.read_int t.rib "/dif/next_free" with Some n -> n | None -> 2
+  in
+  Rib.write t.rib "/dif/next_free" (Rib.V_int (next_free + 1));
+  next_free
+
+let finish_admission t port_id ~invoke ~granted =
+  Metrics.incr t.metrics "enroll_accepted";
+  trace t "enroll_accepted";
+  send_mgmt_on_port t ~port:port_id
+    (Riep.make ~opcode:Riep.M_connect_r ~obj_class:"enrollment" ~invoke_id:invoke
+       ~result:0
+       ~obj_value:(Rib.V_bytes (encode_snapshot t ~granted))
+       ())
+
+let deny_admission t port_id ~invoke reason =
+  Metrics.incr t.metrics "enroll_denied";
+  trace t "enroll_denied";
+  send_mgmt_on_port t ~port:port_id
+    (Riep.make ~opcode:Riep.M_connect_r ~obj_class:"enrollment" ~invoke_id:invoke
+       ~result:1 ~result_reason:reason ())
+
+let handle_connect t port_id (msg : Riep.t) =
+  if not t.enrolled then () (* cannot admit anyone *)
+  else begin
+    let presented =
+      match msg.Riep.obj_value with Some (Rib.V_str s) -> Some s | Some _ | None -> None
+    in
+    let authenticated =
+      match t.policy.Policy.auth with
+      | Policy.Auth_none -> true
+      | Policy.Auth_password secret -> (
+        match presented with Some s -> String.equal s secret | None -> false)
+    in
+    if not authenticated then
+      deny_admission t port_id ~invoke:msg.Riep.invoke_id "authentication failed"
+    else if t.address = namespace_manager_addr then
+      finish_admission t port_id ~invoke:msg.Riep.invoke_id ~granted:(local_grant t)
+    else begin
+      (* Ask the namespace manager for an address over routed
+         management; the joiner retries enrollment if this times out
+         (e.g. before our route to the manager converges). *)
+      let invoke = t.next_invoke in
+      t.next_invoke <- t.next_invoke + 1;
+      let timeout =
+        Engine.schedule t.engine ~delay:1.5 (fun () ->
+            if Hashtbl.mem t.pending_grants invoke then begin
+              Hashtbl.remove t.pending_grants invoke;
+              Metrics.incr t.metrics "grant_timeout"
+            end)
+      in
+      Hashtbl.replace t.pending_grants invoke
+        { pg_port = port_id; pg_invoke = msg.Riep.invoke_id; pg_timeout = timeout };
+      send_mgmt t ~dst:namespace_manager_addr
+        (Riep.make ~opcode:Riep.M_read ~obj_class:"addr-alloc"
+           ~obj_name:msg.Riep.obj_name ~invoke_id:invoke ())
+    end
+  end
+
+(* Namespace-manager side of an address request. *)
+let handle_addr_alloc t (msg : Riep.t) ~from_addr =
+  if t.address = namespace_manager_addr then begin
+    let granted = local_grant t in
+    Metrics.incr t.metrics "addr_granted";
+    send_mgmt t ~dst:from_addr
+      (Riep.make ~opcode:Riep.M_read_r ~obj_class:"addr-alloc"
+         ~obj_name:msg.Riep.obj_name ~invoke_id:msg.Riep.invoke_id
+         ~obj_value:(Rib.V_int granted) ())
+  end
+
+let handle_addr_alloc_r t (msg : Riep.t) =
+  match Hashtbl.find_opt t.pending_grants msg.Riep.invoke_id with
+  | None -> ()
+  | Some pg -> (
+    Hashtbl.remove t.pending_grants msg.Riep.invoke_id;
+    Engine.cancel pg.pg_timeout;
+    match msg.Riep.obj_value with
+    | Some (Rib.V_int granted) ->
+      finish_admission t pg.pg_port ~invoke:pg.pg_invoke ~granted
+    | Some _ | None -> deny_admission t pg.pg_port ~invoke:pg.pg_invoke "allocation failed")
+
+(* ---------- enrollment (joiner side) ---------- *)
+
+let run_enrolled_hooks t =
+  let hooks = List.rev t.enrolled_hooks in
+  t.enrolled_hooks <- [];
+  List.iter (fun f -> f ()) hooks
+
+let handle_connect_r t port_id (msg : Riep.t) =
+  match t.enroll_state with
+  | E_none -> ()
+  | E_pending p when p <> port_id -> ()
+  | E_pending _ ->
+    if msg.Riep.result <> 0 then begin
+      t.enroll_state <- E_none;
+      Metrics.incr t.metrics "enroll_rejected";
+      trace t "enroll_rejected"
+    end
+    else begin
+      match msg.Riep.obj_value with
+      | Some (Rib.V_bytes data) -> (
+        match decode_snapshot data with
+        | Error _ ->
+          t.enroll_state <- E_none;
+          Metrics.incr t.metrics "enroll_bad_snapshot"
+        | Ok (granted, entries, lsas) ->
+          t.address <- granted;
+          List.iter (fun (path, v) -> Rib.write t.rib path v) entries;
+          List.iter (fun lsa -> ignore (Routing.install t.lsdb lsa)) lsas;
+          t.enrolled <- true;
+          t.enroll_state <- E_none;
+          Metrics.incr t.metrics "enrolled";
+          trace t "enrolled";
+          (* Announce the new address on every port so adjacencies form. *)
+          Hashtbl.iter (fun _ np -> send_hello t np) t.nports;
+          rebuild_own_lsa t;
+          schedule_recompute t;
+          run_enrolled_hooks t)
+      | Some _ | None ->
+        t.enroll_state <- E_none;
+        Metrics.incr t.metrics "enroll_bad_snapshot"
+    end
+
+(* ---------- flows: helpers shared by both endpoints ---------- *)
+
+let qos_cube t id =
+  match Qos.find t.qos_cubes id with Some q -> q | None -> Qos.best_effort
+
+let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
+    ~remote_app ~qos =
+  let efcp_cfg = Policy.efcp_for_qos t.policy qos in
+  let efcp_cfg =
+    if qos.Qos.reliable then efcp_cfg
+    else { efcp_cfg with Policy.rtx_strategy = Policy.No_rtx }
+  in
+  let reasm = Delimiting.create_reassembler () in
+  let fs_ref = ref None in
+  let send_pdu pdu =
+    let pdu =
+      { pdu with Pdu.dst_addr = remote_addr; src_addr = t.address }
+    in
+    Rmt.send t.rmt pdu
+  in
+  let deliver payload =
+    match !fs_ref with
+    | None -> ()
+    | Some fs -> (
+      match Delimiting.push fs.fs_reasm payload with
+      | Some sdu -> if not fs.fs_closed then fs.fs_on_receive sdu
+      | None -> ())
+  in
+  let on_error reason =
+    Metrics.incr t.metrics "flow_errors";
+    trace t ("flow_error:" ^ reason)
+  in
+  let efcp =
+    Efcp.create t.engine ~config:efcp_cfg ~in_order:qos.Qos.in_order
+      ~local_cep ~remote_cep ~qos_id:qos.Qos.id ~send_pdu ~deliver ~on_error ()
+  in
+  let fs =
+    {
+      fs_port = port;
+      fs_local_cep = local_cep;
+      fs_remote_cep = remote_cep;
+      fs_remote_addr = remote_addr;
+      fs_local_app = local_app;
+      fs_remote_app = remote_app;
+      fs_qos = qos;
+      fs_efcp = efcp;
+      fs_reasm = reasm;
+      fs_on_receive = (fun _ -> ());
+      fs_closed = false;
+    }
+  in
+  fs_ref := Some fs;
+  Hashtbl.replace t.flows local_cep fs;
+  fs
+
+let close_flow_state t fs ~notify_peer =
+  if not fs.fs_closed then begin
+    fs.fs_closed <- true;
+    Efcp.close fs.fs_efcp;
+    Hashtbl.remove t.flows fs.fs_local_cep;
+    if notify_peer then
+      send_mgmt t ~dst:fs.fs_remote_addr
+        (Riep.make ~opcode:Riep.M_delete ~obj_class:"flow"
+           ~obj_value:(Rib.V_int fs.fs_remote_cep) ())
+  end
+
+let flow_of_state t fs =
+  let mtu = t.policy.Policy.efcp.Policy.mtu in
+  {
+    port_id = fs.fs_port;
+    qos = fs.fs_qos;
+    remote_app = fs.fs_remote_app;
+    send =
+      (fun sdu ->
+        List.iter (fun frag -> Efcp.send fs.fs_efcp frag)
+          (Delimiting.fragment ~mtu sdu));
+    set_on_receive = (fun f -> fs.fs_on_receive <- f);
+    close = (fun () -> close_flow_state t fs ~notify_peer:true);
+    flow_metrics = (fun () -> Efcp.metrics fs.fs_efcp);
+  }
+
+(* ---------- flow allocator: destination side ---------- *)
+
+let acl_allows t ~src_app ~dst_app =
+  match t.policy.Policy.acl with
+  | Policy.Allow_all -> true
+  | Policy.Allow_pairs pairs ->
+    List.exists
+      (fun (s, d) ->
+        String.equal s src_app.Types.ap_name && String.equal d dst_app.Types.ap_name)
+      pairs
+
+let handle_flow_create t (msg : Riep.t) =
+  let reply ~result ~reason value =
+    match msg.Riep.obj_value with
+    | Some (Rib.V_bytes data) -> (
+      match decode_flow_req data with
+      | Error _ -> ()
+      | Ok fr ->
+        send_mgmt t ~dst:fr.fr_src_addr
+          (Riep.make ~opcode:Riep.M_create_r ~obj_class:"flow"
+             ~invoke_id:msg.Riep.invoke_id ~result ~result_reason:reason
+             ?obj_value:value ()))
+    | Some _ | None -> ()
+  in
+  match msg.Riep.obj_value with
+  | Some (Rib.V_bytes data) -> (
+    match decode_flow_req data with
+    | Error _ -> Metrics.incr t.metrics "bad_flow_req"
+    | Ok fr -> (
+      match Hashtbl.find_opt t.apps (Types.apn_to_string fr.fr_dst_app) with
+      | None ->
+        Metrics.incr t.metrics "alloc_no_app";
+        reply ~result:2 ~reason:"application not registered here" None
+      | Some reg ->
+        if not (acl_allows t ~src_app:fr.fr_src_app ~dst_app:fr.fr_dst_app) then begin
+          Metrics.incr t.metrics "alloc_denied_acl";
+          trace t "alloc_denied_acl";
+          reply ~result:3 ~reason:"access denied" None
+        end
+        else begin
+          (* Idempotence against retransmitted requests: if this
+             (remote address, remote cep) already has a flow, repeat
+             the earlier answer instead of allocating a second one. *)
+          let existing =
+            Hashtbl.fold
+              (fun _ fs acc ->
+                if fs.fs_remote_addr = fr.fr_src_addr && fs.fs_remote_cep = fr.fr_src_cep
+                then Some fs
+                else acc)
+              t.flows None
+          in
+          match existing with
+          | Some fs ->
+            let w = W.create () in
+            W.u32 w fs.fs_local_cep;
+            reply ~result:0 ~reason:"" (Some (Rib.V_bytes (W.contents w)))
+          | None ->
+          let local_cep = t.next_cep in
+          t.next_cep <- t.next_cep + 1;
+          let port = t.next_flow_port in
+          t.next_flow_port <- t.next_flow_port + 1;
+          let qos = qos_cube t fr.fr_qos_id in
+          let fs =
+            make_flow_state t ~port ~local_cep ~remote_cep:fr.fr_src_cep
+              ~remote_addr:fr.fr_src_addr ~local_app:fr.fr_dst_app
+              ~remote_app:fr.fr_src_app ~qos
+          in
+          Metrics.incr t.metrics "flows_accepted";
+          let w = W.create () in
+          W.u32 w local_cep;
+          reply ~result:0 ~reason:"" (Some (Rib.V_bytes (W.contents w)));
+          reg.ar_on_flow (flow_of_state t fs)
+        end))
+  | Some _ | None -> Metrics.incr t.metrics "bad_flow_req"
+
+(* ---------- flow allocator: requester side ---------- *)
+
+let handle_flow_create_r t (msg : Riep.t) =
+  match Hashtbl.find_opt t.pending msg.Riep.invoke_id with
+  | None -> ()
+  | Some pa ->
+    Hashtbl.remove t.pending msg.Riep.invoke_id;
+    Engine.cancel pa.pa_timeout;
+    if msg.Riep.result <> 0 then begin
+      Metrics.incr t.metrics "alloc_failed";
+      pa.pa_on_result (Error msg.Riep.result_reason)
+    end
+    else begin
+      match msg.Riep.obj_value with
+      | Some (Rib.V_bytes data) -> (
+        try
+          let r = R.create data in
+          let remote_cep = R.u32 r in
+          R.expect_end r;
+          let fs =
+            make_flow_state t ~port:pa.pa_port ~local_cep:pa.pa_local_cep
+              ~remote_cep ~remote_addr:pa.pa_dst_addr ~local_app:pa.pa_src_app
+              ~remote_app:pa.pa_dst_app ~qos:pa.pa_qos
+          in
+          Metrics.incr t.metrics "flows_allocated";
+          pa.pa_on_result (Ok (flow_of_state t fs))
+        with R.Decode_error msg -> pa.pa_on_result (Error msg))
+      | Some _ | None -> pa.pa_on_result (Error "malformed flow response")
+    end
+
+let handle_flow_delete t (msg : Riep.t) =
+  match msg.Riep.obj_value with
+  | Some (Rib.V_int cep) -> (
+    match Hashtbl.find_opt t.flows cep with
+    | Some fs -> close_flow_state t fs ~notify_peer:false
+    | None -> ())
+  | Some _ | None -> ()
+
+(* ---------- management dispatch ---------- *)
+
+let handle_rib_write t from_port (msg : Riep.t) =
+  match msg.Riep.obj_value with
+  | None -> ()
+  | Some value ->
+    let accept =
+      match Rib.read t.rib msg.Riep.obj_name with
+      | Some existing -> not (Rib.value_equal existing value)
+      | None -> true
+    in
+    if accept then begin
+      Rib.write t.rib msg.Riep.obj_name value;
+      flood_rib_write t ?except_port:from_port msg.Riep.obj_name value
+    end
+
+let handle_rib_delete t from_port (msg : Riep.t) =
+  if Rib.delete t.rib msg.Riep.obj_name then
+    flood_rib_delete t ?except_port:from_port msg.Riep.obj_name
+
+let handle_lsa t from_port (msg : Riep.t) =
+  match msg.Riep.obj_value with
+  | Some (Rib.V_bytes data) -> (
+    match Routing.Lsa.decode data with
+    | Error _ -> Metrics.incr t.metrics "bad_lsa"
+    | Ok lsa ->
+      if Routing.install t.lsdb lsa then begin
+        Metrics.incr t.metrics "lsa_rx_new";
+        flood_lsa t ?except_port:from_port lsa;
+        schedule_recompute t
+      end)
+  | Some _ | None -> Metrics.incr t.metrics "bad_lsa"
+
+let handle_mgmt t from_port (pdu : Pdu.t) =
+  match Riep.decode pdu.Pdu.payload with
+  | Error _ -> Metrics.incr t.metrics "bad_mgmt"
+  | Ok msg -> (
+    Metrics.incr t.metrics "mgmt_rx";
+    match (msg.Riep.opcode, msg.Riep.obj_class) with
+    | Riep.M_connect, "enrollment" -> (
+      match from_port with
+      | Some p -> handle_connect t p msg
+      | None -> ())
+    | Riep.M_connect_r, "enrollment" -> (
+      match from_port with
+      | Some p -> handle_connect_r t p msg
+      | None -> ())
+    | Riep.M_write, "rib" -> handle_rib_write t from_port msg
+    | Riep.M_delete, "rib" -> handle_rib_delete t from_port msg
+    | Riep.M_write, "lsa" -> handle_lsa t from_port msg
+    | Riep.M_read, "addr-alloc" -> handle_addr_alloc t msg ~from_addr:pdu.Pdu.src_addr
+    | Riep.M_read_r, "addr-alloc" -> handle_addr_alloc_r t msg
+    | Riep.M_create, "flow" -> handle_flow_create t msg
+    | Riep.M_create_r, "flow" -> handle_flow_create_r t msg
+    | Riep.M_delete, "flow" -> handle_flow_delete t msg
+    | _, _ -> Metrics.incr t.metrics "mgmt_unhandled")
+
+let handle_data t (pdu : Pdu.t) =
+  match Hashtbl.find_opt t.flows pdu.Pdu.dst_cep with
+  | Some fs -> Efcp.handle_pdu fs.fs_efcp pdu
+  | None -> Metrics.incr t.metrics "unknown_cep"
+
+let deliver_up t from_port (pdu : Pdu.t) =
+  match pdu.Pdu.pdu_type with
+  | Pdu.Hello -> (
+    match from_port with
+    | Some p -> handle_hello t p pdu
+    | None -> ())
+  | Pdu.Mgmt -> handle_mgmt t from_port pdu
+  | Pdu.Dtp | Pdu.Ack -> handle_data t pdu
+
+(* PDUs from ports whose peer is not an authenticated member are
+   dropped, except the neighbour-scope traffic needed to become one. *)
+let ingress_allowed t port_id (pdu : Pdu.t) =
+  match pdu.Pdu.pdu_type with
+  | Pdu.Hello -> true
+  | Pdu.Mgmt when pdu.Pdu.dst_addr = Types.no_address -> true
+  | Pdu.Mgmt | Pdu.Dtp | Pdu.Ack -> (
+    match Hashtbl.find_opt t.nports port_id with
+    | Some np -> np.np_peer > 0
+    | None -> false)
+
+(* ---------- periodic maintenance ---------- *)
+
+(* Every [refresh_ticks] hello ticks (a routing policy; 0 disables),
+   re-flood our own LSA (with a seq bump so it passes install filters)
+   and re-publish our directory entries: anti-entropy against lost
+   management PDUs. *)
+let refresh_state t =
+  if t.enrolled then begin
+    t.own_lsa_seq <- t.own_lsa_seq + 1;
+    let lsa =
+      {
+        Routing.Lsa.origin = t.address;
+        seq = t.own_lsa_seq;
+        neighbors = t.last_adjacency;
+      }
+    in
+    ignore (Routing.install t.lsdb lsa);
+    flood_lsa t lsa;
+    Hashtbl.iter
+      (fun _ reg ->
+        let path = "/dir/" ^ Types.apn_to_string reg.ar_name in
+        match Rib.read t.rib path with
+        | Some v -> flood_rib_write t path v
+        | None -> ())
+      t.apps
+  end
+
+let rec hello_tick t =
+  t.hello_ticks <- t.hello_ticks + 1;
+  Hashtbl.iter
+    (fun _ np -> if np.np_chan.Chan.is_up () then send_hello t np)
+    t.nports;
+  (* Hello expiry may have silently killed adjacencies. *)
+  rebuild_own_lsa t;
+  (let ticks = t.policy.Policy.routing.Policy.refresh_ticks in
+   if ticks > 0 && t.hello_ticks mod ticks = 0 then refresh_state t);
+  ignore
+    (Engine.schedule t.engine ~delay:t.policy.Policy.routing.Policy.hello_interval
+       (fun () -> hello_tick t))
+
+(* ---------- construction ---------- *)
+
+let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes)
+    ~name ~dif ~policy () =
+  let rec t =
+    lazy
+      {
+        engine;
+        trace = tr;
+        name;
+        dif;
+        policy;
+        credentials;
+        qos_cubes;
+        rib = Rib.create ();
+        rmt =
+          Rmt.create engine
+            ~own_address:(fun () -> (Lazy.force t).address)
+            ~scheduler:policy.Policy.scheduler ();
+        lsdb = Routing.create ();
+        metrics = Metrics.create ();
+        nports = Hashtbl.create 8;
+        flows = Hashtbl.create 16;
+        apps = Hashtbl.create 8;
+        pending = Hashtbl.create 8;
+        pending_grants = Hashtbl.create 4;
+        address = Types.no_address;
+        enrolled = false;
+        enroll_state = E_none;
+        next_cep = 1;
+        next_flow_port = 1;
+        next_invoke = 1;
+        next_hops = Hashtbl.create 1;
+        chosen_poa = Hashtbl.create 8;
+        own_lsa_seq = 0;
+        last_adjacency = [];
+        recompute_scheduled = false;
+        enrolled_hooks = [];
+        hello_ticks = 0;
+        auto_enroll = true;
+        isolation_watchers = [];
+        was_attached = false;
+      }
+  in
+  let t = Lazy.force t in
+  Rmt.set_deliver t.rmt (fun from_port pdu -> deliver_up t from_port pdu);
+  Rmt.set_forwarding t.rmt (fun pdu -> forward t pdu);
+  Rmt.set_ingress_filter t.rmt (fun port pdu -> ingress_allowed t port pdu);
+  Rmt.set_classify t.rmt (fun pdu ->
+      (* Layer-management traffic always rides the top class so data
+         backlogs cannot starve hellos and routing updates.  Data is
+         class-differentiated only when the DIF's scheduling policy
+         differentiates; under FIFO everything shares one queue. *)
+      match pdu.Pdu.pdu_type with
+      | Pdu.Mgmt | Pdu.Hello -> 7
+      | Pdu.Dtp | Pdu.Ack -> (
+        match t.policy.Policy.scheduler with
+        | Policy.Fifo -> 0
+        | Policy.Priority_queueing | Policy.Drr _ -> (
+          match Qos.find t.qos_cubes pdu.Pdu.qos_id with
+          | Some q -> min 6 q.Qos.priority
+          | None -> 0)));
+  ignore
+    (Engine.schedule t.engine ~delay:t.policy.Policy.routing.Policy.hello_interval
+       (fun () -> hello_tick t));
+  t
+
+let bootstrap t =
+  if t.enrolled then invalid_arg "Ipcp.bootstrap: already enrolled";
+  t.address <- 1;
+  t.enrolled <- true;
+  Rib.write t.rib "/dif/next_free" (Rib.V_int 2);
+  t.own_lsa_seq <- 1;
+  ignore
+    (Routing.install t.lsdb
+       { Routing.Lsa.origin = 1; seq = 1; neighbors = [] });
+  trace t "bootstrapped";
+  run_enrolled_hooks t
+
+let bind_port t ?(cost = 1.0) ?rate chan =
+  let port_id = Rmt.add_port t.rmt ?rate chan in
+  let np =
+    {
+      np_id = port_id;
+      np_chan = chan;
+      np_cost = cost;
+      np_peer = 0;
+      np_peer_name = "";
+      np_last_hello = Engine.now t.engine;
+    }
+  in
+  Hashtbl.replace t.nports port_id np;
+  chan.Chan.on_carrier (fun up ->
+      Metrics.incr t.metrics (if up then "carrier_up" else "carrier_down");
+      if up then send_hello t np;
+      rebuild_own_lsa t);
+  if chan.Chan.is_up () then send_hello t np;
+  port_id
+
+let unbind_port t port_id =
+  (match Hashtbl.find_opt t.nports port_id with
+   | Some _ ->
+     Hashtbl.remove t.nports port_id;
+     Rmt.remove_port t.rmt port_id;
+     rebuild_own_lsa t
+   | None -> ());
+  Hashtbl.iter
+    (fun peer p -> if p = port_id then Hashtbl.remove t.chosen_poa peer)
+    (Hashtbl.copy t.chosen_poa)
+
+let leave t =
+  if t.enrolled then begin
+    (* Withdraw every published name. *)
+    Hashtbl.iter
+      (fun key _ ->
+        let path = "/dir/" ^ key in
+        if Rib.delete t.rib path then flood_rib_delete t path)
+      t.apps;
+    (* Close flows, notifying peers. *)
+    let flows = Hashtbl.fold (fun _ fs acc -> fs :: acc) t.flows [] in
+    List.iter (fun fs -> close_flow_state t fs ~notify_peer:true) flows;
+    (* A final LSA with no neighbours: the two-way check then severs
+       every edge to this node in everyone's SPF. *)
+    t.own_lsa_seq <- t.own_lsa_seq + 1;
+    let lsa =
+      { Routing.Lsa.origin = t.address; seq = t.own_lsa_seq; neighbors = [] }
+    in
+    ignore (Routing.install t.lsdb lsa);
+    flood_lsa t lsa;
+    t.last_adjacency <- [];
+    trace t "left";
+    Metrics.incr t.metrics "left_dif";
+    t.enrolled <- false;
+    t.auto_enroll <- false;
+    t.address <- Types.no_address;
+    t.enroll_state <- E_none;
+    (* Ports survive physically; reset their management view so that
+       hello-driven identity discovery (and a possible re-enrollment)
+       restarts from scratch. *)
+    Hashtbl.iter
+      (fun _ np ->
+        np.np_peer <- 0;
+        np.np_peer_name <- "")
+      t.nports;
+    t.next_hops <- Hashtbl.create 1;
+    Hashtbl.reset t.chosen_poa
+  end
+
+(* ---------- application interface ---------- *)
+
+let publish_app t apn =
+  Rib.write t.rib ("/dir/" ^ Types.apn_to_string apn) (Rib.V_int t.address);
+  flood_rib_write t ("/dir/" ^ Types.apn_to_string apn) (Rib.V_int t.address)
+
+let on_enrolled t f =
+  if t.enrolled then f () else t.enrolled_hooks <- f :: t.enrolled_hooks
+
+let register_app t apn ~on_flow =
+  Hashtbl.replace t.apps (Types.apn_to_string apn)
+    { ar_name = apn; ar_on_flow = on_flow };
+  on_enrolled t (fun () -> publish_app t apn)
+
+let unregister_app t apn =
+  Hashtbl.remove t.apps (Types.apn_to_string apn);
+  if t.enrolled then begin
+    ignore (Rib.delete t.rib ("/dir/" ^ Types.apn_to_string apn));
+    flood_rib_delete t ("/dir/" ^ Types.apn_to_string apn)
+  end
+
+let resolve_name t apn = Rib.read_int t.rib ("/dir/" ^ Types.apn_to_string apn)
+
+let allocate_flow t ~src ~dst ~qos_id ~on_result =
+  if not t.enrolled then on_result (Error "IPC process not enrolled in any DIF")
+  else begin
+    (* The directory may still be synchronising; retry resolution a few
+       times before giving up. *)
+    let attempts = ref 0 in
+    let rec try_resolve () =
+      match resolve_name t dst with
+      | Some addr -> request addr
+      | None ->
+        incr attempts;
+        if !attempts > 25 then begin
+          Metrics.incr t.metrics "alloc_name_not_found";
+          on_result (Error ("destination name not found: " ^ Types.apn_to_string dst))
+        end
+        else ignore (Engine.schedule t.engine ~delay:0.2 (fun () -> try_resolve ()))
+    and request addr =
+      let local_cep = t.next_cep in
+      t.next_cep <- t.next_cep + 1;
+      let port = t.next_flow_port in
+      t.next_flow_port <- t.next_flow_port + 1;
+      let invoke = t.next_invoke in
+      t.next_invoke <- t.next_invoke + 1;
+      let qos = qos_cube t qos_id in
+      let req =
+        {
+          fr_src_app = src;
+          fr_dst_app = dst;
+          fr_qos_id = qos_id;
+          fr_src_addr = t.address;
+          fr_src_cep = local_cep;
+        }
+      in
+      let transmit () =
+        Metrics.incr t.metrics "alloc_requests";
+        send_mgmt t ~dst:addr
+          (Riep.make ~opcode:Riep.M_create ~obj_class:"flow" ~invoke_id:invoke
+             ~obj_value:(Rib.V_bytes (encode_flow_req req)) ())
+      in
+      (* Management PDUs are unreliable; retransmit the request a few
+         times (the destination is idempotent). *)
+      let rec arm_timeout tries =
+        Engine.schedule t.engine ~delay:1.2 (fun () ->
+            match Hashtbl.find_opt t.pending invoke with
+            | None -> ()
+            | Some pa ->
+              if tries <= 0 then begin
+                Hashtbl.remove t.pending invoke;
+                Metrics.incr t.metrics "alloc_timeout";
+                pa.pa_on_result (Error "flow allocation timed out")
+              end
+              else begin
+                Metrics.incr t.metrics "alloc_retries";
+                transmit ();
+                Hashtbl.replace t.pending invoke
+                  { pa with pa_timeout = arm_timeout (tries - 1) }
+              end)
+      in
+      Hashtbl.replace t.pending invoke
+        {
+          pa_on_result = on_result;
+          pa_local_cep = local_cep;
+          pa_port = port;
+          pa_qos = qos;
+          pa_src_app = src;
+          pa_dst_app = dst;
+          pa_dst_addr = addr;
+          pa_timeout = arm_timeout 6;
+        };
+      transmit ()
+    in
+    try_resolve ()
+  end
+
+let chan_of_flow t (flow : flow) : Chan.t =
+  let stats = Metrics.create () in
+  {
+    Chan.send =
+      (fun frame ->
+        Metrics.incr stats "tx";
+        Metrics.add stats "tx_bytes" (Bytes.length frame);
+        flow.send frame);
+    set_receiver =
+      (fun f ->
+        flow.set_on_receive (fun sdu ->
+            Metrics.incr stats "rx";
+            Metrics.add stats "rx_bytes" (Bytes.length sdu);
+            f sdu));
+    is_up = (fun () -> adjacency_set t <> []);
+    on_carrier = (fun f -> t.isolation_watchers <- f :: t.isolation_watchers);
+    stats;
+  }
+
+(* ---------- instrumentation ---------- *)
+
+let set_auto_enroll t b = t.auto_enroll <- b
+
+let name t = t.name
+
+let dif_name t = t.dif
+
+let is_enrolled t = t.enrolled
+
+let address t = t.address
+
+let neighbors t =
+  let by_peer : (Types.address, Types.port_id list) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ np ->
+      if np.np_peer > 0 && nport_alive t np then
+        Hashtbl.replace by_peer np.np_peer
+          (np.np_id
+           :: (match Hashtbl.find_opt by_peer np.np_peer with
+               | Some l -> l
+               | None -> [])))
+    t.nports;
+  Hashtbl.fold (fun peer ports acc -> (peer, List.sort compare ports) :: acc) by_peer []
+  |> List.sort compare
+
+let routing_table t =
+  Hashtbl.fold (fun dst (nh, cost) acc -> (dst, nh, cost) :: acc) t.next_hops []
+  |> List.sort compare
+
+let rib t = t.rib
+
+let metrics t = t.metrics
+
+let rmt_metrics t = Rmt.metrics t.rmt
+
+let policy t = t.policy
+
+let lsdb_size t = Routing.size t.lsdb
+
+let debug_flows t =
+  Hashtbl.fold
+    (fun cep fs acc ->
+      Printf.sprintf "cep=%d %s<->%s(@%d) qos=%d %s" cep
+        (Types.apn_to_string fs.fs_local_app)
+        (Types.apn_to_string fs.fs_remote_app)
+        fs.fs_remote_addr fs.fs_qos.Qos.id
+        (Efcp.debug fs.fs_efcp)
+      :: acc)
+    t.flows []
+  |> List.sort compare

@@ -1,0 +1,119 @@
+type pdu_type = Dtp | Ack | Mgmt | Hello
+
+type t = {
+  pdu_type : pdu_type;
+  dst_addr : Types.address;
+  src_addr : Types.address;
+  dst_cep : Types.cep_id;
+  src_cep : Types.cep_id;
+  qos_id : Types.qos_id;
+  seq : int;
+  ack : int;
+  window : int;
+  ttl : int;
+  flags : int;
+  payload : bytes;
+}
+
+let flag_drf = 1
+
+let flag_fin = 2
+
+let has_flag t flag = t.flags land flag <> 0
+
+let make ~pdu_type ~dst_addr ~src_addr ?(dst_cep = 0) ?(src_cep = 0) ?(qos_id = 0)
+    ?(seq = 0) ?(ack = 0) ?(window = 0) ?(ttl = 32) ?(flags = 0) payload =
+  {
+    pdu_type;
+    dst_addr;
+    src_addr;
+    dst_cep;
+    src_cep;
+    qos_id;
+    seq;
+    ack;
+    window;
+    ttl;
+    flags;
+    payload;
+  }
+
+let version = 1
+
+let type_code = function Dtp -> 0 | Ack -> 1 | Mgmt -> 2 | Hello -> 3
+
+let type_of_code = function
+  | 0 -> Ok Dtp
+  | 1 -> Ok Ack
+  | 2 -> Ok Mgmt
+  | 3 -> Ok Hello
+  | n -> Error (Printf.sprintf "unknown PDU type code %d" n)
+
+let encode t =
+  let module W = Rina_util.Codec.Writer in
+  let w = W.create () in
+  W.u8 w version;
+  W.u8 w (type_code t.pdu_type);
+  W.u32 w t.dst_addr;
+  W.u32 w t.src_addr;
+  W.u32 w t.dst_cep;
+  W.u32 w t.src_cep;
+  W.u16 w t.qos_id;
+  W.u32 w t.seq;
+  W.u32 w t.ack;
+  W.u32 w t.window;
+  W.u8 w t.ttl;
+  W.u8 w t.flags;
+  W.bytes w t.payload;
+  W.contents w
+
+(* version + type + 4 addr/cep words + qos + seq + ack + window + ttl +
+   flags + payload length prefix *)
+let header_size = 1 + 1 + (4 * 4) + 2 + 4 + 4 + 4 + 1 + 1 + 4
+
+let decode frame =
+  let module R = Rina_util.Codec.Reader in
+  try
+    let r = R.create frame in
+    let v = R.u8 r in
+    if v <> version then Error (Printf.sprintf "unsupported PDU version %d" v)
+    else
+      match type_of_code (R.u8 r) with
+      | Error _ as e -> e
+      | Ok pdu_type ->
+        let dst_addr = R.u32 r in
+        let src_addr = R.u32 r in
+        let dst_cep = R.u32 r in
+        let src_cep = R.u32 r in
+        let qos_id = R.u16 r in
+        let seq = R.u32 r in
+        let ack = R.u32 r in
+        let window = R.u32 r in
+        let ttl = R.u8 r in
+        let flags = R.u8 r in
+        let payload = R.bytes r in
+        R.expect_end r;
+        Ok
+          {
+            pdu_type;
+            dst_addr;
+            src_addr;
+            dst_cep;
+            src_cep;
+            qos_id;
+            seq;
+            ack;
+            window;
+            ttl;
+            flags;
+            payload;
+          }
+  with R.Decode_error msg -> Error msg
+
+let pp fmt t =
+  let kind =
+    match t.pdu_type with Dtp -> "DTP" | Ack -> "ACK" | Mgmt -> "MGMT" | Hello -> "HELLO"
+  in
+  Format.fprintf fmt "%s %d->%d cep %d->%d seq=%d ack=%d w=%d len=%d" kind
+    t.src_addr t.dst_addr t.src_cep t.dst_cep t.seq t.ack t.window
+    (Bytes.length t.payload)

@@ -1,0 +1,64 @@
+(** Protocol data unit of an IPC layer.
+
+    One PDU format serves the whole DIF: data transfer ([Dtp]), EFCP
+    acknowledgement/flow-control ([Ack]), layer management ([Mgmt],
+    carrying an encoded RIEP message) and neighbour-scope identity
+    announcements ([Hello]).  PDUs are serialised to bytes whenever
+    they cross an (N-1) boundary, so lower layers see opaque frames. *)
+
+type pdu_type =
+  | Dtp    (** user data, sequenced by EFCP *)
+  | Ack    (** cumulative acknowledgement + credit window *)
+  | Mgmt   (** RIEP message for the IPC management task *)
+  | Hello  (** neighbour-scope: sender identity for the receiving port *)
+
+type t = {
+  pdu_type : pdu_type;
+  dst_addr : Types.address;  (** 0 = neighbour scope (this hop only) *)
+  src_addr : Types.address;
+  dst_cep : Types.cep_id;
+  src_cep : Types.cep_id;
+  qos_id : Types.qos_id;
+  seq : int;      (** DTP sequence number *)
+  ack : int;      (** ACK: next expected sequence number *)
+  window : int;   (** ACK: receive credit in PDUs *)
+  ttl : int;
+  flags : int;
+  payload : bytes;
+}
+
+val flag_drf : int
+(** Data-run flag: first PDU of a connection's data run. *)
+
+val flag_fin : int
+(** Final PDU of a flow. *)
+
+val has_flag : t -> int -> bool
+
+val make :
+  pdu_type:pdu_type ->
+  dst_addr:Types.address ->
+  src_addr:Types.address ->
+  ?dst_cep:Types.cep_id ->
+  ?src_cep:Types.cep_id ->
+  ?qos_id:Types.qos_id ->
+  ?seq:int ->
+  ?ack:int ->
+  ?window:int ->
+  ?ttl:int ->
+  ?flags:int ->
+  bytes ->
+  t
+(** Build a PDU; defaults: ceps 0, qos 0, seq/ack/window 0, ttl 32,
+    flags 0. *)
+
+val encode : t -> bytes
+(** Wire form, including a version byte. *)
+
+val decode : bytes -> (t, string) result
+(** Parse a wire frame; [Error] describes the first malformation. *)
+
+val header_size : int
+(** Bytes of overhead [encode] adds on top of the payload. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type rtx_strategy = Selective_repeat | Go_back_n | No_rtx
+
+type efcp = {
+  window : int;
+  mtu : int;
+  init_rto : float;
+  min_rto : float;
+  max_rtx : int;
+  ack_delay : float;
+  rtx_strategy : rtx_strategy;
+  congestion_control : bool;
+}
+
+type scheduler = Fifo | Priority_queueing | Drr of int
+
+type routing = {
+  hello_interval : float;
+  dead_interval : float;
+  lsa_min_interval : float;
+  refresh_ticks : int;
+}
+
+type auth = Auth_none | Auth_password of string
+
+type acl = Allow_all | Allow_pairs of (string * string) list
+
+type t = {
+  efcp : efcp;
+  scheduler : scheduler;
+  routing : routing;
+  auth : auth;
+  acl : acl;
+  max_ttl : int;
+}
+
+let default_efcp =
+  {
+    window = 64;
+    mtu = 1400;
+    init_rto = 0.5;
+    min_rto = 0.02;
+    max_rtx = 12;
+    ack_delay = 0.;
+    rtx_strategy = Selective_repeat;
+    congestion_control = true;
+  }
+
+let default_routing =
+  {
+    hello_interval = 1.0;
+    dead_interval = 3.5;
+    lsa_min_interval = 0.05;
+    refresh_ticks = 5;
+  }
+
+let default =
+  {
+    efcp = default_efcp;
+    scheduler = Fifo;
+    routing = default_routing;
+    auth = Auth_none;
+    acl = Allow_all;
+    max_ttl = 32;
+  }
+
+let efcp_for_qos t (qos : Qos.t) =
+  if qos.Qos.reliable then t.efcp else { t.efcp with rtx_strategy = No_rtx }
+
+let pp_scheduler fmt = function
+  | Fifo -> Format.pp_print_string fmt "fifo"
+  | Priority_queueing -> Format.pp_print_string fmt "priority"
+  | Drr quantum -> Format.fprintf fmt "drr(%d)" quantum
+
+let pp_rtx fmt = function
+  | Selective_repeat -> Format.pp_print_string fmt "selective"
+  | Go_back_n -> Format.pp_print_string fmt "gbn"
+  | No_rtx -> Format.pp_print_string fmt "none"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "efcp{w=%d mtu=%d rto0=%g rtx=%a ackd=%g} sched=%a hello=%g auth=%s"
+    t.efcp.window t.efcp.mtu t.efcp.init_rto pp_rtx t.efcp.rtx_strategy
+    t.efcp.ack_delay pp_scheduler t.scheduler t.routing.hello_interval
+    (match t.auth with Auth_none -> "none" | Auth_password _ -> "password")

@@ -1,0 +1,72 @@
+(** Policy sets: the tunable half of the mechanism/policy split.
+
+    Every DIF instantiates the same mechanisms (EFCP, RMT, routing,
+    enrollment) but with policies appropriate to its scope — the
+    paper's central structural idea.  A [t] bundles the defaults a DIF
+    hands to its IPC processes; per-flow values may further derive from
+    the requested QoS cube. *)
+
+(** How the EFCP sender reacts to loss. *)
+type rtx_strategy =
+  | Selective_repeat  (** receiver buffers out-of-order, sender retransmits gaps *)
+  | Go_back_n         (** receiver discards out-of-order PDUs *)
+  | No_rtx            (** sequencing only; losses are not repaired *)
+
+type efcp = {
+  window : int;        (** max outstanding PDUs (also receiver buffer) *)
+  mtu : int;           (** max user bytes per PDU *)
+  init_rto : float;    (** retransmission timeout before an RTT sample *)
+  min_rto : float;
+  max_rtx : int;       (** retries before declaring the flow broken *)
+  ack_delay : float;   (** 0 = ack immediately; else aggregate for this long *)
+  rtx_strategy : rtx_strategy;
+  congestion_control : bool;
+      (** AIMD window adaptation (slow start / additive increase,
+          multiplicative decrease) on top of the credit window *)
+}
+
+type scheduler =
+  | Fifo
+  | Priority_queueing  (** strict priority by QoS-cube priority *)
+  | Drr of int         (** deficit round robin with the given quantum (bytes) *)
+
+type routing = {
+  hello_interval : float;  (** neighbour liveness probe period, s *)
+  dead_interval : float;   (** missed-hello window before adjacency loss *)
+  lsa_min_interval : float;  (** flood damping: min gap between own LSAs *)
+  refresh_ticks : int;
+      (** re-flood own LSA + directory every this many hello ticks
+          (anti-entropy against lost management PDUs); 0 disables *)
+}
+
+type auth =
+  | Auth_none
+  | Auth_password of string  (** shared secret checked at enrollment *)
+
+(** Flow-allocation access control. *)
+type acl =
+  | Allow_all
+  | Allow_pairs of (string * string) list
+      (** permitted (source app name, destination app name) pairs *)
+
+type t = {
+  efcp : efcp;
+  scheduler : scheduler;
+  routing : routing;
+  auth : auth;
+  acl : acl;
+  max_ttl : int;  (** initial TTL stamped on PDUs entering the DIF *)
+}
+
+val default_efcp : efcp
+val default_routing : routing
+
+val default : t
+(** Selective-repeat EFCP (window 64, mtu 1400), FIFO scheduling, 1 s
+    hellos, no authentication, allow-all ACL. *)
+
+val efcp_for_qos : t -> Qos.t -> efcp
+(** Derive the per-flow EFCP config: unreliable cubes get [No_rtx]. *)
+
+val pp_scheduler : Format.formatter -> scheduler -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Declarative policy specifications.
+
+    Section 8 of the paper proposes that users specify IPC policies
+    declaratively ("no more protocols to design, only policies to
+    specify").  This module is that interface: an INI-style text form
+    compiled onto {!Policy.t}, so experiments C4 can swap transport
+    behaviour — stop-and-wait, go-back-N, selective repeat, delayed
+    acks, schedulers — without touching any mechanism code.
+
+    Grammar (line oriented; [#] starts a comment):
+    {v
+    [efcp]
+    window = 64          # positive int
+    mtu = 1400
+    init_rto = 0.5       # seconds
+    min_rto = 0.02
+    max_rtx = 8
+    ack_delay = 0.0
+    rtx = selective      # selective | gbn | none
+    [scheduler]
+    kind = drr           # fifo | priority | drr
+    quantum = 1500       # drr only
+    [routing]
+    hello_interval = 1.0
+    dead_interval = 3.5
+    lsa_min_interval = 0.05
+    [auth]
+    kind = password      # none | password
+    secret = hunter2
+    [dif]
+    max_ttl = 32
+    v} *)
+
+val parse : ?base:Policy.t -> string -> (Policy.t, string) result
+(** Apply a spec on top of [base] (default {!Policy.default}).  Errors
+    carry the offending line number and token. *)
+
+val to_string : Policy.t -> string
+(** Render a policy back into parsable spec text (round-trips through
+    {!parse}). *)

@@ -1,0 +1,84 @@
+type t = {
+  id : Types.qos_id;
+  name : string;
+  reliable : bool;
+  in_order : bool;
+  priority : int;
+  avg_bandwidth : float;
+  max_delay : float;
+}
+
+let best_effort =
+  {
+    id = 0;
+    name = "best-effort";
+    reliable = false;
+    in_order = false;
+    priority = 0;
+    avg_bandwidth = 0.;
+    max_delay = 0.;
+  }
+
+let reliable =
+  {
+    id = 1;
+    name = "reliable";
+    reliable = true;
+    in_order = true;
+    priority = 0;
+    avg_bandwidth = 0.;
+    max_delay = 0.;
+  }
+
+let low_latency =
+  {
+    id = 2;
+    name = "low-latency";
+    reliable = false;
+    in_order = false;
+    priority = 2;
+    avg_bandwidth = 0.;
+    max_delay = 0.05;
+  }
+
+let gold =
+  {
+    id = 3;
+    name = "gold";
+    reliable = true;
+    in_order = true;
+    priority = 1;
+    avg_bandwidth = 1_000_000.;
+    max_delay = 0.2;
+  }
+
+let standard_cubes = [ best_effort; reliable; low_latency; gold ]
+
+let find cubes id = List.find_opt (fun c -> c.id = id) cubes
+
+let encode w t =
+  let module W = Rina_util.Codec.Writer in
+  W.u16 w t.id;
+  W.string w t.name;
+  W.bool w t.reliable;
+  W.bool w t.in_order;
+  W.u16 w t.priority;
+  W.f64 w t.avg_bandwidth;
+  W.f64 w t.max_delay
+
+let decode r =
+  let module R = Rina_util.Codec.Reader in
+  let id = R.u16 r in
+  let name = R.string r in
+  let reliable = R.bool r in
+  let in_order = R.bool r in
+  let priority = R.u16 r in
+  let avg_bandwidth = R.f64 r in
+  let max_delay = R.f64 r in
+  { id; name; reliable; in_order; priority; avg_bandwidth; max_delay }
+
+let pp fmt t =
+  Format.fprintf fmt "%s(id=%d%s%s prio=%d)" t.name t.id
+    (if t.reliable then " rel" else "")
+    (if t.in_order then " ord" else "")
+    t.priority

@@ -1,0 +1,40 @@
+(** QoS cubes.
+
+    A DIF offers a small set of named "cubes" — coherent regions of the
+    performance space.  An application requests a cube when allocating
+    a flow; the flow allocator maps the cube onto EFCP and scheduling
+    policies.  This is the paper's "policies tuned to operate over
+    different ranges of the performance space". *)
+
+type t = {
+  id : Types.qos_id;
+  name : string;
+  reliable : bool;      (** retransmission control on *)
+  in_order : bool;      (** resequencing on *)
+  priority : int;       (** RMT scheduling class, higher wins *)
+  avg_bandwidth : float;
+      (** bits/s the flow should receive under contention; 0 = best effort *)
+  max_delay : float;    (** target one-way delay bound in s; 0 = none *)
+}
+
+val best_effort : t
+(** id 0: unreliable, unordered, priority 0. *)
+
+val reliable : t
+(** id 1: retransmission + in-order delivery. *)
+
+val low_latency : t
+(** id 2: unreliable but high scheduling priority. *)
+
+val gold : t
+(** id 3: reliable, high priority, bandwidth-assured. *)
+
+val standard_cubes : t list
+(** The four cubes above, installed in every DIF by default. *)
+
+val find : t list -> Types.qos_id -> t option
+
+val encode : Rina_util.Codec.Writer.t -> t -> unit
+val decode : Rina_util.Codec.Reader.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** Resource Information Base.
+
+    Every IPC process keeps one: a tree of named objects populated and
+    queried by the management task (directory entries, link-state
+    advertisements, QoS cubes, address-allocation state...).  Object
+    names are slash-separated paths such as ["/dif/dir/appname"].
+    Watchers fire on create/write/delete, which is how the routing and
+    directory tasks react to RIEP updates without coupling to them. *)
+
+type value =
+  | V_str of string
+  | V_int of int
+  | V_float of float
+  | V_bool of bool
+  | V_bytes of bytes
+
+type event = Created | Updated | Deleted
+
+type t
+
+val create : unit -> t
+
+val write : t -> string -> value -> unit
+(** Create or overwrite the object at a path. *)
+
+val read : t -> string -> value option
+
+val read_int : t -> string -> int option
+(** [read] that also checks the value is a [V_int]. *)
+
+val read_str : t -> string -> string option
+
+val delete : t -> string -> bool
+(** [true] if the object existed. *)
+
+val exists : t -> string -> bool
+
+val children : t -> string -> string list
+(** [children t "/dif/dir"] lists full paths one level below the
+    prefix, sorted. *)
+
+val subscribe : t -> prefix:string -> (event -> string -> value option -> unit) -> unit
+(** Watch every object at or below [prefix]; the callback receives the
+    event kind, the full path and the new value ([None] on delete). *)
+
+val size : t -> int
+(** Number of objects stored. *)
+
+val dump : t -> (string * value) list
+(** Every object, sorted by path. *)
+
+val encode_value : Rina_util.Codec.Writer.t -> value -> unit
+val decode_value : Rina_util.Codec.Reader.t -> value
+
+val value_equal : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,125 @@
+type opcode =
+  | M_connect
+  | M_connect_r
+  | M_release
+  | M_create
+  | M_create_r
+  | M_delete
+  | M_delete_r
+  | M_read
+  | M_read_r
+  | M_write
+  | M_start
+  | M_stop
+
+type t = {
+  opcode : opcode;
+  obj_class : string;
+  obj_name : string;
+  obj_value : Rib.value option;
+  invoke_id : int;
+  result : int;
+  result_reason : string;
+}
+
+let make ~opcode ?(obj_class = "") ?(obj_name = "") ?obj_value ?(invoke_id = 0)
+    ?(result = 0) ?(result_reason = "") () =
+  { opcode; obj_class; obj_name; obj_value; invoke_id; result; result_reason }
+
+let opcode_code = function
+  | M_connect -> 0
+  | M_connect_r -> 1
+  | M_release -> 2
+  | M_create -> 3
+  | M_create_r -> 4
+  | M_delete -> 5
+  | M_delete_r -> 6
+  | M_read -> 7
+  | M_read_r -> 8
+  | M_write -> 9
+  | M_start -> 10
+  | M_stop -> 11
+
+let opcode_of_code = function
+  | 0 -> Ok M_connect
+  | 1 -> Ok M_connect_r
+  | 2 -> Ok M_release
+  | 3 -> Ok M_create
+  | 4 -> Ok M_create_r
+  | 5 -> Ok M_delete
+  | 6 -> Ok M_delete_r
+  | 7 -> Ok M_read
+  | 8 -> Ok M_read_r
+  | 9 -> Ok M_write
+  | 10 -> Ok M_start
+  | 11 -> Ok M_stop
+  | n -> Error (Printf.sprintf "unknown RIEP opcode %d" n)
+
+let encode t =
+  let module W = Rina_util.Codec.Writer in
+  let w = W.create () in
+  W.u8 w (opcode_code t.opcode);
+  W.string w t.obj_class;
+  W.string w t.obj_name;
+  (match t.obj_value with
+   | None -> W.bool w false
+   | Some v ->
+     W.bool w true;
+     Rib.encode_value w v);
+  W.u32 w t.invoke_id;
+  W.u16 w t.result;
+  W.string w t.result_reason;
+  W.contents w
+
+let decode data =
+  let module R = Rina_util.Codec.Reader in
+  try
+    let r = R.create data in
+    match opcode_of_code (R.u8 r) with
+    | Error _ as e -> e
+    | Ok opcode ->
+      let obj_class = R.string r in
+      let obj_name = R.string r in
+      let obj_value = if R.bool r then Some (Rib.decode_value r) else None in
+      let invoke_id = R.u32 r in
+      let result = R.u16 r in
+      let result_reason = R.string r in
+      R.expect_end r;
+      Ok { opcode; obj_class; obj_name; obj_value; invoke_id; result; result_reason }
+  with R.Decode_error msg -> Error msg
+
+let is_response t =
+  match t.opcode with
+  | M_connect_r | M_create_r | M_delete_r | M_read_r -> true
+  | M_connect | M_release | M_create | M_delete | M_read | M_write | M_start
+  | M_stop ->
+    false
+
+let response_opcode = function
+  | M_connect -> Some M_connect_r
+  | M_create -> Some M_create_r
+  | M_delete -> Some M_delete_r
+  | M_read -> Some M_read_r
+  | M_connect_r | M_release | M_create_r | M_delete_r | M_read_r | M_write
+  | M_start | M_stop ->
+    None
+
+let opcode_name = function
+  | M_connect -> "M_CONNECT"
+  | M_connect_r -> "M_CONNECT_R"
+  | M_release -> "M_RELEASE"
+  | M_create -> "M_CREATE"
+  | M_create_r -> "M_CREATE_R"
+  | M_delete -> "M_DELETE"
+  | M_delete_r -> "M_DELETE_R"
+  | M_read -> "M_READ"
+  | M_read_r -> "M_READ_R"
+  | M_write -> "M_WRITE"
+  | M_start -> "M_START"
+  | M_stop -> "M_STOP"
+
+let pp fmt t =
+  Format.fprintf fmt "%s %s:%s inv=%d%s" (opcode_name t.opcode) t.obj_class
+    t.obj_name t.invoke_id
+    (if t.result <> 0 then Printf.sprintf " result=%d (%s)" t.result t.result_reason
+     else "")

@@ -1,0 +1,207 @@
+let num_classes = 8
+
+let queue_capacity = 256
+
+type port = {
+  id : Types.port_id;
+  chan : Rina_sim.Chan.t;
+  rate : float option;
+  queues : Pdu.t Queue.t array;  (* one per scheduling class *)
+  deficits : float array;        (* DRR state *)
+  mutable rr_class : int;        (* DRR scan position *)
+  mutable busy : bool;           (* a departure is scheduled *)
+}
+
+type t = {
+  engine : Rina_sim.Engine.t;
+  own_address : unit -> Types.address;
+  scheduler : Policy.scheduler;
+  ports : (Types.port_id, port) Hashtbl.t;
+  mutable next_port : Types.port_id;
+  mutable forwarding : Pdu.t -> Types.port_id option;
+  mutable deliver : Types.port_id option -> Pdu.t -> unit;
+  mutable classify : Pdu.t -> int;
+  mutable ingress_filter : Types.port_id -> Pdu.t -> bool;
+  metrics : Rina_util.Metrics.t;
+}
+
+let create engine ~own_address ~scheduler () =
+  {
+    engine;
+    own_address;
+    scheduler;
+    ports = Hashtbl.create 8;
+    next_port = 1;
+    forwarding = (fun _ -> None);
+    deliver = (fun _ _ -> ());
+    classify = (fun _ -> 0);
+    ingress_filter = (fun _ _ -> true);
+    metrics = Rina_util.Metrics.create ();
+  }
+
+let set_forwarding t f = t.forwarding <- f
+
+let set_deliver t f = t.deliver <- f
+
+let set_classify t f = t.classify <- f
+
+let set_ingress_filter t f = t.ingress_filter <- f
+
+let metrics t = t.metrics
+
+let frame_of_pdu pdu = Sdu_protection.protect (Pdu.encode pdu)
+
+let transmit_now t port pdu =
+  Rina_util.Metrics.incr t.metrics "sent";
+  port.chan.Rina_sim.Chan.send (frame_of_pdu pdu)
+
+(* Pick the next PDU to serve on a shaped port according to the
+   scheduler policy; [None] when all queues are empty. *)
+let pick_next t port =
+  match t.scheduler with
+  | Policy.Fifo | Policy.Priority_queueing ->
+    (* Both serve a fixed class order; FIFO uses only class 0 in
+       practice (classify constant), priority scans high to low. *)
+    let rec scan cls =
+      if cls < 0 then None
+      else if not (Queue.is_empty port.queues.(cls)) then
+        Some (Queue.pop port.queues.(cls))
+      else scan (cls - 1)
+    in
+    scan (num_classes - 1)
+  | Policy.Drr quantum ->
+    let total_queued =
+      Array.fold_left (fun acc q -> acc + Queue.length q) 0 port.queues
+    in
+    if total_queued = 0 then None
+    else begin
+      (* Weighted deficit round robin: class c earns quantum * (c+1)
+         exactly once each time the service token arrives at it; an
+         empty class forfeits its deficit.  Backlogged classes thus
+         share bandwidth in proportion to their weights, round by
+         round. *)
+      let advance () =
+        port.rr_class <- (port.rr_class + 1) mod num_classes;
+        let cls = port.rr_class in
+        port.deficits.(cls) <-
+          port.deficits.(cls) +. float_of_int (quantum * (cls + 1))
+      in
+      let result = ref None in
+      while !result = None do
+        let cls = port.rr_class in
+        let q = port.queues.(cls) in
+        if Queue.is_empty q then begin
+          port.deficits.(cls) <- 0.;
+          advance ()
+        end
+        else begin
+          let size = Bytes.length (Pdu.encode (Queue.peek q)) in
+          if port.deficits.(cls) >= float_of_int size then begin
+            port.deficits.(cls) <- port.deficits.(cls) -. float_of_int size;
+            result := Some (Queue.pop q)
+          end
+          else advance ()
+        end
+      done;
+      !result
+    end
+
+let rec serve t port rate =
+  if not port.busy then
+    match pick_next t port with
+    | None -> ()
+    | Some pdu ->
+      port.busy <- true;
+      let size = Bytes.length (frame_of_pdu pdu) in
+      let tx_time = float_of_int (8 * size) /. rate in
+      transmit_now t port pdu;
+      ignore
+        (Rina_sim.Engine.schedule t.engine ~delay:tx_time (fun () ->
+             port.busy <- false;
+             serve t port rate))
+
+let enqueue t port pdu =
+  match port.rate with
+  | None -> transmit_now t port pdu
+  | Some rate ->
+    let cls = max 0 (min (num_classes - 1) (t.classify pdu)) in
+    if Queue.length port.queues.(cls) >= queue_capacity then
+      Rina_util.Metrics.incr t.metrics "queue_dropped"
+    else begin
+      Queue.push pdu port.queues.(cls);
+      serve t port rate
+    end
+
+let deliver_up t from_port pdu =
+  Rina_util.Metrics.incr t.metrics "delivered_up";
+  t.deliver from_port pdu
+
+let relay_or_deliver t from_port pdu =
+  let own = t.own_address () in
+  if pdu.Pdu.dst_addr = own || pdu.Pdu.dst_addr = Types.no_address then
+    deliver_up t from_port pdu
+  else if pdu.Pdu.ttl <= 1 then Rina_util.Metrics.incr t.metrics "ttl_expired"
+  else begin
+    let pdu = { pdu with Pdu.ttl = pdu.Pdu.ttl - 1 } in
+    match t.forwarding pdu with
+    | None -> Rina_util.Metrics.incr t.metrics "no_route"
+    | Some port_id -> (
+      match Hashtbl.find_opt t.ports port_id with
+      | None -> Rina_util.Metrics.incr t.metrics "no_route"
+      | Some port ->
+        (if from_port <> None then Rina_util.Metrics.incr t.metrics "relayed");
+        enqueue t port pdu)
+  end
+
+let on_frame t port_id frame =
+  match Sdu_protection.verify frame with
+  | None -> Rina_util.Metrics.incr t.metrics "crc_dropped"
+  | Some body -> (
+    match Pdu.decode body with
+    | Error _ -> Rina_util.Metrics.incr t.metrics "decode_dropped"
+    | Ok pdu ->
+      if t.ingress_filter port_id pdu then relay_or_deliver t (Some port_id) pdu
+      else Rina_util.Metrics.incr t.metrics "ingress_dropped")
+
+let add_port t ?rate chan =
+  let id = t.next_port in
+  t.next_port <- t.next_port + 1;
+  let port =
+    {
+      id;
+      chan;
+      rate;
+      queues = Array.init num_classes (fun _ -> Queue.create ());
+      deficits = Array.make num_classes 0.;
+      rr_class = 0;
+      busy = false;
+    }
+  in
+  Hashtbl.replace t.ports id port;
+  chan.Rina_sim.Chan.set_receiver (fun frame -> on_frame t id frame);
+  id
+
+let remove_port t port_id =
+  match Hashtbl.find_opt t.ports port_id with
+  | None -> ()
+  | Some port ->
+    port.chan.Rina_sim.Chan.set_receiver (fun _ -> ());
+    Hashtbl.remove t.ports port_id
+
+let ports t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.ports [] |> List.sort compare
+
+let port_chan t port_id =
+  Option.map (fun p -> p.chan) (Hashtbl.find_opt t.ports port_id)
+
+let send t pdu = relay_or_deliver t None pdu
+
+let send_on_port t port_id pdu =
+  match Hashtbl.find_opt t.ports port_id with
+  | None -> Rina_util.Metrics.incr t.metrics "no_route"
+  | Some port -> enqueue t port pdu
+
+let queue_depth t port_id =
+  match Hashtbl.find_opt t.ports port_id with
+  | None -> 0
+  | Some port -> Array.fold_left (fun acc q -> acc + Queue.length q) 0 port.queues

@@ -1,0 +1,68 @@
+(** Relaying and Multiplexing Task.
+
+    The short-timescale forwarding engine of an IPC process: it owns
+    the (N-1) ports, serialises PDUs (with SDU protection) onto them,
+    decodes arriving frames, delivers PDUs addressed to this IPC
+    process upward, and relays the rest using a forwarding function
+    installed by the management task.
+
+    Multiplexing policy is pluggable ({!Policy.scheduler}): when a port
+    is given a [rate], the RMT shapes departures and applies FIFO,
+    strict-priority or weighted deficit-round-robin service among QoS
+    classes — the knob experiment C3 turns. *)
+
+type t
+
+val create :
+  Rina_sim.Engine.t ->
+  own_address:(unit -> Types.address) ->
+  scheduler:Policy.scheduler ->
+  unit ->
+  t
+(** [own_address] is consulted per PDU (it changes at enrollment). *)
+
+val set_forwarding : t -> (Pdu.t -> Types.port_id option) -> unit
+(** Install the relaying decision (management task supplies it;
+    [None] = no route). *)
+
+val set_deliver : t -> (Types.port_id option -> Pdu.t -> unit) -> unit
+(** Upward delivery: PDUs whose [dst_addr] is this process or 0
+    (neighbour scope).  The port argument is [Some p] for PDUs that
+    arrived from below, [None] for locally-looped PDUs. *)
+
+val set_classify : t -> (Pdu.t -> int) -> unit
+(** Map a PDU to a scheduling class in \[0,7\] (default: class 0). *)
+
+val set_ingress_filter : t -> (Types.port_id -> Pdu.t -> bool) -> unit
+(** Gate applied to every PDU arriving from below *before* delivery or
+    relaying.  The management task uses it to drop traffic from ports
+    whose peer has not been authenticated as a DIF member — the
+    structural security property of §6.1.  Rejected PDUs count as
+    [ingress_dropped]. *)
+
+val add_port : t -> ?rate:float -> Rina_sim.Chan.t -> Types.port_id
+(** Bind an (N-1) flow as a port.  [rate] in bits/s enables shaping
+    and scheduling on that port; without it frames go straight to the
+    channel. *)
+
+val remove_port : t -> Types.port_id -> unit
+
+val ports : t -> Types.port_id list
+(** Currently bound ports, sorted. *)
+
+val port_chan : t -> Types.port_id -> Rina_sim.Chan.t option
+
+val send : t -> Pdu.t -> unit
+(** Route-or-deliver a locally originated PDU: destination may be this
+    very process (looped up), a neighbour or any remote member. *)
+
+val send_on_port : t -> Types.port_id -> Pdu.t -> unit
+(** Neighbour-scope transmission on an explicit port (hellos,
+    enrollment); bypasses forwarding. *)
+
+val queue_depth : t -> Types.port_id -> int
+(** PDUs waiting in the shaper queues of a port (0 for unshaped). *)
+
+val metrics : t -> Rina_util.Metrics.t
+(** [relayed], [delivered_up], [no_route], [ttl_expired],
+    [crc_dropped], [decode_dropped], [queue_dropped], [sent]... *)

@@ -1,0 +1,123 @@
+module Lsa = struct
+  type t = {
+    origin : Types.address;
+    seq : int;
+    neighbors : (Types.address * float) list;
+  }
+
+  let encode t =
+    let module W = Rina_util.Codec.Writer in
+    let w = W.create () in
+    W.u32 w t.origin;
+    W.u32 w t.seq;
+    W.u16 w (List.length t.neighbors);
+    List.iter
+      (fun (addr, cost) ->
+        W.u32 w addr;
+        W.f64 w cost)
+      t.neighbors;
+    W.contents w
+
+  let decode data =
+    let module R = Rina_util.Codec.Reader in
+    try
+      let r = R.create data in
+      let origin = R.u32 r in
+      let seq = R.u32 r in
+      let n = R.u16 r in
+      let neighbors =
+        List.init n (fun _ ->
+            let addr = R.u32 r in
+            let cost = R.f64 r in
+            (addr, cost))
+      in
+      R.expect_end r;
+      Ok { origin; seq; neighbors }
+    with R.Decode_error msg -> Error msg
+
+  let pp fmt t =
+    Format.fprintf fmt "LSA(%d seq=%d: %s)" t.origin t.seq
+      (String.concat ","
+         (List.map (fun (a, c) -> Printf.sprintf "%d/%.1f" a c) t.neighbors))
+end
+
+type t = { db : (Types.address, Lsa.t) Hashtbl.t }
+
+let create () = { db = Hashtbl.create 32 }
+
+let install t (lsa : Lsa.t) =
+  match Hashtbl.find_opt t.db lsa.Lsa.origin with
+  | Some existing when existing.Lsa.seq >= lsa.Lsa.seq -> false
+  | Some _ | None ->
+    Hashtbl.replace t.db lsa.Lsa.origin lsa;
+    true
+
+let withdraw t origin =
+  if Hashtbl.mem t.db origin then begin
+    Hashtbl.remove t.db origin;
+    true
+  end
+  else false
+
+let lsa_of t origin = Hashtbl.find_opt t.db origin
+
+let origins t =
+  Hashtbl.fold (fun origin _ acc -> origin :: acc) t.db [] |> List.sort compare
+
+let all t = Hashtbl.fold (fun _ lsa acc -> lsa :: acc) t.db []
+
+type next_hops = (Types.address, Types.address * float) Hashtbl.t
+
+(* Edge a->b with cost c is usable only if b also advertises a (the
+   cost used is a's view). *)
+let usable_neighbors t (lsa : Lsa.t) =
+  List.filter
+    (fun (b, _) ->
+      match Hashtbl.find_opt t.db b with
+      | None -> false
+      | Some back -> List.exists (fun (a, _) -> a = lsa.Lsa.origin) back.Lsa.neighbors)
+    lsa.Lsa.neighbors
+
+let spf t ~source =
+  let result : next_hops = Hashtbl.create 32 in
+  match Hashtbl.find_opt t.db source with
+  | None -> result
+  | Some _ ->
+    (* Dijkstra; heap entries carry (node, first_hop on the path). *)
+    let heap = Rina_util.Heap.create () in
+    let dist : (Types.address, float) Hashtbl.t = Hashtbl.create 32 in
+    Hashtbl.replace dist source 0.;
+    Rina_util.Heap.push heap 0. (source, Types.no_address);
+    let finished : (Types.address, unit) Hashtbl.t = Hashtbl.create 32 in
+    let continue = ref true in
+    while !continue do
+      match Rina_util.Heap.pop heap with
+      | None -> continue := false
+      | Some (cost, (node, first_hop)) ->
+        if not (Hashtbl.mem finished node) then begin
+          Hashtbl.replace finished node ();
+          if node <> source then Hashtbl.replace result node (first_hop, cost);
+          match Hashtbl.find_opt t.db node with
+          | None -> ()
+          | Some lsa ->
+            List.iter
+              (fun (next, edge_cost) ->
+                if not (Hashtbl.mem finished next) then begin
+                  let ncost = cost +. edge_cost in
+                  let better =
+                    match Hashtbl.find_opt dist next with
+                    | None -> true
+                    | Some d -> ncost < d
+                  in
+                  if better then begin
+                    Hashtbl.replace dist next ncost;
+                    let fh = if node = source then next else first_hop in
+                    Rina_util.Heap.push heap ncost (next, fh)
+                  end
+                end)
+              (usable_neighbors t lsa)
+        end
+    done;
+    result
+
+let size t = Hashtbl.length t.db

@@ -1,0 +1,53 @@
+(** Link-state routing over the graph of a DIF's IPC processes.
+
+    This module is the computational core only — the link-state
+    database and shortest-path-first — deliberately free of I/O.  The
+    IPC process floods {!Lsa.t}s in RIEP [M_write] messages, calls
+    {!install} on reception, and rebuilds its forwarding table from
+    {!spf} when the database changes.
+
+    Routes are computed over *node addresses* ("a route is a sequence
+    of node addresses"); selecting the point of attachment to the next
+    hop is the second step (Fig. 4) and lives with the RMT's port
+    choice, not here. *)
+
+module Lsa : sig
+  type t = {
+    origin : Types.address;
+    seq : int;  (** per-origin monotone version *)
+    neighbors : (Types.address * float) list;  (** (neighbour, cost) *)
+  }
+
+  val encode : t -> bytes
+  val decode : bytes -> (t, string) result
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+val create : unit -> t
+
+val install : t -> Lsa.t -> bool
+(** Insert if newer than the stored version for that origin; [true]
+    means the database changed and the LSA should be flooded on. *)
+
+val withdraw : t -> Types.address -> bool
+(** Remove an origin's LSA entirely (member left); [true] if present. *)
+
+val lsa_of : t -> Types.address -> Lsa.t option
+
+val origins : t -> Types.address list
+(** All origins present, sorted. *)
+
+val all : t -> Lsa.t list
+
+type next_hops = (Types.address, Types.address * float) Hashtbl.t
+(** destination → (next-hop address, path cost) *)
+
+val spf : t -> source:Types.address -> next_hops
+(** Dijkstra from [source].  An edge is used only if both endpoints
+    advertise it (two-way check), which keeps transients loop-free.
+    The source itself does not appear in the result. *)
+
+val size : t -> int
+(** Number of LSAs stored (per-node routing-state metric for C1). *)

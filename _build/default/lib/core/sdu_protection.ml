@@ -1,0 +1,36 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 data =
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = 0 to Bytes.length data - 1 do
+    let byte = Char.code (Bytes.get data i) in
+    crc := table.((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let overhead = 4
+
+let protect data =
+  let crc = crc32 data in
+  let out = Bytes.create (Bytes.length data + overhead) in
+  Bytes.blit data 0 out 0 (Bytes.length data);
+  Bytes.set_int32_be out (Bytes.length data) (Int32.of_int crc);
+  out
+
+let verify frame =
+  let n = Bytes.length frame in
+  if n < overhead then None
+  else begin
+    let body = Bytes.sub frame 0 (n - overhead) in
+    let stored = Int32.to_int (Bytes.get_int32_be frame (n - overhead)) land 0xFFFFFFFF in
+    if crc32 body = stored then Some body else None
+  end

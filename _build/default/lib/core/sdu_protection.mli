@@ -1,0 +1,20 @@
+(** SDU protection: integrity check appended to every frame a DIF hands
+    to the layer below.
+
+    Implements CRC-32 (IEEE 802.3 polynomial, table-driven).  A member
+    receiving a frame that fails the check drops it — this is also the
+    first line of defence against the injection attack in experiment
+    C2, since an attacker that is not a member does not even share the
+    framing discipline. *)
+
+val crc32 : bytes -> int
+(** CRC-32 of the whole byte string (masked to 32 bits). *)
+
+val protect : bytes -> bytes
+(** Append the 4-byte big-endian CRC. *)
+
+val verify : bytes -> bytes option
+(** Check and strip the trailer; [None] if too short or corrupt. *)
+
+val overhead : int
+(** Bytes added by [protect]. *)

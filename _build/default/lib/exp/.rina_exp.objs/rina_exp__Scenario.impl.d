@@ -1,0 +1,1 @@
+lib/exp/scenario.ml: Array Printf Rina_core Rina_sim Rina_util Topo Workload

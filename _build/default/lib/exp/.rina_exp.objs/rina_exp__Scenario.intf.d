@@ -1,0 +1,1 @@
+lib/exp/scenario.mli: Rina_core Topo Workload

@@ -1,0 +1,1 @@
+lib/exp/topo.ml: Array List Printf Rina_core Rina_sim Rina_util Tcpip

@@ -1,0 +1,1 @@
+lib/exp/topo.mli: Rina_core Rina_sim Rina_util Tcpip

@@ -1,0 +1,1 @@
+lib/exp/workload.ml: Bytes Int32 Int64 Rina_sim Rina_util

@@ -1,0 +1,1 @@
+lib/exp/workload.mli: Rina_sim Rina_util

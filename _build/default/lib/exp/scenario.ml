@@ -1,0 +1,46 @@
+module Engine = Rina_sim.Engine
+module Ipcp = Rina_core.Ipcp
+module Types = Rina_core.Types
+
+let drive_until engine ~timeout cond =
+  let deadline = Engine.now engine +. timeout in
+  while (not (cond ())) && Engine.now engine < deadline do
+    Engine.run ~until:(Engine.now engine +. 0.05) engine
+  done
+
+let allocate (net : Topo.rina_net) ~src ~dst_app ~qos_id k =
+  let result = ref None in
+  let src_app = Types.apn (Printf.sprintf "client-n%d" src) in
+  Ipcp.register_app net.Topo.nodes.(src) src_app ~on_flow:(fun _ -> ());
+  Ipcp.allocate_flow net.Topo.nodes.(src) ~src:src_app ~dst:dst_app ~qos_id
+    ~on_result:(fun r -> result := Some r);
+  drive_until net.Topo.engine ~timeout:30. (fun () -> !result <> None);
+  match !result with
+  | Some r -> k r
+  | None -> k (Error "allocation never resolved (engine starved)")
+
+let open_flow (net : Topo.rina_net) ~src ~dst ~qos_id ?sink () =
+  let dst_app = Types.apn (Printf.sprintf "sink-n%d" dst) in
+  Ipcp.register_app net.Topo.nodes.(dst) dst_app ~on_flow:(fun flow ->
+      match sink with
+      | Some s ->
+        flow.Ipcp.set_on_receive (fun sdu ->
+            Workload.on_sdu s ~now:(Engine.now net.Topo.engine) sdu)
+      | None -> ());
+  let t0 = Engine.now net.Topo.engine in
+  let out = ref (Error "not resolved") in
+  allocate net ~src ~dst_app ~qos_id (fun r ->
+      match r with
+      | Ok flow -> out := Ok (flow, Engine.now net.Topo.engine -. t0)
+      | Error e -> out := Error e);
+  !out
+
+let sum_metric (net : Topo.rina_net) name =
+  Array.fold_left
+    (fun acc node -> acc + Rina_util.Metrics.get (Ipcp.metrics node) name)
+    0 net.Topo.nodes
+
+let sum_rmt_metric (net : Topo.rina_net) name =
+  Array.fold_left
+    (fun acc node -> acc + Rina_util.Metrics.get (Ipcp.rmt_metrics node) name)
+    0 net.Topo.nodes

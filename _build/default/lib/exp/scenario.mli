@@ -1,0 +1,30 @@
+(** Scenario plumbing: synchronous-looking wrappers that drive the
+    virtual clock until an asynchronous operation completes. *)
+
+val open_flow :
+  Topo.rina_net ->
+  src:int ->
+  dst:int ->
+  qos_id:Rina_core.Types.qos_id ->
+  ?sink:Workload.sink ->
+  unit ->
+  (Rina_core.Ipcp.flow * float, string) result
+(** Register an echo-less sink app on node [dst], allocate a flow from
+    node [src] and drive the engine until the allocation resolves.
+    Returns the flow and the allocation latency (s).  If [sink] is
+    given, every SDU arriving at [dst] is accounted there. *)
+
+val allocate :
+  Topo.rina_net ->
+  src:int ->
+  dst_app:Rina_core.Types.apn ->
+  qos_id:Rina_core.Types.qos_id ->
+  ((Rina_core.Ipcp.flow, string) result -> unit) ->
+  unit
+(** Raw allocation from node [src] towards an already-registered
+    application name; drives the engine until the callback fires. *)
+
+val sum_metric : Topo.rina_net -> string -> int
+(** Sum a management-metric counter over all nodes. *)
+
+val sum_rmt_metric : Topo.rina_net -> string -> int

@@ -1,0 +1,130 @@
+module Engine = Rina_sim.Engine
+module Link = Rina_sim.Link
+module Dif = Rina_core.Dif
+module Ipcp = Rina_core.Ipcp
+
+type rina_net = {
+  engine : Engine.t;
+  rng : Rina_util.Prng.t;
+  dif : Dif.t;
+  nodes : Ipcp.t array;
+  links : Link.t array;
+}
+
+let wait engine d = Engine.run ~until:(Engine.now engine +. d) engine
+
+let connect_pair net ?rate a b ~bit_rate ~delay ~loss =
+  let link =
+    Link.create net.engine net.rng ~bit_rate ~delay ~loss ()
+  in
+  Dif.connect net.dif ?rate_a:rate ?rate_b:rate net.nodes.(a) net.nodes.(b)
+    (Link.endpoint_a link, Link.endpoint_b link);
+  link
+
+let make_net ?(seed = 7) ?policy ~n () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create seed in
+  let dif = Dif.create engine ?policy "net" in
+  let nodes =
+    Array.init n (fun i -> Dif.add_member dif ~name:(Printf.sprintf "n%d" i) ())
+  in
+  { engine; rng; dif; nodes; links = [||] }
+
+let line ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
+    ?(loss = Rina_sim.Loss.No_loss) ?(rate_limited = false) ~n () =
+  if n < 2 then invalid_arg "Topo.line: need at least 2 nodes";
+  let net = make_net ?seed ?policy ~n () in
+  let rate = if rate_limited then Some bit_rate else None in
+  let links =
+    Array.init (n - 1) (fun i ->
+        connect_pair net ?rate i (i + 1) ~bit_rate ~delay ~loss)
+  in
+  let net = { net with links } in
+  Dif.run_until_converged net.dif ();
+  net
+
+let star ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
+    ?(loss = Rina_sim.Loss.No_loss) ~leaves () =
+  if leaves < 1 then invalid_arg "Topo.star: need at least 1 leaf";
+  let net = make_net ?seed ?policy ~n:(leaves + 1) () in
+  let links =
+    Array.init leaves (fun i -> connect_pair net 0 (i + 1) ~bit_rate ~delay ~loss)
+  in
+  let net = { net with links } in
+  Dif.run_until_converged net.dif ();
+  net
+
+let random_graph ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002) ~n
+    ~degree () =
+  if n < 2 then invalid_arg "Topo.random_graph: need at least 2 nodes";
+  let net = make_net ?seed ?policy ~n () in
+  let edges = ref [] in
+  (* Spanning chain guarantees connectivity. *)
+  for i = 0 to n - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  let have a b = List.mem (a, b) !edges || List.mem (b, a) !edges in
+  let target = max (n - 1) (n * degree / 2) in
+  let guard = ref 0 in
+  while List.length !edges < target && !guard < 20 * n * degree do
+    incr guard;
+    let a = Rina_util.Prng.int net.rng n and b = Rina_util.Prng.int net.rng n in
+    if a <> b && not (have a b) then edges := (a, b) :: !edges
+  done;
+  let links =
+    Array.of_list
+      (List.map
+         (fun (a, b) ->
+           connect_pair net a b ~bit_rate ~delay ~loss:Rina_sim.Loss.No_loss)
+         !edges)
+  in
+  let net = { net with links } in
+  Dif.run_until_converged net.dif ~max_time:(30. +. (2. *. float_of_int n)) ();
+  net
+
+(* ---------- TCP/IP topologies ---------- *)
+
+type ip_net = {
+  ip_engine : Engine.t;
+  ip_rng : Rina_util.Prng.t;
+  hosts : Tcpip.Node.t array;
+  routers : Tcpip.Node.t array;
+  ip_links : Link.t array;
+}
+
+let ip_line ?(seed = 7) ?(bit_rate = 10_000_000.) ?(delay = 0.002)
+    ?(loss = Rina_sim.Loss.No_loss) ?(dv_period = 5.0) ~routers:k () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create seed in
+  let host_a = Tcpip.Node.create engine "hostA" in
+  let host_b = Tcpip.Node.create engine "hostB" in
+  let routers =
+    Array.init k (fun i -> Tcpip.Node.create engine ~forwarding:true
+                     (Printf.sprintf "r%d" i))
+  in
+  (* Chain: hostA - r0 - r1 - ... - r(k-1) - hostB; link i uses subnet
+     10.(i+1).0.0/16, .1 on the left end and .2 on the right end. *)
+  let nodes = Array.concat [ [| host_a |]; routers; [| host_b |] ] in
+  let links =
+    Array.init (Array.length nodes - 1) (fun i ->
+        let link = Link.create engine rng ~bit_rate ~delay ~loss () in
+        let left = nodes.(i) and right = nodes.(i + 1) in
+        let subnet = Tcpip.Ip.addr_of_octets 10 (i + 1) 0 0 in
+        let prefix = Tcpip.Ip.prefix subnet 16 in
+        ignore
+          (Tcpip.Node.add_iface left (Link.endpoint_a link)
+             ~addr:(subnet lor 1) ~prefix);
+        ignore
+          (Tcpip.Node.add_iface right (Link.endpoint_b link)
+             ~addr:(subnet lor 2) ~prefix);
+        link)
+  in
+  (* Hosts default-route into their access link; routers run DV. *)
+  ignore
+    (Tcpip.Node.add_static_route host_a (Tcpip.Ip.prefix 0 0) ~if_id:1 ());
+  ignore
+    (Tcpip.Node.add_static_route host_b (Tcpip.Ip.prefix 0 0) ~if_id:1 ());
+  Array.iter (fun r -> ignore (Tcpip.Dv.start r ~period:dv_period ())) routers;
+  (* Let DV converge: a handful of periods covers k hops. *)
+  Engine.run ~until:(Engine.now engine +. (dv_period *. float_of_int (k + 3))) engine;
+  { ip_engine = engine; ip_rng = rng; hosts = [| host_a; host_b |]; routers; ip_links = links }

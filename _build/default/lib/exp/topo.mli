@@ -1,0 +1,73 @@
+(** Topology builders shared by benchmarks, examples and tests. *)
+
+(** Everything a built RINA scenario hands back. *)
+type rina_net = {
+  engine : Rina_sim.Engine.t;
+  rng : Rina_util.Prng.t;
+  dif : Rina_core.Dif.t;
+  nodes : Rina_core.Ipcp.t array;
+  links : Rina_sim.Link.t array;
+}
+
+val line :
+  ?seed:int ->
+  ?policy:Rina_core.Policy.t ->
+  ?bit_rate:float ->
+  ?delay:float ->
+  ?loss:Rina_sim.Loss.t ->
+  ?rate_limited:bool ->
+  n:int ->
+  unit ->
+  rina_net
+(** [n] IPC processes in a chain, converged and ready (virtual time has
+    advanced past enrollment).  [rate_limited] adds RMT shaping at the
+    link rate on every port (needed for scheduler experiments).
+    @raise Invalid_argument if [n < 2]. *)
+
+val star :
+  ?seed:int ->
+  ?policy:Rina_core.Policy.t ->
+  ?bit_rate:float ->
+  ?delay:float ->
+  ?loss:Rina_sim.Loss.t ->
+  leaves:int ->
+  unit ->
+  rina_net
+(** A hub (node 0) with [leaves] spokes. *)
+
+val random_graph :
+  ?seed:int ->
+  ?policy:Rina_core.Policy.t ->
+  ?bit_rate:float ->
+  ?delay:float ->
+  n:int ->
+  degree:int ->
+  unit ->
+  rina_net
+(** Connected random graph: a spanning chain plus random extra edges
+    until the average degree reaches [degree].  Used by the
+    scalability sweep (C1). *)
+
+(** A TCP/IP scenario's pieces. *)
+type ip_net = {
+  ip_engine : Rina_sim.Engine.t;
+  ip_rng : Rina_util.Prng.t;
+  hosts : Tcpip.Node.t array;
+  routers : Tcpip.Node.t array;
+  ip_links : Rina_sim.Link.t array;
+}
+
+val ip_line :
+  ?seed:int ->
+  ?bit_rate:float ->
+  ?delay:float ->
+  ?loss:Rina_sim.Loss.t ->
+  ?dv_period:float ->
+  routers:int ->
+  unit ->
+  ip_net
+(** host - R1 - ... - Rk - host, addressed 10.i.0.0/16 per link,
+    distance-vector routing started and converged. *)
+
+val wait : Rina_sim.Engine.t -> float -> unit
+(** Advance virtual time by a duration. *)

@@ -1,0 +1,91 @@
+let header = 16  (* f64 timestamp + u32 seq + u32 magic *)
+
+let magic = 0x53445500  (* "SDU" *)
+
+let stamp ~now ~seq ~size =
+  let size = max header size in
+  let b = Bytes.make size 'p' in
+  Bytes.set_int64_be b 0 (Int64.bits_of_float now);
+  Bytes.set_int32_be b 8 (Int32.of_int seq);
+  Bytes.set_int32_be b 12 (Int32.of_int magic);
+  b
+
+let read_stamp b =
+  if Bytes.length b < header then None
+  else if Int32.to_int (Bytes.get_int32_be b 12) land 0xFFFFFFFF <> magic then None
+  else
+    Some
+      ( Int64.float_of_bits (Bytes.get_int64_be b 0),
+        Int32.to_int (Bytes.get_int32_be b 8) )
+
+type sink = {
+  received : Rina_util.Stats.t;
+  mutable count : int;
+  mutable bytes : int;
+  mutable last_arrival : float;
+  mutable seen_max_seq : int;
+}
+
+let sink () =
+  {
+    received = Rina_util.Stats.create ();
+    count = 0;
+    bytes = 0;
+    last_arrival = 0.;
+    seen_max_seq = -1;
+  }
+
+let on_sdu s ~now sdu =
+  s.count <- s.count + 1;
+  s.bytes <- s.bytes + Bytes.length sdu;
+  s.last_arrival <- now;
+  match read_stamp sdu with
+  | Some (sent, seq) ->
+    Rina_util.Stats.add s.received (now -. sent);
+    if seq > s.seen_max_seq then s.seen_max_seq <- seq
+  | None -> ()
+
+let goodput s ~t0 ~t1 =
+  if t1 <= t0 then 0. else float_of_int (8 * s.bytes) /. (t1 -. t0)
+
+let bulk ~send ~now ~count ~size =
+  for seq = 0 to count - 1 do
+    send (stamp ~now ~seq ~size)
+  done
+
+let cbr engine ~send ~rate ~size ~until () =
+  let interval = float_of_int (8 * size) /. rate in
+  let seq = ref 0 in
+  let rec tick () =
+    let now = Rina_sim.Engine.now engine in
+    if now < until then begin
+      send (stamp ~now ~seq:!seq ~size);
+      incr seq;
+      ignore (Rina_sim.Engine.schedule engine ~delay:interval tick)
+    end
+  in
+  tick ()
+
+let poisson_on_off engine rng ~send ~peak_rate ~mean_on ~mean_off ~size ~until () =
+  let interval = float_of_int (8 * size) /. peak_rate in
+  let seq = ref 0 in
+  let rec on_phase stop_at () =
+    let now = Rina_sim.Engine.now engine in
+    if now >= until then ()
+    else if now >= stop_at then begin
+      let off = Rina_util.Prng.exponential rng (1. /. mean_off) in
+      ignore (Rina_sim.Engine.schedule engine ~delay:off (start_on ()))
+    end
+    else begin
+      send (stamp ~now ~seq:!seq ~size);
+      incr seq;
+      ignore (Rina_sim.Engine.schedule engine ~delay:interval (on_phase stop_at))
+    end
+  and start_on () () =
+    let now = Rina_sim.Engine.now engine in
+    if now < until then begin
+      let on = Rina_util.Prng.exponential rng (1. /. mean_on) in
+      on_phase (now +. on) ()
+    end
+  in
+  start_on () ()

@@ -1,0 +1,60 @@
+(** Workload generation and per-SDU measurement.
+
+    SDUs carry a header with their send timestamp and sequence number
+    so the receiving side can compute one-way latency and detect loss
+    without side channels. *)
+
+val stamp : now:float -> seq:int -> size:int -> bytes
+(** An SDU of exactly [size] bytes (minimum 16) carrying [now] and
+    [seq]; the rest is padding. *)
+
+val read_stamp : bytes -> (float * int) option
+(** Recover (send time, seq); [None] if the SDU is too short. *)
+
+(** Aggregated receiver-side accounting. *)
+type sink = {
+  received : Rina_util.Stats.t;  (** one-way latencies (s) *)
+  mutable count : int;
+  mutable bytes : int;
+  mutable last_arrival : float;
+  mutable seen_max_seq : int;
+}
+
+val sink : unit -> sink
+
+val on_sdu : sink -> now:float -> bytes -> unit
+(** Account one arriving SDU. *)
+
+val goodput : sink -> t0:float -> t1:float -> float
+(** Delivered application bits/s over the window. *)
+
+(** Senders; all take a [send] closure so they work over RINA flows,
+    TCP connections or anything byte-oriented. *)
+
+val bulk : send:(bytes -> unit) -> now:float -> count:int -> size:int -> unit
+(** Emit [count] stamped SDUs back-to-back. *)
+
+val cbr :
+  Rina_sim.Engine.t ->
+  send:(bytes -> unit) ->
+  rate:float ->
+  size:int ->
+  until:float ->
+  unit ->
+  unit
+(** Constant bit rate: schedule stamped SDUs of [size] bytes at [rate]
+    bits/s until virtual time [until]. *)
+
+val poisson_on_off :
+  Rina_sim.Engine.t ->
+  Rina_util.Prng.t ->
+  send:(bytes -> unit) ->
+  peak_rate:float ->
+  mean_on:float ->
+  mean_off:float ->
+  size:int ->
+  until:float ->
+  unit ->
+  unit
+(** Exponentially distributed ON (sending at [peak_rate]) and OFF
+    periods — the bursty workload for the utilisation experiment. *)

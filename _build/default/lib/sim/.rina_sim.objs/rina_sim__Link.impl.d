@@ -1,0 +1,1 @@
+lib/sim/link.ml: Bytes Chan Engine Float List Loss Rina_util

@@ -1,0 +1,1 @@
+lib/sim/link.mli: Chan Engine Loss Rina_util

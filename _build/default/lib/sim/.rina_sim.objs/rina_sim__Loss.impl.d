@@ -1,0 +1,1 @@
+lib/sim/loss.ml: Format Rina_util

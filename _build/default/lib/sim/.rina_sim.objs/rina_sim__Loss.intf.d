@@ -1,0 +1,1 @@
+lib/sim/loss.mli: Format Rina_util

@@ -1,0 +1,1 @@
+lib/sim/medium.ml: Bytes Chan Engine Float List Rina_util

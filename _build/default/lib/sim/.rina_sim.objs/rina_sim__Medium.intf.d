@@ -1,0 +1,1 @@
+lib/sim/medium.mli: Chan Engine Rina_util

@@ -1,0 +1,42 @@
+type handle = { mutable cancelled : bool; action : unit -> unit }
+
+type t = { mutable clock : float; queue : handle Rina_util.Heap.t }
+
+let create () = { clock = 0.; queue = Rina_util.Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  let h = { cancelled = false; action = f } in
+  Rina_util.Heap.push t.queue time h;
+  h
+
+let schedule t ~delay f =
+  let delay = if delay < 0. then 0. else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel h = h.cancelled <- true
+
+let pending t = Rina_util.Heap.length t.queue
+
+let step t =
+  match Rina_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+    t.clock <- time;
+    if not h.cancelled then h.action ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    let continue = ref true in
+    while !continue do
+      match Rina_util.Heap.peek t.queue with
+      | Some (time, _) when time <= stop -> ignore (step t)
+      | Some _ | None ->
+        t.clock <- Float.max t.clock stop;
+        continue := false
+    done

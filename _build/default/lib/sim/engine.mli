@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    A single virtual clock and an event heap.  Components schedule
+    closures at absolute or relative virtual times; [run] executes
+    them in timestamp order (FIFO among equal timestamps, so runs are
+    deterministic).  Everything in this repository — links, EFCP
+    timers, routing hello timers, TCP RTOs — runs on one engine. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+(** Fresh engine with the clock at 0.0 seconds. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  A negative
+    delay is clamped to zero (runs "immediately", after currently
+    pending same-time events). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; times before [now] are clamped to [now]. *)
+
+val cancel : handle -> unit
+(** Prevent a pending event from firing; cancelling a fired or already
+    cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in order.  With [until], stops once the next event
+    is strictly beyond that time and sets the clock to [until];
+    without it, runs until the queue drains. *)
+
+val step : t -> bool
+(** Execute exactly one event; [false] if the queue was empty. *)

@@ -1,0 +1,125 @@
+type half = {
+  engine : Engine.t;
+  rng : Rina_util.Prng.t;
+  bit_rate : float;
+  delay : float;
+  queue_capacity : int;
+  loss : Loss.state;
+  stats : Rina_util.Metrics.t;
+  mutable busy_until : float;
+  mutable queued : int;
+  mutable receiver : bytes -> unit;
+  mutable epoch : int;  (* bumped on carrier-down; voids in-flight frames *)
+}
+
+type t = {
+  forward : half;  (* a -> b *)
+  backward : half;  (* b -> a *)
+  mutable up : bool;
+  mutable blackhole : bool;
+  mutable watchers : (bool -> unit) list;
+}
+
+let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss =
+  {
+    engine;
+    rng;
+    bit_rate;
+    delay;
+    queue_capacity;
+    loss = Loss.make_state loss;
+    stats = Rina_util.Metrics.create ();
+    busy_until = 0.;
+    queued = 0;
+    receiver = (fun _ -> ());
+    epoch = 0;
+  }
+
+let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_loss)
+    () =
+  if bit_rate <= 0. then invalid_arg "Link.create: bit_rate must be positive";
+  if delay < 0. then invalid_arg "Link.create: delay must be non-negative";
+  if queue_capacity <= 0 then
+    invalid_arg "Link.create: queue_capacity must be positive";
+  let rng_f = Rina_util.Prng.split rng and rng_b = Rina_util.Prng.split rng in
+  {
+    forward = make_half engine rng_f ~bit_rate ~delay ~queue_capacity ~loss;
+    backward = make_half engine rng_b ~bit_rate ~delay ~queue_capacity ~loss;
+    up = true;
+    blackhole = false;
+    watchers = [];
+  }
+
+let transmit t half frame =
+  let m = half.stats in
+  if not t.up then Rina_util.Metrics.incr m "dropped_down"
+  else if half.queued >= half.queue_capacity then
+    Rina_util.Metrics.incr m "dropped_queue"
+  else begin
+    Rina_util.Metrics.incr m "tx";
+    Rina_util.Metrics.add m "tx_bytes" (Bytes.length frame);
+    half.queued <- half.queued + 1;
+    let now = Engine.now half.engine in
+    let start = Float.max now half.busy_until in
+    let ser = float_of_int (8 * Bytes.length frame) /. half.bit_rate in
+    let finish = start +. ser in
+    half.busy_until <- finish;
+    let epoch = half.epoch in
+    ignore
+      (Engine.schedule_at half.engine ~time:finish (fun () ->
+           half.queued <- half.queued - 1;
+           if epoch = half.epoch && t.up then
+             if Loss.drops half.loss half.rng then
+               Rina_util.Metrics.incr m "dropped_loss"
+             else
+               ignore
+                 (Engine.schedule half.engine ~delay:half.delay (fun () ->
+                      if epoch = half.epoch && t.up && not t.blackhole then begin
+                        Rina_util.Metrics.incr m "rx";
+                        Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
+                        half.receiver frame
+                      end
+                      else Rina_util.Metrics.incr m "dropped_down"))
+           else Rina_util.Metrics.incr m "dropped_down"))
+  end
+
+(* Endpoint A transmits on the forward half and receives from the
+   backward half. *)
+let endpoint_a t : Chan.t =
+  {
+    Chan.send = (fun frame -> transmit t t.forward frame);
+    set_receiver = (fun f -> t.backward.receiver <- f);
+    is_up = (fun () -> t.up);
+    on_carrier = (fun f -> t.watchers <- f :: t.watchers);
+    stats = t.forward.stats;
+  }
+
+let endpoint_b t : Chan.t =
+  {
+    Chan.send = (fun frame -> transmit t t.backward frame);
+    set_receiver = (fun f -> t.forward.receiver <- f);
+    is_up = (fun () -> t.up);
+    on_carrier = (fun f -> t.watchers <- f :: t.watchers);
+    stats = t.backward.stats;
+  }
+
+let set_blackhole t b = t.blackhole <- b
+
+let set_up t up =
+  if t.up <> up then begin
+    t.up <- up;
+    if not up then begin
+      (* Void everything in flight and reset transmitter state. *)
+      t.forward.epoch <- t.forward.epoch + 1;
+      t.backward.epoch <- t.backward.epoch + 1;
+      t.forward.busy_until <- Engine.now t.forward.engine;
+      t.backward.busy_until <- Engine.now t.backward.engine
+    end;
+    List.iter (fun f -> f up) t.watchers
+  end
+
+let is_up t = t.up
+
+let stats_a t = t.forward.stats
+
+let stats_b t = t.backward.stats

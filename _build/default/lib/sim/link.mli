@@ -1,0 +1,43 @@
+(** Duplex point-to-point link.
+
+    Two independent unidirectional halves, each with a serialisation
+    rate, propagation delay, a drop-tail queue bounded in packets, and
+    a loss model.  [set_up] injects link failures: frames in flight or
+    queued when the link goes down are lost, and carrier watchers on
+    both endpoints fire — this is what the multihoming and mobility
+    experiments use to "fail" paths. *)
+
+type t
+
+val create :
+  Engine.t ->
+  Rina_util.Prng.t ->
+  bit_rate:float ->
+  delay:float ->
+  ?queue_capacity:int ->
+  ?loss:Loss.t ->
+  unit ->
+  t
+(** [bit_rate] in bits/second, [delay] one-way propagation in seconds,
+    [queue_capacity] in frames (default 64), [loss] per-direction
+    (default [No_loss]).
+    @raise Invalid_argument on non-positive rate/negative delay. *)
+
+val endpoint_a : t -> Chan.t
+val endpoint_b : t -> Chan.t
+
+val set_up : t -> bool -> unit
+(** Change carrier state; notifies watchers on both endpoints when the
+    state actually changes. *)
+
+val set_blackhole : t -> bool -> unit
+(** Silently drop every frame in both directions *without* any carrier
+    notification — the "silent failure" (misbehaving middlebox, radio
+    shadow) that forces endpoints to detect loss by timeout. *)
+
+val is_up : t -> bool
+
+val stats_a : t -> Rina_util.Metrics.t
+(** Counters for the half transmitting from endpoint A. *)
+
+val stats_b : t -> Rina_util.Metrics.t

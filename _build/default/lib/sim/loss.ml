@@ -1,0 +1,37 @@
+type t =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+type ge_state = Good | Bad
+
+type state = { spec : t; mutable ge : ge_state }
+
+let make_state spec = { spec; ge = Good }
+
+let model s = s.spec
+
+let drops s rng =
+  match s.spec with
+  | No_loss -> false
+  | Bernoulli p -> Rina_util.Prng.bernoulli rng p
+  | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+    (* Transition first, then draw the loss for this packet from the
+       new state: sojourn times are geometric with mean 1/p. *)
+    (match s.ge with
+     | Good -> if Rina_util.Prng.bernoulli rng p_good_to_bad then s.ge <- Bad
+     | Bad -> if Rina_util.Prng.bernoulli rng p_bad_to_good then s.ge <- Good);
+    let p = match s.ge with Good -> loss_good | Bad -> loss_bad in
+    Rina_util.Prng.bernoulli rng p
+
+let pp fmt = function
+  | No_loss -> Format.fprintf fmt "no-loss"
+  | Bernoulli p -> Format.fprintf fmt "bernoulli(%.3f)" p
+  | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+    Format.fprintf fmt "gilbert-elliott(gb=%.3f bg=%.3f lg=%.3f lb=%.3f)"
+      p_good_to_bad p_bad_to_good loss_good loss_bad

@@ -1,0 +1,29 @@
+(** Packet-loss models for links.
+
+    [Bernoulli] drops each packet independently; [Gilbert_elliott] is
+    the classic two-state burst-loss model used to emulate wireless
+    fading (a "good" state with low loss and a "bad" state with high
+    loss, with geometric sojourn times). *)
+
+type t =
+  | No_loss
+  | Bernoulli of float  (** independent drop probability *)
+  | Gilbert_elliott of {
+      p_good_to_bad : float;  (** per-packet transition probability *)
+      p_bad_to_good : float;
+      loss_good : float;  (** drop probability while in the good state *)
+      loss_bad : float;   (** drop probability while in the bad state *)
+    }
+
+type state
+(** Mutable per-link loss state (the Gilbert–Elliott chain position). *)
+
+val make_state : t -> state
+
+val model : state -> t
+
+val drops : state -> Rina_util.Prng.t -> bool
+(** [drops s rng] advances the model one packet and reports whether
+    that packet is lost. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Wireless medium with node positions and range-based connectivity.
+
+    Nodes live on a 2-D plane.  A {!Chan.t} between two nodes has
+    carrier exactly while they are within [range] of each other, and a
+    per-frame loss probability that grows quadratically with distance
+    (0 at zero distance, [edge_loss] at the range boundary) — a simple
+    stand-in for path-loss fading on top of which a Gilbert–Elliott
+    model can still be layered by the experiment.
+
+    Moving a node ({!set_position}) re-evaluates carrier for every
+    channel that touches it and fires the channels' carrier watchers;
+    this is the physical trigger for mobility handoff (the paper's
+    "mobility is dynamic multihoming with controlled link failures"). *)
+
+type t
+
+type node
+
+val create : Engine.t -> Rina_util.Prng.t -> bit_rate:float -> base_delay:float -> t
+(** All channels share the serialisation [bit_rate] (bits/s) and
+    propagation [base_delay] (s).  Contention between concurrent
+    transmissions is not modelled (documented substitution). *)
+
+val add_node : t -> x:float -> y:float -> node
+
+val set_position : t -> node -> x:float -> y:float -> unit
+
+val position : node -> float * float
+
+val distance : node -> node -> float
+
+val channel : t -> local:node -> remote:node -> range:float -> ?edge_loss:float -> unit -> Chan.t
+(** One endpoint of a radio channel between [local] and [remote];
+    create the mirror-image channel for the other side.  [edge_loss]
+    defaults to 0.3. *)

@@ -1,0 +1,43 @@
+type t = { engine : Engine.t; mutable events : (float * string * string) list }
+
+let create engine = { engine; events = [] }
+
+let record t ~component ~event =
+  t.events <- (Engine.now t.engine, component, event) :: t.events
+
+let events t = List.rev t.events
+
+let filter t ~component =
+  List.filter_map
+    (fun (time, c, e) -> if String.equal c component then Some (time, e) else None)
+    (events t)
+
+let count t ~component ~event =
+  List.length
+    (List.filter
+       (fun (_, c, e) -> String.equal c component && String.equal e event)
+       t.events)
+
+let largest_gap t ~component ~event =
+  let times =
+    List.filter_map
+      (fun (time, c, e) ->
+        if String.equal c component && String.equal e event then Some time else None)
+      (events t)
+  in
+  match times with
+  | [] | [ _ ] -> None
+  | first :: rest ->
+    let _, best =
+      List.fold_left
+        (fun (prev, best) time ->
+          let gap = time -. prev in
+          let best =
+            match best with
+            | Some (g, _) when g >= gap -> best
+            | Some _ | None -> Some (gap, prev)
+          in
+          (time, best))
+        (first, None) rest
+    in
+    best

@@ -1,0 +1,26 @@
+(** Timestamped event log.
+
+    Experiments attach one trace to an engine; components record
+    (component, event) pairs.  Used to measure e.g. handoff
+    interruption windows (gap between consecutive delivery events) and
+    to assert event orderings in integration tests. *)
+
+type t
+
+val create : Engine.t -> t
+
+val record : t -> component:string -> event:string -> unit
+(** Log [event] from [component] at the current virtual time. *)
+
+val events : t -> (float * string * string) list
+(** All events, oldest first. *)
+
+val filter : t -> component:string -> (float * string) list
+(** Events of one component, oldest first. *)
+
+val count : t -> component:string -> event:string -> int
+
+val largest_gap : t -> component:string -> event:string -> (float * float) option
+(** [largest_gap t ~component ~event] is the widest interval between
+    two consecutive occurrences, as [(gap, start_time)]; [None] with
+    fewer than two occurrences. *)

@@ -1,0 +1,1 @@
+lib/tcpip/dns.ml: Char Hashtbl Ip List Rina_sim Rina_util Udp

@@ -1,0 +1,1 @@
+lib/tcpip/dns.mli: Ip Rina_sim Udp

@@ -1,0 +1,1 @@
+lib/tcpip/dv.ml: Ip List Node Packet Rina_sim Rina_util

@@ -1,0 +1,1 @@
+lib/tcpip/dv.mli: Node

@@ -1,0 +1,1 @@
+lib/tcpip/ip.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/tcpip/ip.mli: Format

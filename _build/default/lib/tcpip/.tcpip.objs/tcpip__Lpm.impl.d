@@ -1,0 +1,1 @@
+lib/tcpip/lpm.ml: Ip List Option

@@ -1,0 +1,1 @@
+lib/tcpip/mobile_ip.ml: Char Hashtbl Ip List Node Packet Rina_sim Rina_util Udp

@@ -1,0 +1,1 @@
+lib/tcpip/mobile_ip.mli: Ip Node Udp

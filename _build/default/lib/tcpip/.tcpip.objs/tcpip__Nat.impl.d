@@ -1,0 +1,1 @@
+lib/tcpip/nat.ml: Hashtbl Ip Node Packet Rina_util

@@ -1,0 +1,1 @@
+lib/tcpip/nat.mli: Ip Node Rina_util

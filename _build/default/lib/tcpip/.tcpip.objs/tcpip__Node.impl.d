@@ -1,0 +1,1 @@
+lib/tcpip/node.ml: Hashtbl Ip List Lpm Option Packet Rina_sim Rina_util

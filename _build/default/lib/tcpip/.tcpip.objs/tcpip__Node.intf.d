@@ -1,0 +1,1 @@
+lib/tcpip/node.mli: Ip Packet Rina_sim Rina_util

@@ -1,0 +1,1 @@
+lib/tcpip/packet.ml: Bytes Format Ip Printf Rina_util

@@ -1,0 +1,1 @@
+lib/tcpip/packet.mli: Format Ip

@@ -1,0 +1,1 @@
+lib/tcpip/tcp.ml: Bytes Float Hashtbl Ip List Node Packet Queue Rina_sim Rina_util

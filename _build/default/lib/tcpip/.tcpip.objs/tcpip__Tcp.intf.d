@@ -1,0 +1,1 @@
+lib/tcpip/tcp.mli: Ip Node Rina_util

@@ -1,0 +1,1 @@
+lib/tcpip/udp.ml: Hashtbl Ip List Node Packet Rina_util

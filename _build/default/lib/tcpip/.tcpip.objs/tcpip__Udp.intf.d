@@ -1,0 +1,1 @@
+lib/tcpip/udp.mli: Ip Node Rina_util

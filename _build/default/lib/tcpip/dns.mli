@@ -1,0 +1,28 @@
+(** DNS-like central name directory on well-known UDP port 53.
+
+    The contrast the paper draws (§5.3): a lookup returns an address
+    to the requester and then forgets — nothing verifies the
+    application is actually there or that the requester may access it.
+    The resolver here behaves exactly that way. *)
+
+val port : int
+
+type server
+
+val server : Udp.t -> local:Ip.addr -> server
+(** Run a name server on a node's UDP stack, answering on {!port}. *)
+
+val register : server -> string -> Ip.addr -> unit
+val withdraw : server -> string -> unit
+val entries : server -> (string * Ip.addr) list
+val queries_served : server -> int
+
+val resolve :
+  Udp.t ->
+  Rina_sim.Engine.t ->
+  local:Ip.addr ->
+  server:Ip.addr ->
+  string ->
+  on_result:((Ip.addr, string) result -> unit) ->
+  unit
+(** One-shot query with up to 3 retransmissions (1 s apart). *)

@@ -1,0 +1,48 @@
+type addr = int
+
+let addr_of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255
+  then invalid_arg "Ip.addr_of_octets: octet out of range";
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    match
+      (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+    with
+    | Some a, Some b, Some c, Some d -> addr_of_octets a b c d
+    | _ -> invalid_arg ("Ip.addr_of_string: " ^ s))
+  | _ -> invalid_arg ("Ip.addr_of_string: " ^ s)
+
+let string_of_addr a =
+  Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF) (a land 0xFF)
+
+type prefix = { network : addr; length : int }
+
+let mask_of_length length =
+  if length = 0 then 0 else 0xFFFFFFFF lsl (32 - length) land 0xFFFFFFFF
+
+let prefix network length =
+  if length < 0 || length > 32 then invalid_arg "Ip.prefix: bad length";
+  { network = network land mask_of_length length; length }
+
+let prefix_of_string s =
+  match String.index_opt s '/' with
+  | None -> invalid_arg ("Ip.prefix_of_string: missing /: " ^ s)
+  | Some i ->
+    let addr = addr_of_string (String.sub s 0 i) in
+    let len =
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n -> n
+      | None -> invalid_arg ("Ip.prefix_of_string: " ^ s)
+    in
+    prefix addr len
+
+let matches p a = a land mask_of_length p.length = p.network
+
+let pp_addr fmt a = Format.pp_print_string fmt (string_of_addr a)
+
+let pp_prefix fmt p =
+  Format.fprintf fmt "%s/%d" (string_of_addr p.network) p.length

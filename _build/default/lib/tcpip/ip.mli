@@ -1,0 +1,31 @@
+(** IPv4-style addressing for the baseline stack.
+
+    Addresses name *interfaces* (points of attachment), which is
+    exactly the incomplete-naming defect (Saltzer) the paper pins the
+    Internet's multihoming and mobility troubles on; the experiments
+    exploit this faithfully. *)
+
+type addr = int
+(** 32-bit address, stored in an int. *)
+
+val addr_of_string : string -> addr
+(** Parse dotted quad. @raise Invalid_argument on malformed input. *)
+
+val string_of_addr : addr -> string
+
+val addr_of_octets : int -> int -> int -> int -> addr
+
+type prefix = { network : addr; length : int }
+(** CIDR prefix; host bits of [network] must be zero. *)
+
+val prefix : addr -> int -> prefix
+(** Build a prefix, masking host bits.  @raise Invalid_argument if the
+    length is outside \[0,32\]. *)
+
+val prefix_of_string : string -> prefix
+(** Parse ["10.1.0.0/16"]. *)
+
+val matches : prefix -> addr -> bool
+
+val pp_addr : Format.formatter -> addr -> unit
+val pp_prefix : Format.formatter -> prefix -> unit

@@ -1,0 +1,86 @@
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable count : int }
+
+let fresh_node () = { value = None; zero = None; one = None }
+
+let create () = { root = fresh_node (); count = 0 }
+
+let bit addr i = (addr lsr (31 - i)) land 1
+
+let find_node t (p : Ip.prefix) ~build =
+  let rec go node i =
+    if i = p.Ip.length then Some node
+    else begin
+      let next =
+        if bit p.Ip.network i = 0 then node.zero else node.one
+      in
+      match next with
+      | Some child -> go child (i + 1)
+      | None ->
+        if not build then None
+        else begin
+          let child = fresh_node () in
+          if bit p.Ip.network i = 0 then node.zero <- Some child
+          else node.one <- Some child;
+          go child (i + 1)
+        end
+    end
+  in
+  go t.root 0
+
+let insert t p v =
+  match find_node t p ~build:true with
+  | Some node ->
+    if node.value = None then t.count <- t.count + 1;
+    node.value <- Some v
+  | None -> assert false
+
+let remove t p =
+  match find_node t p ~build:false with
+  | Some node when node.value <> None ->
+    node.value <- None;
+    t.count <- t.count - 1;
+    true
+  | Some _ | None -> false
+
+let lookup_prefix t addr =
+  let rec go node i best =
+    let best =
+      match node.value with Some v -> Some (i, v) | None -> best
+    in
+    if i = 32 then best
+    else
+      match if bit addr i = 0 then node.zero else node.one with
+      | Some child -> go child (i + 1) best
+      | None -> best
+  in
+  Option.map (fun (len, v) -> (Ip.prefix addr len, v)) (go t.root 0 None)
+
+let lookup t addr = Option.map snd (lookup_prefix t addr)
+
+let entries t =
+  let acc = ref [] in
+  let rec go node prefix_bits length =
+    (match node.value with
+     | Some v ->
+       let network = if length = 0 then 0 else prefix_bits lsl (32 - length) in
+       acc := (Ip.prefix network length, v) :: !acc
+     | None -> ());
+    (match node.zero with
+     | Some child -> go child (prefix_bits lsl 1) (length + 1)
+     | None -> ());
+    match node.one with
+    | Some child -> go child ((prefix_bits lsl 1) lor 1) (length + 1)
+    | None -> ()
+  in
+  go t.root 0 0;
+  List.sort
+    (fun ((a : Ip.prefix), _) (b, _) -> compare b.Ip.length a.Ip.length)
+    !acc
+
+let size t = t.count

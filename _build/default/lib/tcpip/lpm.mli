@@ -1,0 +1,24 @@
+(** Longest-prefix-match forwarding table (binary trie). *)
+
+type 'a t
+(** Maps prefixes to values of type ['a] (e.g. next-hop records). *)
+
+val create : unit -> 'a t
+
+val insert : 'a t -> Ip.prefix -> 'a -> unit
+(** Replace any previous value at exactly this prefix. *)
+
+val remove : 'a t -> Ip.prefix -> bool
+(** [true] if a value was present. *)
+
+val lookup : 'a t -> Ip.addr -> 'a option
+(** Longest matching prefix's value. *)
+
+val lookup_prefix : 'a t -> Ip.addr -> (Ip.prefix * 'a) option
+(** Like {!lookup} but also reports which prefix won. *)
+
+val entries : 'a t -> (Ip.prefix * 'a) list
+(** All routes, most-specific first. *)
+
+val size : 'a t -> int
+(** Number of routes (the C1 table-size metric). *)

@@ -1,0 +1,95 @@
+module Metrics = Rina_util.Metrics
+
+type mapping = { inside_addr : Ip.addr; inside_port : int }
+
+type t = {
+  inside : Ip.prefix;
+  public : Ip.addr;
+  (* external port -> inside endpoint *)
+  inbound : (int, mapping) Hashtbl.t;
+  (* (inside addr, inside port) -> external port *)
+  outbound : (Ip.addr * int, int) Hashtbl.t;
+  mutable next_port : int;
+  metrics : Metrics.t;
+}
+
+let ports_of_payload proto payload =
+  match proto with
+  | Packet.P_udp -> (
+    match Packet.Udp.decode payload with
+    | Ok d -> Some (d.Packet.Udp.sport, d.Packet.Udp.dport, `Udp d)
+    | Error _ -> None)
+  | Packet.P_tcp -> (
+    match Packet.Tcp.decode payload with
+    | Ok s -> Some (s.Packet.Tcp.sport, s.Packet.Tcp.dport, `Tcp s)
+    | Error _ -> None)
+  | Packet.P_rip | Packet.P_tunnel -> None
+
+let rewrite_sport payload_kind new_sport =
+  match payload_kind with
+  | `Udp d -> Packet.Udp.encode { d with Packet.Udp.sport = new_sport }
+  | `Tcp s -> Packet.Tcp.encode { s with Packet.Tcp.sport = new_sport }
+
+let rewrite_dport payload_kind new_dport =
+  match payload_kind with
+  | `Udp d -> Packet.Udp.encode { d with Packet.Udp.dport = new_dport }
+  | `Tcp s -> Packet.Tcp.encode { s with Packet.Tcp.dport = new_dport }
+
+let handle t (pkt : Packet.t) ~in_if:_ =
+  match ports_of_payload pkt.Packet.proto pkt.Packet.payload with
+  | None -> Some pkt
+  | Some (sport, dport, kind) ->
+    if Ip.matches t.inside pkt.Packet.src then begin
+      (* Outbound: source-rewrite. *)
+      let ext_port =
+        match Hashtbl.find_opt t.outbound (pkt.Packet.src, sport) with
+        | Some p -> p
+        | None ->
+          let p = t.next_port in
+          t.next_port <- t.next_port + 1;
+          Hashtbl.replace t.outbound (pkt.Packet.src, sport) p;
+          Hashtbl.replace t.inbound p
+            { inside_addr = pkt.Packet.src; inside_port = sport };
+          Metrics.incr t.metrics "mappings_created";
+          p
+      in
+      Metrics.incr t.metrics "translated_out";
+      Some
+        { pkt with Packet.src = t.public; payload = rewrite_sport kind ext_port }
+    end
+    else if pkt.Packet.dst = t.public then begin
+      (* Inbound: only through an existing mapping. *)
+      match Hashtbl.find_opt t.inbound dport with
+      | Some m ->
+        Metrics.incr t.metrics "translated_in";
+        Some
+          {
+            pkt with
+            Packet.dst = m.inside_addr;
+            payload = rewrite_dport kind m.inside_port;
+          }
+      | None ->
+        Metrics.incr t.metrics "dropped_unsolicited";
+        None
+    end
+    else Some pkt
+
+let install node ~inside ~public =
+  let t =
+    {
+      inside;
+      public;
+      inbound = Hashtbl.create 32;
+      outbound = Hashtbl.create 32;
+      next_port = 20000;
+      metrics = Metrics.create ();
+    }
+  in
+  Node.set_forward_hook node (fun pkt ~in_if -> handle t pkt ~in_if);
+  t
+
+let translations t = Hashtbl.length t.inbound
+
+let dropped_unsolicited t = Metrics.get t.metrics "dropped_unsolicited"
+
+let metrics t = t.metrics

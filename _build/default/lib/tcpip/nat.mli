@@ -1,0 +1,24 @@
+(** Network address translation middlebox — one of the "kludges"
+    (§6.5) that the repeating-DIF structure makes unnecessary.
+
+    Installed on a forwarding node: traffic from the inside prefix is
+    rewritten to the public address with an allocated external port;
+    return traffic is translated back.  Unsolicited inbound traffic is
+    dropped, which is both NAT's accidental firewall and its breakage
+    of inbound reachability (measured in C2). *)
+
+type t
+
+val install :
+  Node.t -> inside:Ip.prefix -> public:Ip.addr -> t
+(** Attach as the node's forward hook.  [public] must be a *routed*
+    address (reachable via this node), not one of the node's own
+    interface addresses — locally addressed packets bypass the
+    forwarding path and would never reach the translator. *)
+
+val translations : t -> int
+(** Active port mappings. *)
+
+val dropped_unsolicited : t -> int
+
+val metrics : t -> Rina_util.Metrics.t

@@ -1,0 +1,135 @@
+module W = Rina_util.Codec.Writer
+module R = Rina_util.Codec.Reader
+
+type proto = P_udp | P_tcp | P_rip | P_tunnel
+
+type t = {
+  src : Ip.addr;
+  dst : Ip.addr;
+  proto : proto;
+  ttl : int;
+  payload : bytes;
+}
+
+let make ~src ~dst ~proto ?(ttl = 64) payload = { src; dst; proto; ttl; payload }
+
+let proto_code = function P_udp -> 17 | P_tcp -> 6 | P_rip -> 520 | P_tunnel -> 4
+
+let proto_of_code = function
+  | 17 -> Ok P_udp
+  | 6 -> Ok P_tcp
+  | 520 -> Ok P_rip
+  | 4 -> Ok P_tunnel
+  | n -> Error (Printf.sprintf "unknown IP protocol %d" n)
+
+let encode t =
+  let w = W.create () in
+  W.u32 w t.src;
+  W.u32 w t.dst;
+  W.u16 w (proto_code t.proto);
+  W.u8 w t.ttl;
+  W.bytes w t.payload;
+  W.contents w
+
+let header_size = 4 + 4 + 2 + 1 + 4
+
+let decode data =
+  try
+    let r = R.create data in
+    let src = R.u32 r in
+    let dst = R.u32 r in
+    match proto_of_code (R.u16 r) with
+    | Error _ as e -> e
+    | Ok proto ->
+      let ttl = R.u8 r in
+      let payload = R.bytes r in
+      R.expect_end r;
+      Ok { src; dst; proto; ttl; payload }
+  with R.Decode_error msg -> Error msg
+
+module Udp = struct
+  type dgram = { sport : int; dport : int; body : bytes }
+
+  let encode d =
+    let w = W.create () in
+    W.u16 w d.sport;
+    W.u16 w d.dport;
+    W.bytes w d.body;
+    W.contents w
+
+  let decode data =
+    try
+      let r = R.create data in
+      let sport = R.u16 r in
+      let dport = R.u16 r in
+      let body = R.bytes r in
+      R.expect_end r;
+      Ok { sport; dport; body }
+    with R.Decode_error msg -> Error msg
+end
+
+module Tcp = struct
+  type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+  let no_flags = { syn = false; ack = false; fin = false; rst = false }
+
+  type seg = {
+    sport : int;
+    dport : int;
+    seq : int;
+    ack_seq : int;
+    flags : flags;
+    window : int;
+    body : bytes;
+  }
+
+  let flags_byte f =
+    (if f.syn then 1 else 0)
+    lor (if f.ack then 2 else 0)
+    lor (if f.fin then 4 else 0)
+    lor if f.rst then 8 else 0
+
+  let flags_of_byte b =
+    {
+      syn = b land 1 <> 0;
+      ack = b land 2 <> 0;
+      fin = b land 4 <> 0;
+      rst = b land 8 <> 0;
+    }
+
+  let encode s =
+    let w = W.create () in
+    W.u16 w s.sport;
+    W.u16 w s.dport;
+    W.u32 w s.seq;
+    W.u32 w s.ack_seq;
+    W.u8 w (flags_byte s.flags);
+    W.u16 w s.window;
+    W.bytes w s.body;
+    W.contents w
+
+  let decode data =
+    try
+      let r = R.create data in
+      let sport = R.u16 r in
+      let dport = R.u16 r in
+      let seq = R.u32 r in
+      let ack_seq = R.u32 r in
+      let flags = flags_of_byte (R.u8 r) in
+      let window = R.u16 r in
+      let body = R.bytes r in
+      R.expect_end r;
+      Ok { sport; dport; seq; ack_seq; flags; window; body }
+    with R.Decode_error msg -> Error msg
+end
+
+let pp fmt t =
+  let p =
+    match t.proto with
+    | P_udp -> "udp"
+    | P_tcp -> "tcp"
+    | P_rip -> "rip"
+    | P_tunnel -> "ipip"
+  in
+  Format.fprintf fmt "%s %s->%s ttl=%d len=%d" p (Ip.string_of_addr t.src)
+    (Ip.string_of_addr t.dst) t.ttl (Bytes.length t.payload)

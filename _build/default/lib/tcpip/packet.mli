@@ -1,0 +1,54 @@
+(** Baseline wire formats: IP datagrams and the transport segments
+    they carry.  Encodings mirror the style of the RINA codecs so both
+    stacks pay comparable per-frame costs. *)
+
+type proto =
+  | P_udp
+  | P_tcp
+  | P_rip     (** distance-vector routing updates *)
+  | P_tunnel  (** IP-in-IP encapsulation (Mobile-IP) *)
+
+type t = {
+  src : Ip.addr;
+  dst : Ip.addr;
+  proto : proto;
+  ttl : int;
+  payload : bytes;
+}
+
+val make : src:Ip.addr -> dst:Ip.addr -> proto:proto -> ?ttl:int -> bytes -> t
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+
+val header_size : int
+
+(** UDP-like datagram. *)
+module Udp : sig
+  type dgram = { sport : int; dport : int; body : bytes }
+
+  val encode : dgram -> bytes
+  val decode : bytes -> (dgram, string) result
+end
+
+(** TCP-like segment. *)
+module Tcp : sig
+  type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+  val no_flags : flags
+
+  type seg = {
+    sport : int;
+    dport : int;
+    seq : int;
+    ack_seq : int;
+    flags : flags;
+    window : int;
+    body : bytes;
+  }
+
+  val encode : seg -> bytes
+  val decode : bytes -> (seg, string) result
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let length = Buffer.length
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.Writer.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Codec.Writer.u16: out of range";
+    Buffer.add_uint16_be t v
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.Writer.u32: out of range";
+    Buffer.add_int32_be t (Int32.of_int v)
+
+  let u64 t v = Buffer.add_int64_be t v
+
+  let f64 t v = u64 t (Int64.bits_of_float v)
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let bytes t b =
+    u32 t (Bytes.length b);
+    Buffer.add_bytes t b
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let raw t b = Buffer.add_bytes t b
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Decode_error of string
+
+  let create data = { data; pos = 0 }
+
+  let remaining t = Bytes.length t.data - t.pos
+
+  let need t n what =
+    if remaining t < n then
+      raise (Decode_error (Printf.sprintf "truncated input reading %s" what))
+
+  let u8 t =
+    need t 1 "u8";
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2 "u16";
+    let v = Bytes.get_uint16_be t.data t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4 "u32";
+    let v = Int32.to_int (Bytes.get_int32_be t.data t.pos) land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    v
+
+  let u64 t =
+    need t 8 "u64";
+    let v = Bytes.get_int64_be t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let f64 t = Int64.float_of_bits (u64 t)
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Decode_error (Printf.sprintf "invalid boolean byte %d" n))
+
+  let raw t n =
+    need t n "raw bytes";
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let bytes t =
+    let n = u32 t in
+    raw t n
+
+  let string t = Bytes.to_string (bytes t)
+
+  let expect_end t =
+    if remaining t <> 0 then
+      raise
+        (Decode_error (Printf.sprintf "%d trailing bytes after message" (remaining t)))
+end

@@ -1,0 +1,63 @@
+(** Binary wire codecs.
+
+    All RINA PDUs and RIEP messages are serialised to bytes with these
+    big-endian writers and readers, so that layering is honest: an
+    (N)-DIF hands the (N-1)-DIF an opaque byte string, exactly as the
+    paper requires ("addresses are internal"; nothing structural leaks
+    between layers). *)
+
+(** Append-only byte writer. *)
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  (** @raise Invalid_argument outside \[0, 255\]. *)
+
+  val u16 : t -> int -> unit
+  (** @raise Invalid_argument outside \[0, 65535\]. *)
+
+  val u32 : t -> int -> unit
+  (** @raise Invalid_argument if negative or above 2^32-1. *)
+
+  val u64 : t -> int64 -> unit
+  val f64 : t -> float -> unit
+  val bool : t -> bool -> unit
+
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed (u32) byte string. *)
+
+  val string : t -> string -> unit
+  (** Length-prefixed (u32) string. *)
+
+  val raw : t -> bytes -> unit
+  (** Append bytes with no length prefix. *)
+
+  val contents : t -> bytes
+end
+
+(** Sequential byte reader; all functions raise [Decode_error] on
+    truncated or malformed input. *)
+module Reader : sig
+  type t
+
+  exception Decode_error of string
+
+  val create : bytes -> t
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val f64 : t -> float
+  val bool : t -> bool
+  val bytes : t -> bytes
+  val string : t -> string
+
+  val raw : t -> int -> bytes
+  (** [raw t n] reads exactly [n] bytes. *)
+
+  val expect_end : t -> unit
+  (** @raise Decode_error if input bytes remain. *)
+end

@@ -1,0 +1,16 @@
+type t = { alpha : float; mutable value : float; mutable initialized : bool }
+
+let create ~alpha =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Ewma.create: alpha not in (0,1]";
+  { alpha; value = nan; initialized = false }
+
+let add t x =
+  if t.initialized then t.value <- ((1. -. t.alpha) *. t.value) +. (t.alpha *. x)
+  else begin
+    t.value <- x;
+    t.initialized <- true
+  end
+
+let value t = t.value
+
+let initialized t = t.initialized

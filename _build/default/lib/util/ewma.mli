@@ -1,0 +1,16 @@
+(** Exponentially-weighted moving average, used for RTT estimation in
+    EFCP/TCP and for load monitoring in schedulers. *)
+
+type t
+
+val create : alpha:float -> t
+(** [alpha] is the weight of a new sample, in (0, 1\].
+    @raise Invalid_argument outside that range. *)
+
+val add : t -> float -> unit
+(** Fold one sample in; the first sample initialises the average. *)
+
+val value : t -> float
+(** Current average; [nan] before the first sample. *)
+
+val initialized : t -> bool

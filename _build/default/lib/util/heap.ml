@@ -1,0 +1,82 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* [a] sorts before [b] if its key is smaller, or on equal keys if it
+   was inserted earlier — this gives FIFO semantics for simultaneous
+   events, which keeps simulations deterministic. *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let dummy = h.data.(0) in
+  let data = Array.make new_cap dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h key value =
+  let entry = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 entry;
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let i = ref (h.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.data.(!smallest) in
+      h.data.(!smallest) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]

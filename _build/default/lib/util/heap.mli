@@ -1,0 +1,29 @@
+(** Binary min-heap keyed by a float priority, with stable tie-breaking.
+
+    The discrete-event engine needs: O(log n) insert / pop-min, and
+    deterministic ordering when two events share the same timestamp
+    (ties are broken by insertion order).  Entries carry an arbitrary
+    payload. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of entries currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum entry, or [None] if empty.  Among
+    equal keys, the entry pushed first is returned first. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum entry without removing it. *)
+
+val clear : 'a t -> unit
+(** Drop all entries. *)

@@ -1,0 +1,28 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let incr t name = Stdlib.incr (find t name)
+
+let add t name n =
+  let r = find t name in
+  r := !r + n
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s=%d@ " name v) (to_list t)

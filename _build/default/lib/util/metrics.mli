@@ -1,0 +1,27 @@
+(** Named counters grouped in registries.
+
+    Components (EFCP instances, routers, schedulers) increment counters
+    through a registry; experiments read them afterwards to report
+    message overheads, retransmission counts, update scopes, etc. *)
+
+type t
+(** A registry of named integer counters. *)
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment by one, creating the counter at zero if needed. *)
+
+val add : t -> string -> int -> unit
+(** Add an arbitrary (possibly negative) amount. *)
+
+val get : t -> string -> int
+(** Current value; 0 for a counter never touched. *)
+
+val reset : t -> unit
+(** Zero every counter but keep the names registered. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

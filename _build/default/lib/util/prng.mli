@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every experiment seeds exactly one generator so that runs are
+    reproducible bit-for-bit.  The generator is deliberately small and
+    self-contained: no dependency on [Random] so that simulator
+    determinism cannot be broken by library code touching the global
+    state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream; both [t] and the
+    result can be used afterwards without correlation. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] draws from Exp(rate); mean [1. /. rate]. *)
+
+val uniform_in : t -> float -> float -> float
+(** [uniform_in t lo hi] is uniform in \[lo, hi). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.  @raise Invalid_argument on empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,23 @@
+(** Plain-text result tables.
+
+    Every experiment in [bench/] prints its rows through this module so
+    that the output EXPERIMENTS.md references has a single, aligned
+    format. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|']
+    into cells — convenient for numeric rows. *)
+
+val render : t -> string
+(** The table as an aligned ASCII string, ending with a newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,29 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ~rate ~burst =
+  if rate <= 0. then invalid_arg "Token_bucket.create: rate must be positive";
+  if burst <= 0. then invalid_arg "Token_bucket.create: burst must be positive";
+  { rate; burst; tokens = burst; last = 0. }
+
+let refill t ~now =
+  if now > t.last then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+    t.last <- now
+  end
+
+let try_take t ~now n =
+  refill t ~now;
+  if t.tokens >= n then begin
+    t.tokens <- t.tokens -. n;
+    true
+  end
+  else false
+
+let available t ~now =
+  refill t ~now;
+  t.tokens

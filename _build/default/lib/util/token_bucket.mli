@@ -1,0 +1,17 @@
+(** Token-bucket rate limiter used by QoS policing in the RMT.
+
+    Time is supplied by the caller (the simulator's virtual clock), so
+    the bucket itself is clock-agnostic. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** [rate] tokens per second refill, capacity [burst] tokens.
+    @raise Invalid_argument if either is non-positive. *)
+
+val try_take : t -> now:float -> float -> bool
+(** [try_take t ~now n] consumes [n] tokens if available after
+    refilling up to [now]; returns whether the take succeeded. *)
+
+val available : t -> now:float -> float
+(** Tokens available at [now] (refill applied, nothing consumed). *)

@@ -1,0 +1,631 @@
+(* Unit and property tests for rina_core's passive modules: naming,
+   PDU/RIEP codecs, SDU protection, RIB, QoS, policies, delimiting,
+   routing computation, shim framing. *)
+
+module Types = Rina_core.Types
+module Pdu = Rina_core.Pdu
+module Riep = Rina_core.Riep
+module Rib = Rina_core.Rib
+module Qos = Rina_core.Qos
+module Policy = Rina_core.Policy
+module Policy_lang = Rina_core.Policy_lang
+module Delimiting = Rina_core.Delimiting
+module Routing = Rina_core.Routing
+module Shim = Rina_core.Shim
+module Sdu = Rina_core.Sdu_protection
+
+let check = Alcotest.check
+
+(* ---------- Types ---------- *)
+
+let test_apn_roundtrip () =
+  let a = Types.apn ~instance:"7" "web-server" in
+  check Alcotest.string "to_string" "web-server/7" (Types.apn_to_string a);
+  Alcotest.(check bool) "roundtrip" true
+    (Types.apn_equal a (Types.apn_of_string "web-server/7"));
+  let d = Types.apn_of_string "plain" in
+  check Alcotest.string "default instance" "1" d.Types.ap_instance;
+  Alcotest.(check bool) "compare orders by name" true
+    (Types.apn_compare (Types.apn "a") (Types.apn "b") < 0)
+
+(* ---------- Pdu ---------- *)
+
+let test_pdu_roundtrip_all_types () =
+  List.iter
+    (fun pdu_type ->
+      let p =
+        Pdu.make ~pdu_type ~dst_addr:77 ~src_addr:13 ~dst_cep:4 ~src_cep:5 ~qos_id:2
+          ~seq:9999 ~ack:55 ~window:31 ~ttl:9
+          ~flags:(Pdu.flag_drf lor Pdu.flag_fin)
+          (Bytes.of_string "payload bytes")
+      in
+      match Pdu.decode (Pdu.encode p) with
+      | Ok q ->
+        Alcotest.(check bool) "equal" true (p = q);
+        Alcotest.(check bool) "drf" true (Pdu.has_flag q Pdu.flag_drf);
+        Alcotest.(check bool) "fin" true (Pdu.has_flag q Pdu.flag_fin)
+      | Error e -> Alcotest.fail e)
+    [ Pdu.Dtp; Pdu.Ack; Pdu.Mgmt; Pdu.Hello ]
+
+let test_pdu_header_size () =
+  let p =
+    Pdu.make ~pdu_type:Pdu.Dtp ~dst_addr:1 ~src_addr:2 (Bytes.create 100)
+  in
+  check Alcotest.int "encoded length" (Pdu.header_size + 100)
+    (Bytes.length (Pdu.encode p))
+
+let test_pdu_decode_garbage () =
+  (match Pdu.decode (Bytes.of_string "nonsense") with
+   | Ok _ -> Alcotest.fail "accepted garbage"
+   | Error _ -> ());
+  (* wrong version byte *)
+  let p = Pdu.make ~pdu_type:Pdu.Dtp ~dst_addr:1 ~src_addr:2 Bytes.empty in
+  let b = Pdu.encode p in
+  Bytes.set b 0 '\x63';
+  match Pdu.decode b with
+  | Ok _ -> Alcotest.fail "accepted bad version"
+  | Error _ -> ()
+
+let prop_pdu_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (ty, (d, s, dc, sc), (q, sq, a, w), payload) ->
+          Pdu.make
+            ~pdu_type:(match ty with 0 -> Pdu.Dtp | 1 -> Pdu.Ack | 2 -> Pdu.Mgmt | _ -> Pdu.Hello)
+            ~dst_addr:d ~src_addr:s ~dst_cep:dc ~src_cep:sc ~qos_id:q ~seq:sq ~ack:a
+            ~window:w
+            (Bytes.of_string payload))
+        (tup4 (int_range 0 3)
+           (tup4 (int_range 0 100000) (int_range 0 100000) (int_range 0 9999) (int_range 0 9999))
+           (tup4 (int_range 0 65535) (int_range 0 1000000) (int_range 0 1000000) (int_range 0 65535))
+           (string_size (int_range 0 200))))
+  in
+  QCheck.Test.make ~name:"pdu encode/decode roundtrip" ~count:300
+    (QCheck.make gen)
+    (fun p -> match Pdu.decode (Pdu.encode p) with Ok q -> p = q | Error _ -> false)
+
+(* ---------- Sdu_protection ---------- *)
+
+let test_crc32_known_vector () =
+  (* The standard CRC-32 check value. *)
+  check Alcotest.int "crc32(123456789)" 0xCBF43926
+    (Sdu.crc32 (Bytes.of_string "123456789"))
+
+let test_sdu_roundtrip_and_corruption () =
+  let body = Bytes.of_string "some frame body" in
+  let f = Sdu.protect body in
+  check Alcotest.int "overhead" (Bytes.length body + Sdu.overhead) (Bytes.length f);
+  (match Sdu.verify f with
+   | Some b -> check Alcotest.bytes "roundtrip" body b
+   | None -> Alcotest.fail "verify failed");
+  (* Corrupt each of a few positions. *)
+  List.iter
+    (fun pos ->
+      let g = Bytes.copy f in
+      Bytes.set g pos (Char.chr (Char.code (Bytes.get g pos) lxor 0x40));
+      match Sdu.verify g with
+      | Some _ -> Alcotest.fail "accepted corrupt frame"
+      | None -> ())
+    [ 0; 5; Bytes.length f - 1 ];
+  (* Too short. *)
+  match Sdu.verify (Bytes.of_string "ab") with
+  | Some _ -> Alcotest.fail "accepted short frame"
+  | None -> ()
+
+(* ---------- Rib ---------- *)
+
+let test_rib_crud () =
+  let rib = Rib.create () in
+  Alcotest.(check bool) "absent" false (Rib.exists rib "/a");
+  Rib.write rib "/a" (Rib.V_int 1);
+  check Alcotest.(option int) "read_int" (Some 1) (Rib.read_int rib "/a");
+  check Alcotest.(option string) "read_str wrong type" None (Rib.read_str rib "/a");
+  Rib.write rib "/a" (Rib.V_int 2);
+  check Alcotest.(option int) "overwrite" (Some 2) (Rib.read_int rib "/a");
+  Alcotest.(check bool) "delete" true (Rib.delete rib "/a");
+  Alcotest.(check bool) "delete again" false (Rib.delete rib "/a");
+  check Alcotest.int "size" 0 (Rib.size rib)
+
+let test_rib_children () =
+  let rib = Rib.create () in
+  Rib.write rib "/dir/a" (Rib.V_int 1);
+  Rib.write rib "/dir/b" (Rib.V_int 2);
+  Rib.write rib "/dir/b/nested" (Rib.V_int 3);
+  Rib.write rib "/other" (Rib.V_int 4);
+  check Alcotest.(list string) "one level" [ "/dir/a"; "/dir/b" ] (Rib.children rib "/dir");
+  check Alcotest.int "dump size" 4 (List.length (Rib.dump rib))
+
+let test_rib_subscriptions () =
+  let rib = Rib.create () in
+  let events = ref [] in
+  Rib.subscribe rib ~prefix:"/dir" (fun ev path _ ->
+      let tag =
+        match ev with Rib.Created -> "C" | Rib.Updated -> "U" | Rib.Deleted -> "D"
+      in
+      events := (tag ^ path) :: !events);
+  Rib.write rib "/dir/x" (Rib.V_bool true);
+  Rib.write rib "/dir/x" (Rib.V_bool false);
+  ignore (Rib.delete rib "/dir/x");
+  Rib.write rib "/elsewhere" (Rib.V_int 0);
+  check Alcotest.(list string) "events in order" [ "C/dir/x"; "U/dir/x"; "D/dir/x" ]
+    (List.rev !events)
+
+let prop_rib_value_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun s -> Rib.V_str s) string;
+          map (fun i -> Rib.V_int i) int;
+          map (fun f -> Rib.V_float f) (float_bound_inclusive 1e9);
+          map (fun b -> Rib.V_bool b) bool;
+          map (fun s -> Rib.V_bytes (Bytes.of_string s)) string;
+        ])
+  in
+  QCheck.Test.make ~name:"rib value codec roundtrip" ~count:300 (QCheck.make gen)
+    (fun v ->
+      let w = Rina_util.Codec.Writer.create () in
+      Rib.encode_value w v;
+      let r = Rina_util.Codec.Reader.create (Rina_util.Codec.Writer.contents w) in
+      let out = Rib.decode_value r in
+      Rib.value_equal v out)
+
+(* ---------- Riep ---------- *)
+
+let test_riep_roundtrip_all_opcodes () =
+  List.iter
+    (fun opcode ->
+      let m =
+        Riep.make ~opcode ~obj_class:"flow" ~obj_name:"/x/y"
+          ~obj_value:(Rib.V_str "v") ~invoke_id:42 ~result:3 ~result_reason:"why" ()
+      in
+      match Riep.decode (Riep.encode m) with
+      | Ok m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+      | Error e -> Alcotest.fail e)
+    Riep.
+      [
+        M_connect; M_connect_r; M_release; M_create; M_create_r; M_delete; M_delete_r;
+        M_read; M_read_r; M_write; M_start; M_stop;
+      ]
+
+let test_riep_response_mapping () =
+  Alcotest.(check bool) "create->create_r" true
+    (Riep.response_opcode Riep.M_create = Some Riep.M_create_r);
+  Alcotest.(check bool) "write has none" true (Riep.response_opcode Riep.M_write = None);
+  Alcotest.(check bool) "create_r is response" true
+    (Riep.is_response (Riep.make ~opcode:Riep.M_create_r ()));
+  Alcotest.(check bool) "write not response" false
+    (Riep.is_response (Riep.make ~opcode:Riep.M_write ()))
+
+(* ---------- Qos ---------- *)
+
+let test_qos_cubes () =
+  check Alcotest.int "4 standard cubes" 4 (List.length Qos.standard_cubes);
+  (match Qos.find Qos.standard_cubes 1 with
+   | Some c -> Alcotest.(check bool) "reliable cube ordered" true c.Qos.in_order
+   | None -> Alcotest.fail "cube 1 missing");
+  Alcotest.(check bool) "unknown id" true (Qos.find Qos.standard_cubes 99 = None);
+  List.iter
+    (fun c ->
+      let w = Rina_util.Codec.Writer.create () in
+      Qos.encode w c;
+      let r = Rina_util.Codec.Reader.create (Rina_util.Codec.Writer.contents w) in
+      Alcotest.(check bool) "qos codec roundtrip" true (Qos.decode r = c))
+    Qos.standard_cubes
+
+(* ---------- Policy / Policy_lang ---------- *)
+
+let test_policy_lang_empty_is_default () =
+  match Policy_lang.parse "" with
+  | Ok p -> Alcotest.(check bool) "default" true (p = Policy.default)
+  | Error e -> Alcotest.fail e
+
+let test_policy_lang_keys_apply () =
+  let spec =
+    "[efcp]\n\
+     window = 8\n\
+     mtu = 500\n\
+     rtx = gbn\n\
+     cc = off\n\
+     ack_delay = 0.5\n\
+     [scheduler]\n\
+     kind = drr\n\
+     quantum = 900\n\
+     [routing]\n\
+     hello_interval = 2.5\n\
+     refresh_ticks = 3\n\
+     [auth]\n\
+     kind = password\n\
+     secret = hunter2\n\
+     [dif]\n\
+     max_ttl = 7\n"
+  in
+  match Policy_lang.parse spec with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    check Alcotest.int "window" 8 p.Policy.efcp.Policy.window;
+    check Alcotest.int "mtu" 500 p.Policy.efcp.Policy.mtu;
+    Alcotest.(check bool) "gbn" true (p.Policy.efcp.Policy.rtx_strategy = Policy.Go_back_n);
+    Alcotest.(check bool) "cc off" false p.Policy.efcp.Policy.congestion_control;
+    check (Alcotest.float 1e-9) "ack_delay" 0.5 p.Policy.efcp.Policy.ack_delay;
+    Alcotest.(check bool) "drr" true (p.Policy.scheduler = Policy.Drr 900);
+    check (Alcotest.float 1e-9) "hello" 2.5 p.Policy.routing.Policy.hello_interval;
+    check Alcotest.int "refresh" 3 p.Policy.routing.Policy.refresh_ticks;
+    Alcotest.(check bool) "auth" true (p.Policy.auth = Policy.Auth_password "hunter2");
+    check Alcotest.int "ttl" 7 p.Policy.max_ttl
+
+let expect_error spec =
+  match Policy_lang.parse spec with
+  | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ spec)
+  | Error e -> Alcotest.(check bool) "mentions a line" true (String.length e > 0)
+
+let test_policy_lang_errors () =
+  expect_error "window = 5";  (* key outside section *)
+  expect_error "[bogus]\n";
+  expect_error "[efcp]\nwindow = minus-three";
+  expect_error "[efcp]\nwindow = 0";
+  expect_error "[efcp]\nrtx = sometimes";
+  expect_error "[efcp]\nnot_a_key = 1";
+  expect_error "[scheduler]\nkind = lottery";
+  expect_error "[auth]\nkind = password";  (* missing secret *)
+  expect_error "[efcp]\njust some words"
+
+let test_policy_lang_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Policy_lang.parse spec with
+      | Error e -> Alcotest.fail e
+      | Ok p -> (
+        match Policy_lang.parse (Policy_lang.to_string p) with
+        | Ok p' -> Alcotest.(check bool) "to_string roundtrips" true (p = p')
+        | Error e -> Alcotest.fail ("reparse: " ^ e)))
+    [
+      "";
+      "[efcp]\nwindow = 1";
+      "[scheduler]\nkind = priority";
+      "[scheduler]\nkind = drr\nquantum = 512";
+      "[auth]\nkind = password\nsecret = p";
+      "[efcp]\nrtx = none\ncc = off";
+    ]
+
+let test_policy_lang_comments_and_blanks () =
+  match Policy_lang.parse "# a comment\n\n[efcp]\nwindow = 3 # inline\n" with
+  | Ok p -> check Alcotest.int "window" 3 p.Policy.efcp.Policy.window
+  | Error e -> Alcotest.fail e
+
+let test_efcp_for_qos () =
+  let p = Policy.default in
+  Alcotest.(check bool) "reliable keeps strategy" true
+    ((Policy.efcp_for_qos p Qos.reliable).Policy.rtx_strategy = Policy.Selective_repeat);
+  Alcotest.(check bool) "best effort gets no_rtx" true
+    ((Policy.efcp_for_qos p Qos.best_effort).Policy.rtx_strategy = Policy.No_rtx)
+
+(* ---------- Delimiting ---------- *)
+
+let test_delimiting_basic () =
+  let sdu = Bytes.of_string (String.init 2500 (fun i -> Char.chr (i mod 256))) in
+  let frags = Delimiting.fragment ~mtu:1000 sdu in
+  check Alcotest.int "3 fragments" 3 (List.length frags);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "within mtu+overhead" true
+        (Bytes.length f <= 1000 + Delimiting.overhead))
+    frags;
+  let r = Delimiting.create_reassembler () in
+  let out = List.filter_map (Delimiting.push r) frags in
+  match out with
+  | [ whole ] -> check Alcotest.bytes "reassembled" sdu whole
+  | _ -> Alcotest.fail "expected one SDU"
+
+let test_delimiting_empty_sdu () =
+  let frags = Delimiting.fragment ~mtu:100 Bytes.empty in
+  check Alcotest.int "one empty fragment" 1 (List.length frags);
+  let r = Delimiting.create_reassembler () in
+  match List.filter_map (Delimiting.push r) frags with
+  | [ whole ] -> check Alcotest.int "empty" 0 (Bytes.length whole)
+  | _ -> Alcotest.fail "expected one SDU"
+
+let test_delimiting_discard_on_new_first () =
+  let r = Delimiting.create_reassembler () in
+  let frags_a = Delimiting.fragment ~mtu:4 (Bytes.of_string "aaaaaaaa") in
+  let frags_b = Delimiting.fragment ~mtu:4 (Bytes.of_string "bbbb") in
+  (* Deliver only the first fragment of A, then all of B. *)
+  (match frags_a with
+   | first :: _ -> ignore (Delimiting.push r first)
+   | [] -> Alcotest.fail "no fragments");
+  let out = List.filter_map (Delimiting.push r) frags_b in
+  check Alcotest.int "discarded count" 1 (Delimiting.discarded r);
+  match out with
+  | [ b ] -> check Alcotest.bytes "B survives" (Bytes.of_string "bbbb") b
+  | _ -> Alcotest.fail "expected B"
+
+let test_delimiting_middle_without_first_ignored () =
+  let r = Delimiting.create_reassembler () in
+  match Delimiting.fragment ~mtu:2 (Bytes.of_string "abcdef") with
+  | _ :: middle :: _ ->
+    Alcotest.(check bool) "middle alone yields nothing" true
+      (Delimiting.push r middle = None)
+  | _ -> Alcotest.fail "expected >2 fragments"
+
+let prop_delimiting_roundtrip =
+  QCheck.Test.make ~name:"delimit/reassemble roundtrip" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 5000)) (int_range 1 1500))
+    (fun (s, mtu) ->
+      let sdu = Bytes.of_string s in
+      let r = Delimiting.create_reassembler () in
+      match List.filter_map (Delimiting.push r) (Delimiting.fragment ~mtu sdu) with
+      | [ whole ] -> Bytes.equal whole sdu
+      | _ -> false)
+
+(* ---------- Routing ---------- *)
+
+let lsa origin seq neighbors = { Routing.Lsa.origin; seq; neighbors }
+
+let test_routing_install_versions () =
+  let db = Routing.create () in
+  Alcotest.(check bool) "new" true (Routing.install db (lsa 1 1 [ (2, 1.) ]));
+  Alcotest.(check bool) "same seq rejected" false (Routing.install db (lsa 1 1 []));
+  Alcotest.(check bool) "older rejected" false (Routing.install db (lsa 1 0 []));
+  Alcotest.(check bool) "newer accepted" true (Routing.install db (lsa 1 2 []));
+  check Alcotest.(list int) "origins" [ 1 ] (Routing.origins db);
+  Alcotest.(check bool) "withdraw" true (Routing.withdraw db 1);
+  Alcotest.(check bool) "withdraw absent" false (Routing.withdraw db 1)
+
+let line_db n =
+  let db = Routing.create () in
+  for i = 1 to n do
+    let nbrs =
+      List.filter_map
+        (fun j -> if j >= 1 && j <= n then Some (j, 1.0) else None)
+        [ i - 1; i + 1 ]
+    in
+    ignore (Routing.install db (lsa i 1 nbrs))
+  done;
+  db
+
+let test_routing_spf_line () =
+  let db = line_db 5 in
+  let nh = Routing.spf db ~source:1 in
+  check Alcotest.int "4 destinations" 4 (Hashtbl.length nh);
+  List.iter
+    (fun dst ->
+      match Hashtbl.find_opt nh dst with
+      | Some (hop, cost) ->
+        check Alcotest.int "next hop is 2" 2 hop;
+        check (Alcotest.float 1e-9) "cost is hops" (float_of_int (dst - 1)) cost
+      | None -> Alcotest.fail "unreachable")
+    [ 2; 3; 4; 5 ]
+
+let test_routing_spf_two_way_check () =
+  let db = Routing.create () in
+  (* 1 claims 2 as neighbour but 2 does not reciprocate. *)
+  ignore (Routing.install db (lsa 1 1 [ (2, 1.) ]));
+  ignore (Routing.install db (lsa 2 1 []));
+  let nh = Routing.spf db ~source:1 in
+  check Alcotest.int "one-way edge unusable" 0 (Hashtbl.length nh)
+
+let test_routing_spf_prefers_cheap_path () =
+  let db = Routing.create () in
+  (* 1-2-4 costs 1+1; 1-3-4 costs 5+1. *)
+  ignore (Routing.install db (lsa 1 1 [ (2, 1.); (3, 5.) ]));
+  ignore (Routing.install db (lsa 2 1 [ (1, 1.); (4, 1.) ]));
+  ignore (Routing.install db (lsa 3 1 [ (1, 5.); (4, 1.) ]));
+  ignore (Routing.install db (lsa 4 1 [ (2, 1.); (3, 1.) ]));
+  let nh = Routing.spf db ~source:1 in
+  (match Hashtbl.find_opt nh 4 with
+   | Some (hop, cost) ->
+     check Alcotest.int "via 2" 2 hop;
+     check (Alcotest.float 1e-9) "cost 2" 2. cost
+   | None -> Alcotest.fail "4 unreachable");
+  (* source absent from results *)
+  Alcotest.(check bool) "no self entry" true (Hashtbl.find_opt nh 1 = None)
+
+let test_routing_spf_disconnected () =
+  let db = Routing.create () in
+  ignore (Routing.install db (lsa 1 1 [ (2, 1.) ]));
+  ignore (Routing.install db (lsa 2 1 [ (1, 1.) ]));
+  ignore (Routing.install db (lsa 8 1 [ (9, 1.) ]));
+  ignore (Routing.install db (lsa 9 1 [ (8, 1.) ]));
+  let nh = Routing.spf db ~source:1 in
+  Alcotest.(check bool) "island unreachable" true (Hashtbl.find_opt nh 8 = None)
+
+let test_routing_lsa_codec () =
+  let l = lsa 42 17 [ (1, 1.5); (2, 2.5); (100, 0.25) ] in
+  match Routing.Lsa.decode (Routing.Lsa.encode l) with
+  | Ok l' -> Alcotest.(check bool) "roundtrip" true (l = l')
+  | Error e -> Alcotest.fail e
+
+let prop_spf_paths_loop_free =
+  (* On any connected random symmetric graph, hop-by-hop forwarding
+     along each node's SPF next hops must reach every destination
+     without ever looping. *)
+  QCheck.Test.make ~name:"spf forwarding is loop-free and complete" ~count:60
+    QCheck.(pair (int_range 3 14) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rina_util.Prng.create seed in
+      (* Spanning chain + random extra symmetric edges. *)
+      let adj = Array.make (n + 1) [] in
+      let add a b =
+        if a <> b && not (List.mem_assoc b adj.(a)) then begin
+          adj.(a) <- (b, 1.0) :: adj.(a);
+          adj.(b) <- (a, 1.0) :: adj.(b)
+        end
+      in
+      for i = 1 to n - 1 do
+        add i (i + 1)
+      done;
+      for _ = 1 to n do
+        add (1 + Rina_util.Prng.int rng n) (1 + Rina_util.Prng.int rng n)
+      done;
+      let db = Routing.create () in
+      for i = 1 to n do
+        ignore (Routing.install db (lsa i 1 adj.(i)))
+      done;
+      let tables = Array.init (n + 1) (fun i -> if i = 0 then Hashtbl.create 1 else Routing.spf db ~source:i) in
+      let ok = ref true in
+      for src = 1 to n do
+        for dst = 1 to n do
+          if src <> dst then begin
+            let rec walk node hops =
+              if hops > n then ok := false
+              else if node <> dst then
+                match Hashtbl.find_opt tables.(node) dst with
+                | Some (next, _) -> walk next (hops + 1)
+                | None -> ok := false
+            in
+            walk src 0
+          end
+        done
+      done;
+      !ok)
+
+let prop_policy_lang_roundtrip_random =
+  (* to_string/parse round-trips any policy assembled from the
+     language's value space. *)
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun ((w, mtu, rtx_i, cc), (rto, ack), (sched_i, q), (hello, refresh, ttl, auth)) ->
+          let rtx =
+            match rtx_i with
+            | 0 -> Policy.Selective_repeat
+            | 1 -> Policy.Go_back_n
+            | _ -> Policy.No_rtx
+          in
+          let scheduler =
+            match sched_i with
+            | 0 -> Policy.Fifo
+            | 1 -> Policy.Priority_queueing
+            | _ -> Policy.Drr q
+          in
+          {
+            Policy.efcp =
+              {
+                Policy.default_efcp with
+                Policy.window = w;
+                mtu;
+                init_rto = rto;
+                ack_delay = ack;
+                rtx_strategy = rtx;
+                congestion_control = cc;
+              };
+            scheduler;
+            routing =
+              {
+                Policy.default_routing with
+                Policy.hello_interval = hello;
+                refresh_ticks = refresh;
+              };
+            auth = (if auth then Policy.Auth_password "pw" else Policy.Auth_none);
+            acl = Policy.Allow_all;
+            max_ttl = ttl;
+          })
+        (tup4
+           (tup4 (int_range 1 512) (int_range 16 9000) (int_range 0 2) bool)
+           (tup2 (float_range 0.01 4.) (float_range 0. 1.))
+           (tup2 (int_range 0 2) (int_range 64 4096))
+           (tup4 (float_range 0.1 10.) (int_range 1 50) (int_range 1 255) bool)))
+  in
+  QCheck.Test.make ~name:"policy_lang to_string/parse roundtrip (random)" ~count:150
+    (QCheck.make gen)
+    (fun p ->
+      match Policy_lang.parse (Policy_lang.to_string p) with
+      | Ok p' ->
+        (* Float formatting via %g is lossy only beyond 6 significant
+           digits; compare fields accordingly. *)
+        let close a b = Float.abs (a -. b) <= 1e-5 *. Float.max 1. (Float.abs a) in
+        p'.Policy.efcp.Policy.window = p.Policy.efcp.Policy.window
+        && p'.Policy.efcp.Policy.mtu = p.Policy.efcp.Policy.mtu
+        && p'.Policy.efcp.Policy.rtx_strategy = p.Policy.efcp.Policy.rtx_strategy
+        && p'.Policy.efcp.Policy.congestion_control
+           = p.Policy.efcp.Policy.congestion_control
+        && close p'.Policy.efcp.Policy.init_rto p.Policy.efcp.Policy.init_rto
+        && close p'.Policy.efcp.Policy.ack_delay p.Policy.efcp.Policy.ack_delay
+        && p'.Policy.scheduler = p.Policy.scheduler
+        && close p'.Policy.routing.Policy.hello_interval
+             p.Policy.routing.Policy.hello_interval
+        && p'.Policy.routing.Policy.refresh_ticks = p.Policy.routing.Policy.refresh_ticks
+        && p'.Policy.auth = p.Policy.auth
+        && p'.Policy.max_ttl = p.Policy.max_ttl
+      | Error _ -> false)
+
+(* ---------- Shim ---------- *)
+
+let test_shim_tag_filtering () =
+  let a, b = Rina_sim.Chan.pair () in
+  let wa = Shim.wrap ~dif:"net-1" a in
+  let wb = Shim.wrap ~dif:"net-1" b in
+  let foreign = Shim.wrap ~dif:"net-2" b in
+  let got = ref [] and foreign_got = ref [] in
+  wb.Rina_sim.Chan.set_receiver (fun f -> got := Bytes.to_string f :: !got);
+  wa.Rina_sim.Chan.send (Bytes.of_string "hello");
+  check Alcotest.(list string) "same dif passes" [ "hello" ] !got;
+  (* A frame from another DIF on the same wire is filtered. *)
+  foreign.Rina_sim.Chan.set_receiver (fun f -> foreign_got := Bytes.to_string f :: !foreign_got);
+  wa.Rina_sim.Chan.send (Bytes.of_string "ssh");
+  check Alcotest.(list string) "foreign filtered" [] !foreign_got;
+  check Alcotest.int "counted" 1
+    (Rina_util.Metrics.get foreign.Rina_sim.Chan.stats "foreign_frames");
+  Alcotest.(check bool) "tags differ" true
+    (Shim.tag_of_dif "net-1" <> Shim.tag_of_dif "net-2")
+
+let () =
+  Alcotest.run "rina_core"
+    [
+      ("types", [ Alcotest.test_case "apn" `Quick test_apn_roundtrip ]);
+      ( "pdu",
+        [
+          Alcotest.test_case "roundtrip all types" `Quick test_pdu_roundtrip_all_types;
+          Alcotest.test_case "header size" `Quick test_pdu_header_size;
+          Alcotest.test_case "decode garbage" `Quick test_pdu_decode_garbage;
+          QCheck_alcotest.to_alcotest prop_pdu_roundtrip;
+        ] );
+      ( "sdu_protection",
+        [
+          Alcotest.test_case "crc32 vector" `Quick test_crc32_known_vector;
+          Alcotest.test_case "roundtrip + corruption" `Quick test_sdu_roundtrip_and_corruption;
+        ] );
+      ( "rib",
+        [
+          Alcotest.test_case "crud" `Quick test_rib_crud;
+          Alcotest.test_case "children" `Quick test_rib_children;
+          Alcotest.test_case "subscriptions" `Quick test_rib_subscriptions;
+          QCheck_alcotest.to_alcotest prop_rib_value_roundtrip;
+        ] );
+      ( "riep",
+        [
+          Alcotest.test_case "roundtrip opcodes" `Quick test_riep_roundtrip_all_opcodes;
+          Alcotest.test_case "response mapping" `Quick test_riep_response_mapping;
+        ] );
+      ("qos", [ Alcotest.test_case "cubes" `Quick test_qos_cubes ]);
+      ( "policy",
+        [
+          Alcotest.test_case "empty spec is default" `Quick test_policy_lang_empty_is_default;
+          Alcotest.test_case "keys apply" `Quick test_policy_lang_keys_apply;
+          Alcotest.test_case "errors" `Quick test_policy_lang_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick test_policy_lang_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_policy_lang_comments_and_blanks;
+          Alcotest.test_case "efcp_for_qos" `Quick test_efcp_for_qos;
+          QCheck_alcotest.to_alcotest prop_policy_lang_roundtrip_random;
+        ] );
+      ( "delimiting",
+        [
+          Alcotest.test_case "basic" `Quick test_delimiting_basic;
+          Alcotest.test_case "empty sdu" `Quick test_delimiting_empty_sdu;
+          Alcotest.test_case "discard on new first" `Quick test_delimiting_discard_on_new_first;
+          Alcotest.test_case "middle without first" `Quick test_delimiting_middle_without_first_ignored;
+          QCheck_alcotest.to_alcotest prop_delimiting_roundtrip;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "install versions" `Quick test_routing_install_versions;
+          Alcotest.test_case "spf line" `Quick test_routing_spf_line;
+          Alcotest.test_case "two-way check" `Quick test_routing_spf_two_way_check;
+          Alcotest.test_case "prefers cheap path" `Quick test_routing_spf_prefers_cheap_path;
+          Alcotest.test_case "disconnected" `Quick test_routing_spf_disconnected;
+          Alcotest.test_case "lsa codec" `Quick test_routing_lsa_codec;
+          QCheck_alcotest.to_alcotest prop_spf_paths_loop_free;
+        ] );
+      ("shim", [ Alcotest.test_case "tag filtering" `Quick test_shim_tag_filtering ]);
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the experiment-harness library (rina_exp): workload
+   stamping/accounting and the topology builders the benchmarks rely
+   on. *)
+
+module Engine = Rina_sim.Engine
+module Topo = Rina_exp.Topo
+module Workload = Rina_exp.Workload
+module Scenario = Rina_exp.Scenario
+module Ipcp = Rina_core.Ipcp
+
+let check = Alcotest.check
+
+(* ---------- Workload ---------- *)
+
+let test_stamp_roundtrip () =
+  let sdu = Workload.stamp ~now:12.5 ~seq:42 ~size:100 in
+  check Alcotest.int "padded to size" 100 (Bytes.length sdu);
+  (match Workload.read_stamp sdu with
+   | Some (t, seq) ->
+     check (Alcotest.float 1e-9) "time" 12.5 t;
+     check Alcotest.int "seq" 42 seq
+   | None -> Alcotest.fail "stamp unreadable");
+  (* Minimum size enforced. *)
+  check Alcotest.int "minimum 16" 16 (Bytes.length (Workload.stamp ~now:0. ~seq:0 ~size:1));
+  (* Foreign bytes are not mistaken for stamps. *)
+  Alcotest.(check bool) "garbage rejected" true
+    (Workload.read_stamp (Bytes.make 40 'z') = None)
+
+let test_sink_accounting () =
+  let s = Workload.sink () in
+  Workload.on_sdu s ~now:1.0 (Workload.stamp ~now:0.9 ~seq:0 ~size:500);
+  Workload.on_sdu s ~now:2.0 (Workload.stamp ~now:1.8 ~seq:3 ~size:500);
+  check Alcotest.int "count" 2 s.Workload.count;
+  check Alcotest.int "bytes" 1000 s.Workload.bytes;
+  check Alcotest.int "max seq" 3 s.Workload.seen_max_seq;
+  check (Alcotest.float 1e-9) "last arrival" 2.0 s.Workload.last_arrival;
+  check (Alcotest.float 1e-6) "goodput over 1s window" 8000.
+    (Workload.goodput s ~t0:1.0 ~t1:2.0);
+  check (Alcotest.float 1e-9) "latency median" 0.15
+    (Rina_util.Stats.median s.Workload.received)
+
+let test_cbr_rate () =
+  let engine = Engine.create () in
+  let sent = ref 0 in
+  (* 1 Mb/s of 1000-byte SDUs = 125 SDUs/s; over 2 s expect ~250. *)
+  Workload.cbr engine ~send:(fun _ -> incr sent) ~rate:1_000_000. ~size:1000
+    ~until:2.0 ();
+  Engine.run ~until:3.0 engine;
+  Alcotest.(check bool) "~250 sdus" true (!sent >= 248 && !sent <= 252)
+
+let test_poisson_on_off_sends_something () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 33 in
+  let sent = ref 0 in
+  Workload.poisson_on_off engine rng ~send:(fun _ -> incr sent)
+    ~peak_rate:1_000_000. ~mean_on:0.1 ~mean_off:0.1 ~size:500 ~until:5.0 ();
+  Engine.run ~until:6.0 engine;
+  (* ~50% duty cycle at 250 SDU/s peak over 5 s: several hundred. *)
+  Alcotest.(check bool) "bursty but nonzero" true (!sent > 100 && !sent < 1250)
+
+(* ---------- Topo ---------- *)
+
+let test_line_converges () =
+  let net = Topo.line ~n:5 () in
+  check Alcotest.int "nodes" 5 (Array.length net.Topo.nodes);
+  check Alcotest.int "links" 4 (Array.length net.Topo.links);
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "enrolled" true (Ipcp.is_enrolled m);
+      check Alcotest.int "full lsdb" 5 (Ipcp.lsdb_size m))
+    net.Topo.nodes
+
+let test_line_rejects_tiny () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Topo.line: need at least 2 nodes")
+    (fun () -> ignore (Topo.line ~n:1 ()))
+
+let test_star_converges () =
+  let net = Topo.star ~leaves:5 () in
+  check Alcotest.int "nodes" 6 (Array.length net.Topo.nodes);
+  (* Hub sees all leaves as neighbours. *)
+  check Alcotest.int "hub degree" 5 (List.length (Ipcp.neighbors net.Topo.nodes.(0)))
+
+let test_random_graph_connected () =
+  let net = Topo.random_graph ~n:12 ~degree:3 () in
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "enrolled" true (Ipcp.is_enrolled m);
+      (* Connected: everyone routes to everyone. *)
+      check Alcotest.int "full routing table" 11 (List.length (Ipcp.routing_table m)))
+    net.Topo.nodes
+
+let test_ip_line_builds () =
+  let net = Topo.ip_line ~routers:2 () in
+  check Alcotest.int "hosts" 2 (Array.length net.Topo.hosts);
+  check Alcotest.int "routers" 2 (Array.length net.Topo.routers);
+  (* DV converged: each router knows every one of the 3 subnets. *)
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "table covers subnets" true (Tcpip.Node.table_size r >= 3))
+    net.Topo.routers
+
+(* ---------- Scenario ---------- *)
+
+let test_scenario_open_flow_and_metrics () =
+  let net = Topo.line ~n:3 () in
+  let sink = Workload.sink () in
+  (match Scenario.open_flow net ~src:0 ~dst:2 ~qos_id:0 ~sink () with
+   | Error e -> Alcotest.fail e
+   | Ok (flow, _) ->
+     flow.Ipcp.send (Workload.stamp ~now:(Engine.now net.Topo.engine) ~seq:0 ~size:64);
+     Topo.wait net.Topo.engine 2.;
+     check Alcotest.int "sink saw it" 1 sink.Workload.count);
+  Alcotest.(check bool) "summed metric nonzero" true (Scenario.sum_metric net "mgmt_tx" > 0);
+  Alcotest.(check bool) "summed rmt metric nonzero" true
+    (Scenario.sum_rmt_metric net "sent" > 0)
+
+let () =
+  Alcotest.run "rina_exp"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "stamp roundtrip" `Quick test_stamp_roundtrip;
+          Alcotest.test_case "sink accounting" `Quick test_sink_accounting;
+          Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
+          Alcotest.test_case "poisson on/off" `Quick test_poisson_on_off_sends_something;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "line converges" `Quick test_line_converges;
+          Alcotest.test_case "line rejects n=1" `Quick test_line_rejects_tiny;
+          Alcotest.test_case "star converges" `Quick test_star_converges;
+          Alcotest.test_case "random graph connected" `Quick test_random_graph_connected;
+          Alcotest.test_case "ip line builds" `Quick test_ip_line_builds;
+        ] );
+      ( "scenario",
+        [ Alcotest.test_case "open flow + metrics" `Quick test_scenario_open_flow_and_metrics ] );
+    ]

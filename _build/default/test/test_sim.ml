@@ -1,0 +1,348 @@
+(* Unit tests for the discrete-event simulator. *)
+
+module Engine = Rina_sim.Engine
+module Loss = Rina_sim.Loss
+module Chan = Rina_sim.Chan
+module Link = Rina_sim.Link
+module Medium = Rina_sim.Medium
+module Trace = Rina_sim.Trace
+module Prng = Rina_util.Prng
+
+let check = Alcotest.check
+
+(* ---------- Engine ---------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:3. (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule e ~delay:1. (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:2. (fun () -> log := 2 :: !log));
+  Engine.run e;
+  check Alcotest.(list int) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 3. (Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  check Alcotest.(list int) "fifo among equals" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1. (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1. (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:5. (fun () -> incr fired));
+  Engine.run ~until:2. e;
+  check Alcotest.int "only first" 1 !fired;
+  check (Alcotest.float 1e-9) "clock at until" 2. (Engine.now e);
+  Engine.run ~until:10. e;
+  check Alcotest.int "second later" 2 !fired
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule e ~delay:(-5.) (fun () -> fired := true));
+  Engine.run e;
+  Alcotest.(check bool) "fired" true !fired;
+  check (Alcotest.float 1e-9) "no time travel" 0. (Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1. (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:1. (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  check Alcotest.(list string) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "time 2" 2. (Engine.now e)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1. (fun () -> ()));
+  Alcotest.(check bool) "step true" true (Engine.step e);
+  Alcotest.(check bool) "step false when drained" false (Engine.step e)
+
+(* ---------- Loss ---------- *)
+
+let test_loss_none_and_extremes () =
+  let rng = Prng.create 3 in
+  let s = Loss.make_state Loss.No_loss in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "no_loss" false (Loss.drops s rng)
+  done;
+  let s1 = Loss.make_state (Loss.Bernoulli 1.0) in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 drops" true (Loss.drops s1 rng)
+  done;
+  let s0 = Loss.make_state (Loss.Bernoulli 0.0) in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 keeps" false (Loss.drops s0 rng)
+  done
+
+let test_loss_bernoulli_rate () =
+  let rng = Prng.create 5 in
+  let s = Loss.make_state (Loss.Bernoulli 0.3) in
+  let drops = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Loss.drops s rng then incr drops
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  Alcotest.(check bool) "~30%" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_loss_gilbert_elliott_average () =
+  let rng = Prng.create 7 in
+  let spec =
+    Loss.Gilbert_elliott
+      { p_good_to_bad = 0.1; p_bad_to_good = 0.3; loss_good = 0.0; loss_bad = 0.5 }
+  in
+  let s = Loss.make_state spec in
+  let drops = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Loss.drops s rng then incr drops
+  done;
+  (* Stationary P(bad) = 0.1/(0.1+0.3) = 0.25; mean loss = 0.125. *)
+  let rate = float_of_int !drops /. float_of_int n in
+  Alcotest.(check bool) "~12.5%" true (Float.abs (rate -. 0.125) < 0.01)
+
+(* ---------- Chan ---------- *)
+
+let test_chan_pair () =
+  let a, b = Chan.pair () in
+  let got_b = ref [] and got_a = ref [] in
+  b.Chan.set_receiver (fun f -> got_b := Bytes.to_string f :: !got_b);
+  a.Chan.set_receiver (fun f -> got_a := Bytes.to_string f :: !got_a);
+  a.Chan.send (Bytes.of_string "ping");
+  b.Chan.send (Bytes.of_string "pong");
+  check Alcotest.(list string) "b received" [ "ping" ] !got_b;
+  check Alcotest.(list string) "a received" [ "pong" ] !got_a;
+  check Alcotest.int "a tx" 1 (Rina_util.Metrics.get a.Chan.stats "tx");
+  check Alcotest.int "a rx" 1 (Rina_util.Metrics.get a.Chan.stats "rx")
+
+(* ---------- Link ---------- *)
+
+let mk_link ?queue_capacity ?loss () =
+  let e = Engine.create () in
+  let rng = Prng.create 1 in
+  let l =
+    Link.create e rng ~bit_rate:1_000_000. ~delay:0.01 ?queue_capacity ?loss ()
+  in
+  (e, l)
+
+let test_link_latency () =
+  let e, l = mk_link () in
+  let arrival = ref None in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> arrival := Some (Engine.now e));
+  (* 1000 bytes at 1 Mb/s = 8 ms serialisation + 10 ms propagation. *)
+  (Link.endpoint_a l).Chan.send (Bytes.create 1000);
+  Engine.run e;
+  match !arrival with
+  | Some t -> check (Alcotest.float 1e-9) "latency" 0.018 t
+  | None -> Alcotest.fail "frame lost"
+
+let test_link_serialization_spacing () =
+  let e, l = mk_link () in
+  let times = ref [] in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> times := Engine.now e :: !times);
+  (Link.endpoint_a l).Chan.send (Bytes.create 1000);
+  (Link.endpoint_a l).Chan.send (Bytes.create 1000);
+  Engine.run e;
+  match List.rev !times with
+  | [ t1; t2 ] -> check (Alcotest.float 1e-9) "8ms apart" 0.008 (t2 -. t1)
+  | _ -> Alcotest.fail "expected 2 frames"
+
+let test_link_queue_overflow () =
+  let e, l = mk_link ~queue_capacity:4 () in
+  let received = ref 0 in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr received);
+  for _ = 1 to 10 do
+    (Link.endpoint_a l).Chan.send (Bytes.create 100)
+  done;
+  Engine.run e;
+  check Alcotest.int "only queue_capacity delivered" 4 !received;
+  check Alcotest.int "drops counted" 6
+    (Rina_util.Metrics.get (Link.stats_a l) "dropped_queue")
+
+let test_link_down_drops_and_notifies () =
+  let e, l = mk_link () in
+  let received = ref 0 and carrier = ref [] in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr received);
+  (Link.endpoint_a l).Chan.on_carrier (fun up -> carrier := up :: !carrier);
+  (Link.endpoint_a l).Chan.send (Bytes.create 100);
+  Link.set_up l false;
+  Engine.run e;
+  check Alcotest.int "in-flight dropped" 0 !received;
+  (Link.endpoint_a l).Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "down drops" 0 !received;
+  Link.set_up l true;
+  (Link.endpoint_a l).Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "up again" 1 !received;
+  check Alcotest.(list bool) "watcher saw down then up" [ false; true ] (List.rev !carrier)
+
+let test_link_blackhole_silent () =
+  let e, l = mk_link () in
+  let received = ref 0 and carrier_events = ref 0 in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr received);
+  (Link.endpoint_a l).Chan.on_carrier (fun _ -> incr carrier_events);
+  Link.set_blackhole l true;
+  (Link.endpoint_a l).Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "swallowed" 0 !received;
+  check Alcotest.int "no carrier event" 0 !carrier_events;
+  Alcotest.(check bool) "is_up still true" true ((Link.endpoint_a l).Chan.is_up ());
+  Link.set_blackhole l false;
+  (Link.endpoint_a l).Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "healed" 1 !received
+
+let test_link_loss () =
+  let e = Engine.create () in
+  let rng = Prng.create 1 in
+  let l =
+    Link.create e rng ~bit_rate:1_000_000_000. ~delay:0.0001 ~queue_capacity:4096
+      ~loss:(Loss.Bernoulli 0.5) ()
+  in
+  let received = ref 0 in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr received);
+  for _ = 1 to 2000 do
+    (Link.endpoint_a l).Chan.send (Bytes.create 10)
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "~half arrive" true
+    (!received > 800 && !received < 1200)
+
+let test_link_directions_independent () =
+  let e, l = mk_link () in
+  let at_a = ref 0 and at_b = ref 0 in
+  (Link.endpoint_a l).Chan.set_receiver (fun _ -> incr at_a);
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr at_b);
+  (Link.endpoint_a l).Chan.send (Bytes.create 10);
+  (Link.endpoint_b l).Chan.send (Bytes.create 10);
+  (Link.endpoint_b l).Chan.send (Bytes.create 10);
+  Engine.run e;
+  check Alcotest.int "a got 2" 2 !at_a;
+  check Alcotest.int "b got 1" 1 !at_b
+
+(* ---------- Medium ---------- *)
+
+let test_medium_range_and_movement () =
+  let e = Engine.create () in
+  let rng = Prng.create 2 in
+  let m = Medium.create e rng ~bit_rate:10_000_000. ~base_delay:0.001 in
+  let bs = Medium.add_node m ~x:0. ~y:0. in
+  let mob = Medium.add_node m ~x:50. ~y:0. in
+  check (Alcotest.float 1e-9) "distance" 50. (Medium.distance bs mob);
+  let down = Medium.channel m ~local:bs ~remote:mob ~range:100. ~edge_loss:0. () in
+  let up = Medium.channel m ~local:mob ~remote:bs ~range:100. ~edge_loss:0. () in
+  let got = ref 0 and carrier = ref [] in
+  up.Chan.set_receiver (fun _ -> ());
+  down.Chan.set_receiver (fun _ -> ());
+  (* Receiving side of bs->mob transmissions is the mobile's channel. *)
+  up.Chan.set_receiver (fun _ -> incr got);
+  down.Chan.on_carrier (fun u -> carrier := u :: !carrier);
+  Alcotest.(check bool) "in range" true (down.Chan.is_up ());
+  down.Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "delivered in range" 1 !got;
+  (* Move out of range: carrier watcher fires, frames die. *)
+  Medium.set_position m mob ~x:500. ~y:0.;
+  Alcotest.(check bool) "out of range" false (down.Chan.is_up ());
+  check Alcotest.(list bool) "carrier down event" [ false ] !carrier;
+  down.Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "not delivered" 1 !got;
+  (* Come back. *)
+  Medium.set_position m mob ~x:10. ~y:0.;
+  check Alcotest.(list bool) "carrier up event" [ true; false ] !carrier;
+  down.Chan.send (Bytes.create 100);
+  Engine.run e;
+  check Alcotest.int "delivered again" 2 !got
+
+let test_medium_edge_loss_grows () =
+  let e = Engine.create () in
+  let rng = Prng.create 4 in
+  let m = Medium.create e rng ~bit_rate:1_000_000_000. ~base_delay:0.00001 in
+  let a = Medium.add_node m ~x:0. ~y:0. in
+  let b = Medium.add_node m ~x:95. ~y:0. in
+  let tx = Medium.channel m ~local:a ~remote:b ~range:100. ~edge_loss:0.5 () in
+  let rx = Medium.channel m ~local:b ~remote:a ~range:100. ~edge_loss:0.5 () in
+  let got = ref 0 in
+  rx.Chan.set_receiver (fun _ -> incr got);
+  for _ = 1 to 2000 do
+    tx.Chan.send (Bytes.create 10)
+  done;
+  Engine.run e;
+  (* At 95% of range with edge_loss 0.5 the loss is ~0.45. *)
+  let rate = 1. -. (float_of_int !got /. 2000.) in
+  Alcotest.(check bool) "edge loss ~45%" true (Float.abs (rate -. 0.45) < 0.05)
+
+(* ---------- Trace ---------- *)
+
+let test_trace () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  ignore (Engine.schedule e ~delay:1. (fun () -> Trace.record tr ~component:"x" ~event:"tick"));
+  ignore (Engine.schedule e ~delay:3. (fun () -> Trace.record tr ~component:"x" ~event:"tick"));
+  ignore (Engine.schedule e ~delay:4. (fun () -> Trace.record tr ~component:"y" ~event:"boom"));
+  Engine.run e;
+  check Alcotest.int "count" 2 (Trace.count tr ~component:"x" ~event:"tick");
+  check Alcotest.int "filter" 1 (List.length (Trace.filter tr ~component:"y"));
+  match Trace.largest_gap tr ~component:"x" ~event:"tick" with
+  | Some (gap, start) ->
+    check (Alcotest.float 1e-9) "gap" 2. gap;
+    check (Alcotest.float 1e-9) "start" 1. start
+  | None -> Alcotest.fail "expected a gap"
+
+let () =
+  Alcotest.run "rina_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "extremes" `Quick test_loss_none_and_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_loss_bernoulli_rate;
+          Alcotest.test_case "gilbert-elliott average" `Quick test_loss_gilbert_elliott_average;
+        ] );
+      ("chan", [ Alcotest.test_case "pair" `Quick test_chan_pair ]);
+      ( "link",
+        [
+          Alcotest.test_case "latency" `Quick test_link_latency;
+          Alcotest.test_case "serialization spacing" `Quick test_link_serialization_spacing;
+          Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
+          Alcotest.test_case "down + notify" `Quick test_link_down_drops_and_notifies;
+          Alcotest.test_case "blackhole silent" `Quick test_link_blackhole_silent;
+          Alcotest.test_case "loss" `Quick test_link_loss;
+          Alcotest.test_case "directions independent" `Quick test_link_directions_independent;
+        ] );
+      ( "medium",
+        [
+          Alcotest.test_case "range and movement" `Quick test_medium_range_and_movement;
+          Alcotest.test_case "edge loss grows" `Quick test_medium_edge_loss_grows;
+        ] );
+      ("trace", [ Alcotest.test_case "record and gaps" `Quick test_trace ]);
+    ]

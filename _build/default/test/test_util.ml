@@ -1,0 +1,403 @@
+(* Unit and property tests for the rina_util library. *)
+
+module Prng = Rina_util.Prng
+module Heap = Rina_util.Heap
+module Stats = Rina_util.Stats
+module Codec = Rina_util.Codec
+module Ewma = Rina_util.Ewma
+module Token_bucket = Rina_util.Token_bucket
+module Metrics = Rina_util.Metrics
+module Table = Rina_util.Table
+
+let check = Alcotest.check
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_changes_stream () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let t = Prng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_float_bounds () =
+  let t = Prng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float t 3.5 in
+    Alcotest.(check bool) "0 <= v < 3.5" true (v >= 0. && v < 3.5)
+  done
+
+let test_prng_bernoulli_extremes () =
+  let t = Prng.create 11 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "p=0" false (Prng.bernoulli t 0.);
+    Alcotest.(check bool) "p=1" true (Prng.bernoulli t 1.)
+  done
+
+let test_prng_exponential_mean () =
+  let t = Prng.create 13 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let v = Prng.exponential t 2.0 in
+    Alcotest.(check bool) "positive" true (v >= 0.);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 17 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "multiset preserved" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let t = Prng.create 19 in
+  let u = Prng.split t in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 t = Prng.bits64 u then incr same
+  done;
+  Alcotest.(check bool) "split stream distinct" true (!same < 4)
+
+let test_prng_pick () =
+  let t = Prng.create 21 in
+  let arr = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.pick t arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick t [||]))
+
+let prop_prng_uniformish =
+  QCheck.Test.make ~name:"prng int covers range" ~count:50
+    QCheck.(int_range 2 40)
+    (fun bound ->
+      let t = Prng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Prng.int t bound) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+(* ---------- Heap ---------- *)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop none" None (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) int))) "peek none" None (Heap.peek h)
+
+let test_heap_sorted_output () =
+  let h = Heap.create () in
+  let keys = [ 5.; 1.; 4.; 1.5; 0.; 9.; 2. ] in
+  List.iteri (fun i k -> Heap.push h k i) keys;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+      out := k :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check
+    Alcotest.(list (float 0.))
+    "ascending" (List.sort compare keys) (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ 10; 20; 30; 40 ];
+  let order =
+    List.init 4 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1)
+  in
+  check Alcotest.(list int) "insertion order on equal keys" [ 10; 20; 30; 40 ] order
+
+let test_heap_peek_nondestructive () =
+  let h = Heap.create () in
+  Heap.push h 2. "b";
+  Heap.push h 1. "a";
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1., "a")) (Heap.peek h);
+  check Alcotest.int "length unchanged" 2 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h (float_of_int i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap sorts any float list" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "percentile nan" true (Float.is_nan (Stats.percentile s 50.));
+  check Alcotest.int "count" 0 (Stats.count s);
+  check Alcotest.string "summary" "n=0" (Stats.summary s)
+
+let test_stats_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "variance" (32. /. 7.) (Stats.variance s);
+  check (Alcotest.float 1e-9) "min" 2. (Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 9. (Stats.max_value s);
+  check (Alcotest.float 1e-9) "total" 40. (Stats.total s)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p0" 1. (Stats.percentile s 0.);
+  check (Alcotest.float 1e-9) "p100" 100. (Stats.percentile s 100.);
+  check (Alcotest.float 1e-9) "median" 50.5 (Stats.median s);
+  (* Clamping out-of-range percentiles. *)
+  check (Alcotest.float 1e-9) "p-5 clamps" 1. (Stats.percentile s (-5.));
+  check (Alcotest.float 1e-9) "p200 clamps" 100. (Stats.percentile s 200.)
+
+let test_stats_interleaved_sorting () =
+  (* add after percentile must keep working (re-sort). *)
+  let s = Stats.create () in
+  Stats.add s 5.;
+  ignore (Stats.median s);
+  Stats.add s 1.;
+  check (Alcotest.float 1e-9) "min updates" 1. (Stats.min_value s)
+
+let prop_welford_matches_stats =
+  QCheck.Test.make ~name:"welford matches direct variance" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let s = Stats.create () and w = Stats.Welford.create () in
+      List.iter
+        (fun x ->
+          Stats.add s x;
+          Stats.Welford.add w x)
+        xs;
+      let v1 = Stats.variance s and v2 = Stats.Welford.variance w in
+      Float.abs (v1 -. v2) < 1e-6 *. Float.max 1. (Float.abs v1))
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 3.; 9.9; -4.; 25. ];
+  let counts = Stats.Histogram.counts h in
+  check Alcotest.int "bin0 gets 0.5,1.5 and clamped -4" 3 counts.(0);
+  check Alcotest.int "bin4 gets 9.9 and clamped 25" 2 counts.(4);
+  check Alcotest.int "total" 6 (Stats.Histogram.total h);
+  check Alcotest.int "edges" 6 (Array.length (Stats.Histogram.bin_edges h));
+  Alcotest.check_raises "bad bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Stats.Histogram.create ~lo:0. ~hi:1. ~bins:0))
+
+(* ---------- Codec ---------- *)
+
+let test_codec_roundtrip_basics () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 200;
+  Codec.Writer.u16 w 65000;
+  Codec.Writer.u32 w 4_000_000_000;
+  Codec.Writer.u64 w (-1L);
+  Codec.Writer.f64 w 3.14159;
+  Codec.Writer.bool w true;
+  Codec.Writer.string w "hello";
+  Codec.Writer.bytes w (Bytes.of_string "\x00\xff");
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  check Alcotest.int "u8" 200 (Codec.Reader.u8 r);
+  check Alcotest.int "u16" 65000 (Codec.Reader.u16 r);
+  check Alcotest.int "u32" 4_000_000_000 (Codec.Reader.u32 r);
+  check Alcotest.int64 "u64" (-1L) (Codec.Reader.u64 r);
+  check (Alcotest.float 1e-12) "f64" 3.14159 (Codec.Reader.f64 r);
+  Alcotest.(check bool) "bool" true (Codec.Reader.bool r);
+  check Alcotest.string "string" "hello" (Codec.Reader.string r);
+  check Alcotest.bytes "bytes" (Bytes.of_string "\x00\xff") (Codec.Reader.bytes r);
+  Codec.Reader.expect_end r
+
+let test_codec_writer_bounds () =
+  let w = Codec.Writer.create () in
+  Alcotest.check_raises "u8 range" (Invalid_argument "Codec.Writer.u8: out of range")
+    (fun () -> Codec.Writer.u8 w 256);
+  Alcotest.check_raises "u16 range" (Invalid_argument "Codec.Writer.u16: out of range")
+    (fun () -> Codec.Writer.u16 w (-1));
+  Alcotest.check_raises "u32 range" (Invalid_argument "Codec.Writer.u32: out of range")
+    (fun () -> Codec.Writer.u32 w (-5))
+
+let test_codec_truncated () =
+  let r = Codec.Reader.create (Bytes.of_string "\x01") in
+  ignore (Codec.Reader.u8 r);
+  Alcotest.(check bool) "truncated u32 raises" true
+    (try
+       ignore (Codec.Reader.u32 r);
+       false
+     with Codec.Reader.Decode_error _ -> true)
+
+let test_codec_trailing () =
+  let r = Codec.Reader.create (Bytes.of_string "ab") in
+  ignore (Codec.Reader.u8 r);
+  Alcotest.(check bool) "trailing detected" true
+    (try
+       Codec.Reader.expect_end r;
+       false
+     with Codec.Reader.Decode_error _ -> true)
+
+let test_codec_bad_bool () =
+  let r = Codec.Reader.create (Bytes.of_string "\x07") in
+  Alcotest.(check bool) "bool 7 rejected" true
+    (try
+       ignore (Codec.Reader.bool r);
+       false
+     with Codec.Reader.Decode_error _ -> true)
+
+let prop_codec_string_roundtrip =
+  QCheck.Test.make ~name:"codec string roundtrip" ~count:200 QCheck.string (fun s ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.string w s;
+      let r = Codec.Reader.create (Codec.Writer.contents w) in
+      let out = Codec.Reader.string r in
+      Codec.Reader.expect_end r;
+      String.equal s out)
+
+(* ---------- Ewma ---------- *)
+
+let test_ewma () =
+  let e = Ewma.create ~alpha:0.5 in
+  Alcotest.(check bool) "uninitialized" false (Ewma.initialized e);
+  Ewma.add e 10.;
+  check (Alcotest.float 1e-9) "first" 10. (Ewma.value e);
+  Ewma.add e 20.;
+  check (Alcotest.float 1e-9) "second" 15. (Ewma.value e);
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Ewma.create: alpha not in (0,1]")
+    (fun () -> ignore (Ewma.create ~alpha:0.))
+
+(* ---------- Token bucket ---------- *)
+
+let test_token_bucket () =
+  let tb = Token_bucket.create ~rate:10. ~burst:5. in
+  Alcotest.(check bool) "initial burst" true (Token_bucket.try_take tb ~now:0. 5.);
+  Alcotest.(check bool) "empty" false (Token_bucket.try_take tb ~now:0. 1.);
+  Alcotest.(check bool) "refilled" true (Token_bucket.try_take tb ~now:0.5 4.9);
+  check (Alcotest.float 1e-6) "cap at burst" 5. (Token_bucket.available tb ~now:100.);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Token_bucket.create: rate must be positive") (fun () ->
+      ignore (Token_bucket.create ~rate:0. ~burst:1.))
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m "a";
+  Metrics.add m "b" 5;
+  check Alcotest.int "a" 2 (Metrics.get m "a");
+  check Alcotest.int "b" 5 (Metrics.get m "b");
+  check Alcotest.int "absent" 0 (Metrics.get m "zzz");
+  check Alcotest.(list (pair string int)) "sorted" [ ("a", 2); ("b", 5) ] (Metrics.to_list m);
+  Metrics.reset m;
+  check Alcotest.int "reset" 0 (Metrics.get m "a")
+
+(* ---------- Table ---------- *)
+
+let test_table () =
+  let t = Table.create ~title:"T" ~columns:[ "x"; "y" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_rowf t "%d | %s" 3 "four";
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (Rina_util.Metrics.get (Rina_util.Metrics.create ()) "noop" = 0
+     && String.length s > 0
+     &&
+     let contains needle =
+       let n = String.length needle and m = String.length s in
+       let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+       go 0
+     in
+     contains "== T ==" && contains "four" && contains "1");
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Table.add_row: 1 cells for 2 columns (table \"T\")") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let () =
+  Alcotest.run "rina_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick test_prng_seed_changes_stream;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+          QCheck_alcotest.to_alcotest prop_prng_uniformish;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "sorted output" `Quick test_heap_sorted_output;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek nondestructive" `Quick test_heap_peek_nondestructive;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "interleaved sorting" `Quick test_stats_interleaved_sorting;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          QCheck_alcotest.to_alcotest prop_welford_matches_stats;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_codec_roundtrip_basics;
+          Alcotest.test_case "writer bounds" `Quick test_codec_writer_bounds;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "trailing" `Quick test_codec_trailing;
+          Alcotest.test_case "bad bool" `Quick test_codec_bad_bool;
+          QCheck_alcotest.to_alcotest prop_codec_string_roundtrip;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "ewma" `Quick test_ewma;
+          Alcotest.test_case "token bucket" `Quick test_token_bucket;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "table" `Quick test_table;
+        ] );
+    ]
