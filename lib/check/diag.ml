@@ -1,0 +1,42 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  line : int;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ?(line = 0) ~code ~severity message =
+  { code; severity; line; message; hint }
+
+let error ?hint ?line code message = make ?hint ?line ~code ~severity:Error message
+
+let warning ?hint ?line code message = make ?hint ?line ~code ~severity:Warning message
+
+let severity_rank = function Error -> 0 | Warning -> 1
+
+let compare a b =
+  match Int.compare a.line b.line with
+  | 0 -> (
+    match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+    | 0 -> String.compare a.code b.code
+    | c -> c)
+  | c -> c
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  let where = if d.line > 0 then Printf.sprintf "line %d: " d.line else "" in
+  let hint = match d.hint with None -> "" | Some h -> Printf.sprintf " (hint: %s)" h in
+  Printf.sprintf "%s%s[%s] %s%s" where (severity_to_string d.severity) d.code
+    d.message hint
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

@@ -1,0 +1,47 @@
+(** Structured diagnostics shared by the policy linter and the
+    simulation sanitizer.
+
+    Every finding — a lint rule firing on a spec line, or a runtime
+    invariant violated mid-simulation — is reported in the same shape,
+    so CLI drivers and tests consume one stream regardless of where
+    the problem was caught. *)
+
+type severity =
+  | Error    (** the configuration / run is wrong; CI should fail *)
+  | Warning  (** suspicious but possibly intended *)
+
+type t = {
+  code : string;
+      (** stable machine-readable rule code ([L0xx] structural lint,
+          [L1xx] cross-field lint, [L2xx] topology-aware lint,
+          [SAN_*] sanitizer) *)
+  severity : severity;
+  line : int;  (** 1-based spec line; [0] when not tied to a line *)
+  message : string;
+  hint : string option;  (** how to fix it, when we know *)
+}
+
+val make : ?hint:string -> ?line:int -> code:string -> severity:severity -> string -> t
+(** [line] defaults to [0]. *)
+
+val error : ?hint:string -> ?line:int -> string -> string -> t
+(** [error code message] — convenience for {!make}. *)
+
+val warning : ?hint:string -> ?line:int -> string -> string -> t
+
+val compare : t -> t -> int
+(** Order by line, then severity (errors first), then code. *)
+
+val has_errors : t list -> bool
+
+val errors : t list -> t list
+
+val warnings : t list -> t list
+
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** [line 4: error[L101] message (hint: ...)] — single-line rendering
+    used by [rina_lint]. *)
+
+val pp : Format.formatter -> t -> unit

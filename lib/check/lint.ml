@@ -1,0 +1,298 @@
+module Policy = Rina_core.Policy
+
+type topo = { diameter : int; bottleneck_bit_rate : float; rtt : float }
+
+(* ---------- spec schema ---------- *)
+
+(* What a value must look like; mirrors the validation Policy_lang
+   performs, but reported as diagnostics instead of a fail-fast
+   Error. *)
+type vkind = Pos_int | Nonneg_float | Enum of string list | Any_string
+
+let schema =
+  [
+    ( "efcp",
+      [
+        ("window", Pos_int);
+        ("mtu", Pos_int);
+        ("init_rto", Nonneg_float);
+        ("min_rto", Nonneg_float);
+        ("max_rtx", Pos_int);
+        ("ack_delay", Nonneg_float);
+        ("rtx", Enum [ "selective"; "gbn"; "none" ]);
+        ("cc", Enum [ "on"; "off" ]);
+      ] );
+    ("scheduler", [ ("kind", Enum [ "fifo"; "priority"; "drr" ]); ("quantum", Pos_int) ]);
+    ( "routing",
+      [
+        ("hello_interval", Nonneg_float);
+        ("dead_interval", Nonneg_float);
+        ("lsa_min_interval", Nonneg_float);
+        ("refresh_ticks", Pos_int);
+      ] );
+    ("auth", [ ("kind", Enum [ "none"; "password" ]); ("secret", Any_string) ]);
+    ("dif", [ ("max_ttl", Pos_int) ]);
+  ]
+
+let known_sections = List.map fst schema
+
+let value_ok kind v =
+  match kind with
+  | Pos_int -> ( match int_of_string_opt v with Some n -> n > 0 | None -> false)
+  | Nonneg_float -> (
+    match float_of_string_opt v with Some f -> f >= 0. | None -> false)
+  | Enum choices -> List.mem v choices
+  | Any_string -> true
+
+let kind_to_string = function
+  | Pos_int -> "a positive integer"
+  | Nonneg_float -> "a non-negative number"
+  | Enum choices -> String.concat "|" choices
+  | Any_string -> "a string"
+
+(* ---------- line scanning (same lexical rules as Policy_lang) ---------- *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+type scan = {
+  mutable diags : Diag.t list;
+  (* last *valid* value of each (section, key), with its line *)
+  values : (string * string, string * int) Hashtbl.t;
+  (* first line each (section, key) appeared on, valid or not *)
+  first : (string * string, int) Hashtbl.t;
+}
+
+let emit sc d = sc.diags <- d :: sc.diags
+
+let scan_text sc text =
+  (* `Unknown suppresses per-key diagnostics: the L001 on the header
+     already covers every line under a typo'd section. *)
+  let section = ref `None in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim (strip_comment raw) in
+      if String.equal s "" then ()
+      else if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']'
+      then begin
+        let name = String.sub s 1 (String.length s - 2) in
+        if List.mem name known_sections then section := `Known name
+        else begin
+          section := `Unknown;
+          emit sc
+            (Diag.error ~line "L001"
+               (Printf.sprintf "unknown section [%s]" name)
+               ~hint:
+                 (Printf.sprintf "known sections: %s"
+                    (String.concat ", " known_sections)))
+        end
+      end
+      else
+        match String.index_opt s '=' with
+        | None ->
+          emit sc
+            (Diag.error ~line "L004"
+               (Printf.sprintf "expected key = value, got %S" s)
+               ~hint:"every non-comment line is a [section] header or key = value")
+        | Some eq -> (
+          let key = String.trim (String.sub s 0 eq) in
+          let v = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+          match !section with
+          | `Unknown -> ()
+          | `None ->
+            emit sc
+              (Diag.error ~line "L004"
+                 (Printf.sprintf "key %S outside any [section]" key)
+                 ~hint:"open a section such as [efcp] before assigning keys")
+          | `Known sec -> (
+            let keys = List.assoc sec schema in
+            match List.assoc_opt key keys with
+            | None ->
+              emit sc
+                (Diag.error ~line "L002"
+                   (Printf.sprintf "unknown key %S in [%s]" key sec)
+                   ~hint:
+                     (Printf.sprintf "keys valid in [%s]: %s" sec
+                        (String.concat ", " (List.map fst keys))))
+            | Some kind ->
+              let id = (sec, key) in
+              (match Hashtbl.find_opt sc.first id with
+               | Some prev ->
+                 emit sc
+                   (Diag.error ~line "L003"
+                      (Printf.sprintf "duplicate key %S in [%s] (first set at line %d)"
+                         key sec prev)
+                      ~hint:"later assignments silently override earlier ones")
+               | None -> Hashtbl.replace sc.first id line);
+              if value_ok kind v then Hashtbl.replace sc.values id (v, line)
+              else
+                emit sc
+                  (Diag.error ~line "L005"
+                     (Printf.sprintf "%s expects %s, got %S" key (kind_to_string kind)
+                        v)))))
+    lines
+
+(* ---------- resolved view: spec merged over the base policy ---------- *)
+
+(* Each accessor yields the value the simulator would actually run
+   with, plus the line that set it (0 = inherited from [base]). *)
+let geti sc sec key base =
+  match Hashtbl.find_opt sc.values (sec, key) with
+  | Some (v, ln) -> (int_of_string v, ln)
+  | None -> (base, 0)
+
+let getf sc sec key base =
+  match Hashtbl.find_opt sc.values (sec, key) with
+  | Some (v, ln) -> (float_of_string v, ln)
+  | None -> (base, 0)
+
+let gets sc sec key base =
+  match Hashtbl.find_opt sc.values (sec, key) with
+  | Some (v, ln) -> (v, ln)
+  | None -> (base, 0)
+
+let set_in_spec sc sec key = Hashtbl.mem sc.values (sec, key)
+
+(* Line to pin a cross-field finding on: the latest explicitly set
+   participant. *)
+let at lns = List.fold_left max 0 lns
+
+let consistency sc (base : Policy.t) topo =
+  let e = base.Policy.efcp and r = base.Policy.routing in
+  let window, ln_window = geti sc "efcp" "window" e.Policy.window in
+  let mtu, ln_mtu = geti sc "efcp" "mtu" e.Policy.mtu in
+  let init_rto, ln_irto = getf sc "efcp" "init_rto" e.Policy.init_rto in
+  let min_rto, ln_mrto = getf sc "efcp" "min_rto" e.Policy.min_rto in
+  let ack_delay, ln_ack = getf sc "efcp" "ack_delay" e.Policy.ack_delay in
+  let base_kind =
+    match base.Policy.scheduler with
+    | Policy.Fifo -> "fifo"
+    | Policy.Priority_queueing -> "priority"
+    | Policy.Drr _ -> "drr"
+  in
+  let base_quantum =
+    match base.Policy.scheduler with Policy.Drr q -> q | _ -> 1500
+  in
+  let sched_kind, ln_kind = gets sc "scheduler" "kind" base_kind in
+  let quantum, ln_quantum = geti sc "scheduler" "quantum" base_quantum in
+  let base_auth, base_secret =
+    match base.Policy.auth with
+    | Policy.Auth_none -> ("none", "")
+    | Policy.Auth_password s -> ("password", s)
+  in
+  let auth_kind, ln_auth = gets sc "auth" "kind" base_auth in
+  let secret, ln_secret = gets sc "auth" "secret" base_secret in
+  let hello, ln_hello = getf sc "routing" "hello_interval" r.Policy.hello_interval in
+  let dead, ln_dead = getf sc "routing" "dead_interval" r.Policy.dead_interval in
+  let lsa_min, ln_lsa = getf sc "routing" "lsa_min_interval" r.Policy.lsa_min_interval in
+  let max_ttl, ln_ttl = geti sc "dif" "max_ttl" base.Policy.max_ttl in
+  (* L101: the retransmission timer lives in [min_rto, max_rto] and
+     starts at init_rto; a floor above the start is contradictory. *)
+  if min_rto > init_rto then
+    emit sc
+      (Diag.error ~line:(at [ ln_irto; ln_mrto ]) "L101"
+         (Printf.sprintf "min_rto (%g s) exceeds init_rto (%g s)" min_rto init_rto)
+         ~hint:"the RTO starts at init_rto and is clamped to at least min_rto");
+  (* L102: init_rto above the hard ceiling is silently clamped. *)
+  if init_rto > Rina_core.Efcp.max_rto then
+    emit sc
+      (Diag.warning ~line:(at [ ln_irto ]) "L102"
+         (Printf.sprintf "init_rto (%g s) is above the %g s RTO ceiling and will be clamped"
+            init_rto Rina_core.Efcp.max_rto));
+  (* L103: delayed acks slower than the initial RTO guarantee spurious
+     retransmissions until an RTT sample arrives. *)
+  if ack_delay > 0. && ack_delay >= init_rto then
+    emit sc
+      (Diag.warning ~line:(at [ ln_ack; ln_irto ]) "L103"
+         (Printf.sprintf "ack_delay (%g s) is not below init_rto (%g s)" ack_delay
+            init_rto)
+         ~hint:"the sender times out and retransmits before the delayed ack leaves");
+  (* L104: quantum is a DRR knob only. *)
+  if set_in_spec sc "scheduler" "quantum" && sched_kind <> "drr" then
+    emit sc
+      (Diag.warning ~line:(at [ ln_quantum ]) "L104"
+         (Printf.sprintf "quantum is only meaningful under kind = drr (kind is %s)"
+            sched_kind)
+         ~hint:"set kind = drr or drop the quantum line");
+  (* L105: a DRR quantum below the MTU cannot release a full-size PDU
+     per round; large flows starve behind small ones. *)
+  if sched_kind = "drr" && quantum < mtu then
+    emit sc
+      (Diag.warning ~line:(at [ ln_quantum; ln_mtu; ln_kind ]) "L105"
+         (Printf.sprintf "drr quantum (%d B) is smaller than the MTU (%d B)" quantum
+            mtu)
+         ~hint:"use a quantum of at least one MTU");
+  (* L106/L107: secret iff password authentication. *)
+  if auth_kind = "password" && String.equal secret "" then
+    emit sc
+      (Diag.error ~line:(at [ ln_auth ]) "L106" "auth kind = password requires a secret");
+  if set_in_spec sc "auth" "secret" && auth_kind <> "password" then
+    emit sc
+      (Diag.warning ~line:(at [ ln_secret ]) "L107"
+         (Printf.sprintf "secret is ignored unless auth kind = password (kind is %s)"
+            auth_kind));
+  (* L108/L109: adjacency liveness needs headroom over the hello period. *)
+  if dead <= hello then
+    emit sc
+      (Diag.error ~line:(at [ ln_dead; ln_hello ]) "L108"
+         (Printf.sprintf "dead_interval (%g s) is not above hello_interval (%g s)" dead
+            hello)
+         ~hint:"a single on-time hello cannot keep the adjacency alive")
+  else if dead <= 2. *. hello then
+    emit sc
+      (Diag.warning ~line:(at [ ln_dead; ln_hello ]) "L109"
+         (Printf.sprintf
+            "dead_interval (%g s) is within 2x hello_interval (%g s): one lost hello \
+             drops the adjacency"
+            dead hello)
+         ~hint:"use dead_interval > 2 x hello_interval");
+  (* L110: flood damping at or above the hello period swallows refreshes. *)
+  if lsa_min >= hello && hello > 0. then
+    emit sc
+      (Diag.warning ~line:(at [ ln_lsa; ln_hello ]) "L110"
+         (Printf.sprintf
+            "lsa_min_interval (%g s) is not below hello_interval (%g s): updates are \
+             damped behind the hello clock"
+            lsa_min hello));
+  (* L111: stop-and-wait plus delayed acks serialises every PDU behind
+     the ack timer. *)
+  if window = 1 && ack_delay > 0. then
+    emit sc
+      (Diag.warning ~line:(at [ ln_window; ln_ack ]) "L111"
+         (Printf.sprintf
+            "window = 1 with ack_delay = %g s adds the ack delay to every PDU's RTT"
+            ack_delay)
+         ~hint:"drop ack_delay, or open the window");
+  match topo with
+  | None -> ()
+  | Some { diameter; bottleneck_bit_rate; rtt } ->
+    (* L201: PDUs on the longest path die before arriving. *)
+    if max_ttl < diameter then
+      emit sc
+        (Diag.error ~line:(at [ ln_ttl ]) "L201"
+           (Printf.sprintf "max_ttl (%d) is below the topology diameter (%d hops)"
+              max_ttl diameter)
+           ~hint:"PDUs between the farthest pair are dropped as TTL-expired");
+    (* L202: the send window cannot fill the pipe. *)
+    let bdp = bottleneck_bit_rate /. 8. *. rtt in
+    let capacity = float_of_int (window * mtu) in
+    if capacity < bdp then
+      emit sc
+        (Diag.warning ~line:(at [ ln_window; ln_mtu ]) "L202"
+           (Printf.sprintf
+              "window x mtu (%d x %d = %.0f B) is below the bandwidth-delay product \
+               (%.0f B): the flow cannot saturate the path"
+              window mtu capacity bdp)
+           ~hint:"raise window (or mtu) to cover bit_rate/8 x rtt")
+
+let lint ?(base = Policy.default) ?topo text =
+  let sc = { diags = []; values = Hashtbl.create 32; first = Hashtbl.create 32 } in
+  scan_text sc text;
+  consistency sc base topo;
+  List.sort Diag.compare sc.diags
+
+let clean ?base ?topo text = not (Diag.has_errors (lint ?base ?topo text))

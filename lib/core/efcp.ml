@@ -335,13 +335,34 @@ let handle_ack t (pdu : Pdu.t) =
   t.send_limit <- max t.send_limit (ack + pdu.Pdu.window);
   drain_backlog t
 
+(* Sanitizer hook: the connection-state invariants that hold after any
+   PDU has been processed.  [snd_una] may never pass [next_seq], the
+   outstanding window may never exceed the credit window, and the
+   receiver may never buffer more out-of-order PDUs than it advertised
+   space for. *)
+let check_invariants t =
+  if t.snd_una > t.next_seq then
+    Rina_util.Invariant.record ~code:"SAN_EFCP_SEQ"
+      (Printf.sprintf "cep %d: snd_una %d ahead of next_seq %d" t.local_cep
+         t.snd_una t.next_seq);
+  if reliable t && in_flight t > t.config.Policy.window then
+    Rina_util.Invariant.record ~code:"SAN_EFCP_WINDOW"
+      (Printf.sprintf "cep %d: %d PDUs in flight exceeds window %d" t.local_cep
+         (in_flight t) t.config.Policy.window);
+  if Hashtbl.length t.ooo > t.config.Policy.window then
+    Rina_util.Invariant.record ~code:"SAN_EFCP_RCVBUF"
+      (Printf.sprintf "cep %d: %d PDUs buffered out-of-order exceeds window %d"
+         t.local_cep (Hashtbl.length t.ooo) t.config.Policy.window)
+
 let handle_pdu t (pdu : Pdu.t) =
   if t.closed then ()
-  else
-    match pdu.Pdu.pdu_type with
-    | Pdu.Dtp -> handle_dtp t pdu
-    | Pdu.Ack -> handle_ack t pdu
-    | Pdu.Mgmt | Pdu.Hello -> Rina_util.Metrics.incr t.metrics "foreign_pdus"
+  else begin
+    (match pdu.Pdu.pdu_type with
+     | Pdu.Dtp -> handle_dtp t pdu
+     | Pdu.Ack -> handle_ack t pdu
+     | Pdu.Mgmt | Pdu.Hello -> Rina_util.Metrics.incr t.metrics "foreign_pdus");
+    if !Rina_util.Invariant.enabled then check_invariants t
+  end
 
 let debug t =
   Printf.sprintf

@@ -48,6 +48,10 @@ val metrics : t -> Rina_util.Metrics.t
     [delivered], [dup_rcvd], [ooo_buffered], [gbn_discards],
     [backlog_hwm]... *)
 
+val max_rto : float
+(** Hard ceiling (seconds) on the retransmission timeout; backoff and
+    [init_rto] are clamped to it.  Exported for the policy linter. *)
+
 val in_flight : t -> int
 (** PDUs sent and not yet acknowledged. *)
 

@@ -128,6 +128,14 @@ let finish st line =
   | (Error _ as e), _ -> e
   | _, (Error _ as e) -> e
 
+let section_name = function
+  | S_none -> "none"
+  | S_efcp -> "efcp"
+  | S_scheduler -> "scheduler"
+  | S_routing -> "routing"
+  | S_auth -> "auth"
+  | S_dif -> "dif"
+
 let strip_comment line =
   match String.index_opt line '#' with
   | None -> line
@@ -155,6 +163,9 @@ let parse ?(base = Policy.default) text =
    | Policy.Auth_password s ->
      st.auth_kind <- "password";
      st.auth_secret <- s);
+  (* (section, key) -> line of the first occurrence; a second write to
+     the same key is a spec bug (it used to silently last-write-win). *)
+  let seen : (string * string, int) Hashtbl.t = Hashtbl.create 16 in
   let lines = String.split_on_char '\n' text in
   let rec loop n = function
     | [] -> finish st n
@@ -188,6 +199,14 @@ let parse ?(base = Policy.default) text =
         | Some i -> (
           let key = String.trim (String.sub line 0 i) in
           let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          let id = (section_name st.section, key) in
+          match Hashtbl.find_opt seen id with
+          | Some first ->
+            err n
+              (Printf.sprintf "duplicate key %S in [%s] (first set at line %d)" key
+                 (fst id) first)
+          | None ->
+            Hashtbl.replace seen id n;
           match apply_kv st n key v with
           | Ok p ->
             st.policy <- p;

@@ -33,7 +33,10 @@
 
 val parse : ?base:Policy.t -> string -> (Policy.t, string) result
 (** Apply a spec on top of [base] (default {!Policy.default}).  Errors
-    carry the offending line number and token. *)
+    carry the offending line number and token.  Setting the same key
+    twice in a section is an error (it used to silently
+    last-write-win); the message names both lines.  For structured,
+    non-fail-fast diagnostics over a spec, see [Rina_check.Lint]. *)
 
 val to_string : Policy.t -> string
 (** Render a policy back into parsable spec text (round-trips through

@@ -22,7 +22,18 @@ let notify t event path value =
       if String.starts_with ~prefix:w.prefix path then w.callback event path value)
     t.watchers
 
+(* Sanitizer hook: object names are absolute slash-separated paths.  A
+   relative, empty or slash-doubled path would silently partition the
+   namespace ([children] and prefix watchers could never see it). *)
 let write t path value =
+  (if !Rina_util.Invariant.enabled then
+     let len = String.length path in
+     let rec has_double i =
+       i + 1 < len && ((path.[i] = '/' && path.[i + 1] = '/') || has_double (i + 1))
+     in
+     if len = 0 || path.[0] <> '/' || path.[len - 1] = '/' || has_double 0 then
+       Rina_util.Invariant.record ~code:"SAN_RIB_PATH"
+         (Printf.sprintf "malformed RIB object name %S" path));
   let event = if Hashtbl.mem t.objects path then Updated else Created in
   Hashtbl.replace t.objects path value;
   notify t event path (Some value)

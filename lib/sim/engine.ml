@@ -24,6 +24,18 @@ let step t =
   match Rina_util.Heap.pop t.queue with
   | None -> false
   | Some (time, h) ->
+    if !Rina_util.Invariant.enabled then begin
+      if time < t.clock then
+        Rina_util.Invariant.record ~code:"SAN_CLOCK"
+          (Printf.sprintf "event at t=%g popped with clock already at %g" time
+             t.clock);
+      match Rina_util.Heap.peek t.queue with
+      | Some (succ, _) when succ < time ->
+        Rina_util.Invariant.record ~code:"SAN_HEAP"
+          (Printf.sprintf "heap order broken: popped t=%g but t=%g still queued"
+             time succ)
+      | Some _ | None -> ()
+    end;
     t.clock <- time;
     if not h.cancelled then h.action ();
     true

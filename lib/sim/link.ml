@@ -1,3 +1,9 @@
+type conservation = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
 type half = {
   engine : Engine.t;
   rng : Rina_util.Prng.t;
@@ -10,6 +16,10 @@ type half = {
   mutable queued : int;
   mutable receiver : bytes -> unit;
   mutable epoch : int;  (* bumped on carrier-down; voids in-flight frames *)
+  conserv : conservation;
+      (* sanitizer accounting: only maintained while
+         [Rina_util.Invariant.enabled]; at drain, injected must equal
+         delivered + dropped *)
 }
 
 type t = {
@@ -33,6 +43,7 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss =
     queued = 0;
     receiver = (fun _ -> ());
     epoch = 0;
+    conserv = { injected = 0; delivered = 0; dropped = 0 };
   }
 
 let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_loss)
@@ -50,12 +61,32 @@ let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_l
     watchers = [];
   }
 
+(* Conservation accounting is guarded by the sanitizer flag at every
+   site (a load and a branch) rather than hoisted into helper closures,
+   so the disabled path allocates nothing extra per frame. *)
+let[@inline] account_admission_drop half =
+  if !Rina_util.Invariant.enabled then begin
+    half.conserv.injected <- half.conserv.injected + 1;
+    half.conserv.dropped <- half.conserv.dropped + 1
+  end
+
+let[@inline] account_late_drop half =
+  if !Rina_util.Invariant.enabled then
+    half.conserv.dropped <- half.conserv.dropped + 1
+
 let transmit t half frame =
   let m = half.stats in
-  if not t.up then Rina_util.Metrics.incr m "dropped_down"
-  else if half.queued >= half.queue_capacity then
+  if not t.up then begin
+    account_admission_drop half;
+    Rina_util.Metrics.incr m "dropped_down"
+  end
+  else if half.queued >= half.queue_capacity then begin
+    account_admission_drop half;
     Rina_util.Metrics.incr m "dropped_queue"
+  end
   else begin
+    if !Rina_util.Invariant.enabled then
+      half.conserv.injected <- half.conserv.injected + 1;
     Rina_util.Metrics.incr m "tx";
     Rina_util.Metrics.add m "tx_bytes" (Bytes.length frame);
     half.queued <- half.queued + 1;
@@ -69,18 +100,28 @@ let transmit t half frame =
       (Engine.schedule_at half.engine ~time:finish (fun () ->
            half.queued <- half.queued - 1;
            if epoch = half.epoch && t.up then
-             if Loss.drops half.loss half.rng then
+             if Loss.drops half.loss half.rng then begin
+               account_late_drop half;
                Rina_util.Metrics.incr m "dropped_loss"
+             end
              else
                ignore
                  (Engine.schedule half.engine ~delay:half.delay (fun () ->
                       if epoch = half.epoch && t.up && not t.blackhole then begin
+                        if !Rina_util.Invariant.enabled then
+                          half.conserv.delivered <- half.conserv.delivered + 1;
                         Rina_util.Metrics.incr m "rx";
                         Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
                         half.receiver frame
                       end
-                      else Rina_util.Metrics.incr m "dropped_down"))
-           else Rina_util.Metrics.incr m "dropped_down"))
+                      else begin
+                        account_late_drop half;
+                        Rina_util.Metrics.incr m "dropped_down"
+                      end))
+           else begin
+             account_late_drop half;
+             Rina_util.Metrics.incr m "dropped_down"
+           end))
   end
 
 (* Endpoint A transmits on the forward half and receives from the
@@ -123,3 +164,7 @@ let is_up t = t.up
 let stats_a t = t.forward.stats
 
 let stats_b t = t.backward.stats
+
+let conservation_a t = t.forward.conserv
+
+let conservation_b t = t.backward.conserv

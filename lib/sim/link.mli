@@ -41,3 +41,22 @@ val stats_a : t -> Rina_util.Metrics.t
 (** Counters for the half transmitting from endpoint A. *)
 
 val stats_b : t -> Rina_util.Metrics.t
+
+(** Sanitizer accounting for one direction (see
+    {!Rina_check.Sanitizer.audit_link}): every frame handed to the link
+    is [injected], and ends up [delivered] or [dropped] (queue tail,
+    loss model, carrier loss, blackhole).  Once the event queue drains,
+    [injected = delivered + dropped] — the PDU-conservation invariant.
+    Only maintained while [Rina_util.Invariant.enabled] is set (enable
+    it before injecting traffic); the fields are mutable so tests can
+    simulate an accounting leak. *)
+type conservation = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+val conservation_a : t -> conservation
+(** Accounting for frames sent by endpoint A (the forward half). *)
+
+val conservation_b : t -> conservation

@@ -1,0 +1,23 @@
+let enabled = ref false
+
+let set_enabled b = enabled := b
+
+type violation = { code : string; detail : string; mutable count : int }
+
+let store : (string, violation) Hashtbl.t = Hashtbl.create 16
+
+let on_violation : (code:string -> detail:string -> unit) option ref = ref None
+
+let record ~code detail =
+  (match Hashtbl.find_opt store code with
+   | Some v -> v.count <- v.count + 1
+   | None -> Hashtbl.replace store code { code; detail; count = 1 });
+  match !on_violation with None -> () | Some f -> f ~code ~detail
+
+let violations () =
+  Hashtbl.fold (fun _ v acc -> v :: acc) store []
+  |> List.sort (fun a b -> String.compare a.code b.code)
+
+let total () = Hashtbl.fold (fun _ v acc -> acc + v.count) store 0
+
+let clear () = Hashtbl.reset store

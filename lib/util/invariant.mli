@@ -1,0 +1,47 @@
+(** Runtime invariant checking (the "simulation sanitizer" core).
+
+    Components assert internal invariants — clock monotonicity, window
+    bounds, conservation counters — through this module instead of
+    [assert], so that checking can be switched on per run and
+    violations are collected rather than aborting the simulation.
+
+    The discipline at a call site is
+
+    {[ if !Invariant.enabled then
+         if bad then Invariant.record ~code:"SAN_..." detail ]}
+
+    so a disabled sanitizer costs one load and one branch per check.
+    Checking is off by default; experiments and CI tests opt in.
+
+    This module holds no simulator state and lives in [Rina_util] so
+    that both [Rina_sim] and [Rina_core] can report into it; the
+    structured-diagnostic view lives in [Rina_check.Sanitizer]. *)
+
+val enabled : bool ref
+(** Master switch, [false] by default.  Read it directly ([!enabled])
+    in hot paths. *)
+
+val set_enabled : bool -> unit
+
+type violation = {
+  code : string;       (** stable machine code, e.g. ["SAN_CLOCK"] *)
+  detail : string;     (** human text from the first occurrence *)
+  mutable count : int; (** occurrences since the last [clear] *)
+}
+
+val record : code:string -> string -> unit
+(** Register a violation.  The first occurrence of each code keeps its
+    detail string; later ones only bump the count.  If an
+    [on_violation] hook is installed it runs on every occurrence. *)
+
+val violations : unit -> violation list
+(** All violations recorded since the last [clear], sorted by code. *)
+
+val total : unit -> int
+(** Sum of all violation counts. *)
+
+val clear : unit -> unit
+
+val on_violation : (code:string -> detail:string -> unit) option ref
+(** Optional hook, e.g. [Some (fun ~code ~detail -> failwith ...)] to
+    fail fast in tests.  [None] (collect only) by default. *)
