@@ -133,8 +133,34 @@ let outage_of sink ~before_count ~before_maxseq =
   let interval = float_of_int (8 * sdu_size) /. cbr_rate in
   (float_of_int lost *. interval, lost)
 
+(* RINA_TRACE=<file> turns the flight recorder on for the RINA run:
+   events stream into an in-memory trace, periodic probes sample the
+   radio-link queues and H's EFCP window occupancy, and the trace is
+   saved as JSONL for rina_trace at the end.  The returned closure
+   finalises (save + detach); with the variable unset it is a no-op and
+   tracing stays disabled. *)
+let maybe_trace w =
+  match Sys.getenv_opt "RINA_TRACE" with
+  | None -> fun () -> ()
+  | Some path ->
+    let tr = Rina_sim.Trace.create w.engine in
+    Rina_sim.Trace.attach tr;
+    let until = Engine.now w.engine +. 40. in
+    Rina_sim.Trace.probe tr ~name:"queue:b1-m" ~period:0.1 ~until (fun () ->
+        Link.queue_depth_a w.l_b1_m);
+    Rina_sim.Trace.probe tr ~name:"queue:b2-m" ~period:0.1 ~until (fun () ->
+        Link.queue_depth_a w.l_b2_m);
+    Rina_sim.Trace.probe tr ~name:"efcp:h-window" ~period:0.1 ~until (fun () ->
+        List.fold_left
+          (fun acc (_, in_flight, _) -> acc + in_flight)
+          0 (Ipcp.flow_stats w.h));
+    fun () ->
+      Rina_sim.Trace.save_jsonl tr path;
+      Rina_sim.Trace.detach ()
+
 let run_rina table =
   let w = build () in
+  let finish_trace = maybe_trace w in
   let sink = Workload.sink () in
   let dst = Rina_core.Types.apn "mobile-app" in
   Ipcp.register_app w.m_top dst ~on_flow:(fun flow ->
@@ -148,7 +174,7 @@ let run_rina table =
   while !result = None && Engine.now w.engine < deadline do
     Engine.run ~until:(Engine.now w.engine +. 0.05) w.engine
   done;
-  match !result with
+  (match !result with
   | Some (Ok flow) ->
     let t0 = Engine.now w.engine in
     Workload.cbr w.engine ~send:flow.Ipcp.send ~rate:cbr_rate ~size:sdu_size
@@ -207,7 +233,8 @@ let run_rina table =
         (Dif.members w.bottom_right)
     end;
     Table.add_rowf table "RINA mobility | FAILED: %s | - | - | -" e
-  | None -> Table.add_rowf table "RINA mobility | ALLOC HUNG | - | - | -"
+  | None -> Table.add_rowf table "RINA mobility | ALLOC HUNG | - | - | -");
+  finish_trace ()
 
 (* --- Mobile-IP baseline --- *)
 

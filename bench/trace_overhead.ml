@@ -1,0 +1,93 @@
+(* Flight-recorder overhead micro-benchmark.
+
+   Three measurements, written as BENCH_trace_overhead.json so the perf
+   trajectory is machine-readable across commits:
+
+   - the disabled path: every instrumented site costs one ref load and
+     one branch ([if !Flight.enabled then ...]) — measured per event to
+     show that tracing off is free;
+   - the enabled path: full event construction + sink call (a counting
+     sink, so the numbers are emission cost, not buffer growth);
+   - a small scenario (a timer-driven sender over a Link for 5
+     simulated seconds) run with tracing off and on, whose ratio is the
+     end-to-end overhead story. *)
+
+module Flight = Rina_util.Flight
+module Engine = Rina_sim.Engine
+module Link = Rina_sim.Link
+
+(* The representative emission site: guard, span computation, emit. *)
+let[@inline never] emission_site i =
+  if !Flight.enabled then
+    Flight.emit ~component:"bench" ~flow:7 ~seq:i ~size:1400
+      ~span:(Flight.span_of ~flow:7 ~seq:i) Flight.Pdu_sent
+
+(* Run [site] in batches until at least [min_time] CPU seconds have
+   been consumed; returns seconds per call. *)
+let time_per_call ?(min_time = 0.2) site =
+  let batch = 1_000_000 in
+  let total = ref 0 and elapsed = ref 0. in
+  while !elapsed < min_time do
+    let t0 = Sys.time () in
+    for i = 1 to batch do
+      site i
+    done;
+    elapsed := !elapsed +. (Sys.time () -. t0);
+    total := !total + batch
+  done;
+  !elapsed /. float_of_int !total
+
+let scenario () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 1 in
+  let link = Link.create engine rng ~bit_rate:1e8 ~delay:0.001 ~label:"bench" () in
+  let a = Link.endpoint_a link in
+  (Link.endpoint_b link).Rina_sim.Chan.set_receiver (fun _ -> ());
+  let frame = Bytes.make 1000 'x' in
+  let rec tick () =
+    a.Rina_sim.Chan.send frame;
+    if Engine.now engine < 5.0 then
+      ignore (Engine.schedule engine ~delay:0.0001 tick)
+  in
+  tick ();
+  let t0 = Sys.time () in
+  Engine.run engine;
+  Sys.time () -. t0
+
+let run () =
+  (* Make sure the recorder starts from the default (off) state. *)
+  Rina_sim.Trace.detach ();
+  let ns_disabled = 1e9 *. time_per_call emission_site in
+  let scenario_disabled = scenario () in
+  let count = ref 0 in
+  Flight.sink := (fun _ -> incr count);
+  Flight.enabled := true;
+  let ns_enabled = 1e9 *. time_per_call emission_site in
+  let scenario_enabled = scenario () in
+  Rina_sim.Trace.detach ();
+  let events_per_sec = 1e9 /. ns_enabled in
+  let ratio =
+    if scenario_disabled > 0. then scenario_enabled /. scenario_disabled
+    else 1.
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"ns_per_event_disabled\": %.3f,\n\
+      \  \"ns_per_event_enabled\": %.3f,\n\
+      \  \"events_per_sec_enabled\": %.0f,\n\
+      \  \"scenario_disabled_s\": %.4f,\n\
+      \  \"scenario_enabled_s\": %.4f,\n\
+      \  \"scenario_overhead_ratio\": %.4f\n\
+       }\n"
+      ns_disabled ns_enabled events_per_sec scenario_disabled scenario_enabled
+      ratio
+  in
+  Out_channel.with_open_text "BENCH_trace_overhead.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf
+    "trace overhead: %.2f ns/event disabled (gate only), %.1f ns/event \
+     enabled (%.1f Mevents/s); scenario %.3fs -> %.3fs (x%.3f)\n\
+     wrote BENCH_trace_overhead.json\n"
+    ns_disabled ns_enabled (events_per_sec /. 1e6) scenario_disabled
+    scenario_enabled ratio

@@ -1,0 +1,131 @@
+(* rina_trace — offline analyzer for flight-recorder traces.
+
+   Reads a JSONL trace (written by Rina_sim.Trace.save_jsonl, or by any
+   experiment run with RINA_TRACE=file set) and prints the sections
+   requested: per-flow latency percentiles, drop breakdowns by reason,
+   queue-occupancy timelines from the periodic probes, the largest
+   delivery gap (the handoff interruption window), and a text sequence
+   diagram of the first few per-PDU spans.  With no section flag, the
+   summary is printed.
+
+     rina_trace trace.jsonl
+     rina_trace --latency --drops trace.jsonl
+     rina_trace --gap --component efcp trace.jsonl
+     rina_trace --seq 3 trace.jsonl
+
+   Exit status: 0 on success, 2 if the trace cannot be read or
+   parsed. *)
+
+open Cmdliner
+module Flight = Rina_util.Flight
+module Stats = Rina_util.Stats
+module Report = Rina_check.Trace_report
+
+let ms t = 1000. *. t
+
+let print_latency events =
+  match Report.latency_by_flow events with
+  | [] -> print_string "latency: no completed spans\n"
+  | flows ->
+    print_string "latency (per flow, ms):\n";
+    Printf.printf "  %-12s %6s %8s %8s %8s %8s %8s\n" "flow" "n" "mean"
+      "p50" "p95" "p99" "max";
+    List.iter
+      (fun (flow, st) ->
+        Printf.printf "  %-12d %6d %8.3f %8.3f %8.3f %8.3f %8.3f\n" flow
+          (Stats.count st) (ms (Stats.mean st))
+          (ms (Stats.percentile st 50.))
+          (ms (Stats.percentile st 95.))
+          (ms (Stats.percentile st 99.))
+          (ms (Stats.max_value st)))
+      flows
+
+let print_drops events =
+  match Report.drop_breakdown events with
+  | [] -> print_string "drops: none\n"
+  | drops ->
+    print_string "drops by reason:\n";
+    List.iter (fun (reason, n) -> Printf.printf "  %-16s %d\n" reason n) drops
+
+let print_queues events =
+  match Report.queue_timeline events with
+  | [] -> print_string "queues: no probe samples\n"
+  | probes ->
+    print_string "queue/window occupancy (probe samples):\n";
+    List.iter
+      (fun (name, samples) ->
+        let peak = List.fold_left (fun m (_, v) -> max m v) 0 samples in
+        Printf.printf "  %s: %d samples, peak %d\n" name
+          (List.length samples) peak;
+        List.iter
+          (fun (t, v) -> Printf.printf "    %12.6f  %d\n" t v)
+          samples)
+      probes
+
+let print_gap component events =
+  match Report.delivery_gap ?component events with
+  | None -> print_string "gap: fewer than two deliveries\n"
+  | Some (gap, start) ->
+    Printf.printf "largest delivery gap: %.6f s starting at t=%.6f%s\n" gap
+      start
+      (match component with
+      | None -> ""
+      | Some c -> Printf.sprintf " (components %s*)" c)
+
+let run file latency drops queues gap seq component =
+  match Rina_sim.Trace.load_jsonl file with
+  | Error e ->
+    Printf.eprintf "rina_trace: %s\n" e;
+    2
+  | Ok events ->
+    let any = latency || drops || queues || gap || seq <> None in
+    if not any then print_string (Report.summary events);
+    if latency then print_latency events;
+    if drops then print_drops events;
+    if queues then print_queues events;
+    if gap then print_gap component events;
+    (match seq with
+    | Some n -> print_string (Report.sequence_diagram ~max_spans:n events)
+    | None -> ());
+    0
+
+let cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace file.")
+  in
+  let latency =
+    Arg.(value & flag
+         & info [ "latency" ] ~doc:"Per-flow one-way delay percentiles.")
+  in
+  let drops =
+    Arg.(value & flag & info [ "drops" ] ~doc:"Drop counts by reason.")
+  in
+  let queues =
+    Arg.(value & flag
+         & info [ "queues" ] ~doc:"Queue/window occupancy timelines from probes.")
+  in
+  let gap =
+    Arg.(value & flag
+         & info [ "gap" ]
+             ~doc:"Largest gap between consecutive deliveries (interruption \
+                   window).")
+  in
+  let seq =
+    Arg.(value & opt (some int) None
+         & info [ "seq" ] ~docv:"N"
+             ~doc:"Sequence diagram of the first $(docv) per-PDU spans.")
+  in
+  let component =
+    Arg.(value & opt (some string) None
+         & info [ "component" ] ~docv:"PREFIX"
+             ~doc:"Restrict --gap to components starting with $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "rina_trace" ~version:"1.0.0"
+       ~doc:"Analyze flight-recorder traces (latency, drops, queues, gaps)")
+    Term.(const run $ file $ latency $ drops $ queues $ gap $ seq $ component)
+
+let () = exit (Cmd.eval' cmd)

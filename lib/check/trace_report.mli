@@ -1,0 +1,51 @@
+(** Offline analysis of flight-recorder traces.
+
+    Input is a plain {!Rina_util.Flight.event} list — from
+    {!Rina_sim.Trace.typed_events} or {!Rina_sim.Trace.load_jsonl} —
+    and every function tolerates out-of-order events, sorting where
+    order matters.  This is the computational core of the [rina_trace]
+    CLI; tests assert on these values rather than on printed text. *)
+
+val latency_by_flow :
+  Rina_util.Flight.event list -> (int * Rina_util.Stats.t) list
+(** Per-flow one-way delay samples, keyed by the receiving event's
+    [flow] field and sorted by it.  Each span contributes at most one
+    sample: earliest [Pdu_sent]/[Retransmit] to earliest [Pdu_recvd]
+    (first delivery), so retransmitted copies do not inflate the
+    distribution. *)
+
+val drop_breakdown : Rina_util.Flight.event list -> (string * int) list
+(** [Pdu_dropped] counts per reason, most frequent first (ties sorted
+    by reason name). *)
+
+val delivery_gap :
+  ?component:string ->
+  Rina_util.Flight.event list ->
+  (float * float) option
+(** Widest interval between consecutive [Pdu_recvd] events as
+    [(gap, start_time)], optionally restricted to components starting
+    with [component] — the handoff interruption window.  [None] with
+    fewer than two deliveries.  Same tie-breaking contract as
+    {!Rina_sim.Trace.largest_gap}. *)
+
+val queue_timeline :
+  Rina_util.Flight.event list -> (string * (float * int) list) list
+(** Probe samples ([Custom "probe"] events) grouped by probe name:
+    [(time, sampled value)] in time order — link queue depths and EFCP
+    window occupancy. *)
+
+val span_tree :
+  ?max_spans:int ->
+  Rina_util.Flight.event list ->
+  (int * (float * string * string) list) list
+(** Events sharing a per-PDU span id, in time order per span —
+    [(time, component, kind label)] — spans ordered by first
+    appearance.  Shows a PDU's path through the layers. *)
+
+val sequence_diagram : ?max_spans:int -> Rina_util.Flight.event list -> string
+(** Text rendering of {!span_tree} (default 10 spans): one block per
+    span, one line per event, with [a -> b] markers where the PDU moves
+    between components. *)
+
+val summary : Rina_util.Flight.event list -> string
+(** Event, component and span totals plus per-kind counts. *)

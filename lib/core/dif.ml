@@ -4,12 +4,13 @@ type t = {
   name : Types.dif_name;
   policy : Policy.t;
   qos_cubes : Qos.t list;
+  rank : int;
   mutable members : Ipcp.t list;
 }
 
 let create engine ?trace ?(policy = Policy.default) ?(qos_cubes = Qos.standard_cubes)
-    name =
-  { engine; trace; name; policy; qos_cubes; members = [] }
+    ?(rank = 0) name =
+  { engine; trace; name; policy; qos_cubes; rank; members = [] }
 
 let name t = t.name
 
@@ -20,7 +21,7 @@ let engine t = t.engine
 let add_member t ?credentials ~name () =
   let ipcp =
     Ipcp.create t.engine ?trace:t.trace ?credentials ~qos_cubes:t.qos_cubes
-      ~name:(Types.apn name) ~dif:t.name ~policy:t.policy ()
+      ~rank:t.rank ~name:(Types.apn name) ~dif:t.name ~policy:t.policy ()
   in
   if t.members = [] then Ipcp.bootstrap ipcp;
   t.members <- t.members @ [ ipcp ];

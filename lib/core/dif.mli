@@ -21,8 +21,12 @@ val create :
   ?trace:Rina_sim.Trace.t ->
   ?policy:Policy.t ->
   ?qos_cubes:Qos.t list ->
+  ?rank:int ->
   Types.dif_name ->
   t
+(** [rank] (default 0) is this DIF's depth in a stacked arrangement —
+    0 for the lowest layer — and is stamped on every flight-recorder
+    event its members emit. *)
 
 val name : t -> Types.dif_name
 val policy : t -> Policy.t

@@ -7,6 +7,9 @@ type t = {
   local_cep : Types.cep_id;
   remote_cep : Types.cep_id;
   qos_id : Types.qos_id;
+  rank : int;  (* DIF rank, for flight-recorder events *)
+  tx_span_key : int;  (* flow key of PDUs we send (remote end) *)
+  rx_span_key : int;  (* flow key of PDUs we receive (this end) *)
   send_pdu : Pdu.t -> unit;
   deliver : bytes -> unit;
   on_error : string -> unit;
@@ -36,8 +39,11 @@ type t = {
   mutable errored : bool;
 }
 
-let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ~send_pdu ~deliver
-    ~on_error () =
+let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ?span_keys
+    ?(rank = 0) ~send_pdu ~deliver ~on_error () =
+  let tx_span_key, rx_span_key =
+    match span_keys with Some keys -> keys | None -> (remote_cep, local_cep)
+  in
   {
     engine;
     config;
@@ -45,6 +51,9 @@ let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ~send_pdu ~de
     local_cep;
     remote_cep;
     qos_id;
+    rank;
+    tx_span_key;
+    rx_span_key;
     send_pdu;
     deliver;
     on_error;
@@ -73,6 +82,20 @@ let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ~send_pdu ~de
   }
 
 let metrics t = t.metrics
+
+(* Flight-recorder emissions; every call site is guarded by the
+   [Flight.enabled] load so the disabled path allocates nothing. *)
+module Flight = Rina_util.Flight
+
+let[@inline] flight_tx t seq size kind =
+  Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank ~seq ~size
+    ~span:(Flight.span_of ~flow:t.tx_span_key ~seq)
+    kind
+
+let[@inline] flight_rx t seq size kind =
+  Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank ~seq ~size
+    ~span:(Flight.span_of ~flow:t.rx_span_key ~seq)
+    kind
 
 let in_flight t = t.next_seq - t.snd_una
 
@@ -106,14 +129,21 @@ let dtp_pdu t seq payload =
 let rec arm_rto_timer t =
   cancel_timer t.rto_timer;
   t.rto_timer <- None;
-  if reliable t && in_flight t > 0 && not t.closed then
+  if reliable t && in_flight t > 0 && not t.closed then begin
+    if !Flight.enabled then
+      Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
+        Flight.Timer_set;
     t.rto_timer <-
       Some (Rina_sim.Engine.schedule t.engine ~delay:t.rto (fun () -> on_rto t))
+  end
 
 and on_rto t =
   if t.closed || t.errored then ()
   else begin
     Rina_util.Metrics.incr t.metrics "rto_fired";
+    if !Flight.enabled then
+      Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
+        Flight.Timer_fired;
     t.rto <- Float.min max_rto (2. *. t.rto);
     if t.config.Policy.congestion_control then begin
       t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
@@ -140,6 +170,8 @@ and retransmit_seq t seq =
       u.retries <- u.retries + 1;
       u.sent_at <- Rina_sim.Engine.now t.engine;
       Rina_util.Metrics.incr t.metrics "pdus_rtx";
+      if !Flight.enabled then
+        flight_tx t seq (Bytes.length u.payload) Flight.Retransmit;
       t.send_pdu (dtp_pdu t seq u.payload)
     end
 
@@ -150,6 +182,7 @@ let transmit t payload =
     Hashtbl.replace t.retx seq
       { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0 };
   Rina_util.Metrics.incr t.metrics "pdus_sent";
+  if !Flight.enabled then flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
   t.send_pdu (dtp_pdu t seq payload);
   if t.rto_timer = None then arm_rto_timer t
 
@@ -214,20 +247,30 @@ let deliver_in_sequence t =
   while !continue do
     match Hashtbl.find_opt t.ooo t.rcv_next with
     | Some payload ->
-      Hashtbl.remove t.ooo t.rcv_next;
+      let seq = t.rcv_next in
+      Hashtbl.remove t.ooo seq;
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
+      if !Flight.enabled then
+        flight_rx t seq (Bytes.length payload) Flight.Pdu_recvd;
       t.deliver payload
     | None -> continue := false
   done
 
 let handle_dtp t (pdu : Pdu.t) =
   if reliable t then begin
-    if pdu.Pdu.seq < t.rcv_next || Hashtbl.mem t.ooo pdu.Pdu.seq then
-      Rina_util.Metrics.incr t.metrics "dup_rcvd"
+    if pdu.Pdu.seq < t.rcv_next || Hashtbl.mem t.ooo pdu.Pdu.seq then begin
+      Rina_util.Metrics.incr t.metrics "dup_rcvd";
+      if !Flight.enabled then
+        flight_rx t pdu.Pdu.seq
+          (Bytes.length pdu.Pdu.payload)
+          (Flight.Pdu_dropped Flight.R_duplicate)
+    end
     else if pdu.Pdu.seq = t.rcv_next then begin
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
+      if !Flight.enabled then
+        flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
       t.deliver pdu.Pdu.payload;
       deliver_in_sequence t
     end
@@ -241,7 +284,11 @@ let handle_dtp t (pdu : Pdu.t) =
         end
         else Rina_util.Metrics.incr t.metrics "ooo_overflow"
       | Policy.Go_back_n | Policy.No_rtx ->
-        Rina_util.Metrics.incr t.metrics "gbn_discards"
+        Rina_util.Metrics.incr t.metrics "gbn_discards";
+        if !Flight.enabled then
+          flight_rx t pdu.Pdu.seq
+            (Bytes.length pdu.Pdu.payload)
+            (Flight.Pdu_dropped (Flight.R_other "gbn_discard"))
     end;
     (* Out-of-order arrivals trigger an immediate (duplicate) ack so the
        sender's fast-retransmit logic can fire. *)
@@ -249,11 +296,18 @@ let handle_dtp t (pdu : Pdu.t) =
   end
   else begin
     (* Unreliable: deliver subject only to the ordering constraint. *)
-    if t.in_order && pdu.Pdu.seq <= t.highest_delivered then
-      Rina_util.Metrics.incr t.metrics "stale_dropped"
+    if t.in_order && pdu.Pdu.seq <= t.highest_delivered then begin
+      Rina_util.Metrics.incr t.metrics "stale_dropped";
+      if !Flight.enabled then
+        flight_rx t pdu.Pdu.seq
+          (Bytes.length pdu.Pdu.payload)
+          (Flight.Pdu_dropped Flight.R_stale)
+    end
     else begin
       t.highest_delivered <- max t.highest_delivered pdu.Pdu.seq;
       Rina_util.Metrics.incr t.metrics "delivered";
+      if !Flight.enabled then
+        flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
       t.deliver pdu.Pdu.payload
     end
   end

@@ -22,6 +22,8 @@ val create :
   local_cep:Types.cep_id ->
   remote_cep:Types.cep_id ->
   qos_id:Types.qos_id ->
+  ?span_keys:int * int ->
+  ?rank:int ->
   send_pdu:(Pdu.t -> unit) ->
   deliver:(bytes -> unit) ->
   on_error:(string -> unit) ->
@@ -29,7 +31,13 @@ val create :
   t
 (** [deliver] receives user-data fields in the order mandated by
     [in_order]; [on_error] fires once if the flow is declared broken
-    (max retransmissions exceeded). *)
+    (max retransmissions exceeded).
+
+    [span_keys] is [(tx_key, rx_key)] — the flight-recorder flow keys
+    for outgoing and incoming PDUs ({!Pdu.flow_key} of the remote and
+    local end respectively), so per-PDU trace ids join with the events
+    relays emit.  Defaults to the bare CEP ids, which only stays unique
+    within one IPC process.  [rank] stamps events with the DIF rank. *)
 
 val send : t -> bytes -> unit
 (** Queue one user-data field (at most [config.mtu] bytes — the caller

@@ -74,6 +74,7 @@ type t = {
   rmt : Rmt.t;
   lsdb : Routing.t;
   metrics : Metrics.t;
+  rank : int;  (* DIF rank stamped on flight-recorder events *)
   nports : (Types.port_id, nport) Hashtbl.t;
   flows : (Types.cep_id, flow_state) Hashtbl.t;
   apps : (string, app_reg) Hashtbl.t;
@@ -108,6 +109,13 @@ let trace t event =
       ~component:(t.dif ^ ":" ^ Types.apn_to_string t.name)
       ~event
   | None -> ()
+
+(* Flight-recorder emission; guarded with [Flight.enabled] at every
+   call site.  The component matches the legacy trace component so both
+   streams line up in analysis. *)
+module Flight = Rina_util.Flight
+
+let flight_comp t = t.dif ^ ":" ^ Types.apn_to_string t.name
 
 (* ---------- small codecs for management payloads ---------- *)
 
@@ -258,6 +266,9 @@ let port_to_peer t peer =
     | Some _ ->
       (* Previous point of attachment died: local failover, no routing
          update needed beyond this hop. *)
+      if !Flight.enabled then
+        Flight.emit ~component:(flight_comp t) ~flow:peer ~rank:t.rank
+          Flight.Handoff;
       Metrics.incr t.metrics "local_reroute";
       Hashtbl.replace t.chosen_poa peer first;
       Some first
@@ -278,10 +289,16 @@ let mgmt_pdu t ~dst msg =
 
 let send_mgmt t ~dst msg =
   Metrics.incr t.metrics "mgmt_tx";
+  if !Flight.enabled then
+    Flight.emit ~component:(flight_comp t) ~rank:t.rank
+      (Flight.Custom ("riep_tx:" ^ Riep.trace_label msg));
   Rmt.send t.rmt (mgmt_pdu t ~dst msg)
 
 let send_mgmt_on_port t ~port msg =
   Metrics.incr t.metrics "mgmt_tx";
+  if !Flight.enabled then
+    Flight.emit ~component:(flight_comp t) ~rank:t.rank
+      (Flight.Custom ("riep_tx:" ^ Riep.trace_label msg));
   Rmt.send_on_port t.rmt port (mgmt_pdu t ~dst:Types.no_address msg)
 
 let adjacent_ports t =
@@ -602,9 +619,18 @@ let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
     Metrics.incr t.metrics "flow_errors";
     trace t ("flow_error:" ^ reason)
   in
+  (* Span keys are address-qualified so per-PDU trace ids join with
+     the events relays compute from decoded PDUs ({!Pdu.flow_key}):
+     outgoing PDUs are addressed to (remote_addr, remote_cep), incoming
+     ones to (our address, local_cep). *)
+  let span_keys =
+    ( (remote_addr lsl 16) lor (remote_cep land 0xFFFF),
+      (t.address lsl 16) lor (local_cep land 0xFFFF) )
+  in
   let efcp =
     Efcp.create t.engine ~config:efcp_cfg ~in_order:qos.Qos.in_order
-      ~local_cep ~remote_cep ~qos_id:qos.Qos.id ~send_pdu ~deliver ~on_error ()
+      ~local_cep ~remote_cep ~qos_id:qos.Qos.id ~span_keys ~rank:t.rank
+      ~send_pdu ~deliver ~on_error ()
   in
   let fs =
     {
@@ -644,6 +670,11 @@ let flow_of_state t fs =
     remote_app = fs.fs_remote_app;
     send =
       (fun sdu ->
+        (* The delimiting boundary: one event per application SDU,
+           before fragmentation assigns per-PDU spans downstream. *)
+        if !Flight.enabled then
+          Flight.emit ~component:(flight_comp t) ~flow:fs.fs_local_cep
+            ~rank:t.rank ~size:(Bytes.length sdu) (Flight.Custom "sdu");
         List.iter (fun frag -> Efcp.send fs.fs_efcp frag)
           (Delimiting.fragment ~mtu sdu));
     set_on_receive = (fun f -> fs.fs_on_receive <- f);
@@ -802,6 +833,9 @@ let handle_mgmt t from_port (pdu : Pdu.t) =
   | Error _ -> Metrics.incr t.metrics "bad_mgmt"
   | Ok msg -> (
     Metrics.incr t.metrics "mgmt_rx";
+    if !Flight.enabled then
+      Flight.emit ~component:(flight_comp t) ~rank:t.rank
+        (Flight.Custom ("riep_rx:" ^ Riep.trace_label msg));
     match (msg.Riep.opcode, msg.Riep.obj_class) with
     | Riep.M_connect, "enrollment" -> (
       match from_port with
@@ -889,7 +923,7 @@ let rec hello_tick t =
 (* ---------- construction ---------- *)
 
 let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes)
-    ~name ~dif ~policy () =
+    ?(rank = 0) ~name ~dif ~policy () =
   let rec t =
     lazy
       {
@@ -904,9 +938,10 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
         rmt =
           Rmt.create engine
             ~own_address:(fun () -> (Lazy.force t).address)
-            ~scheduler:policy.Policy.scheduler ();
+            ~scheduler:policy.Policy.scheduler ~label:("rmt:" ^ dif) ~rank ();
         lsdb = Routing.create ();
         metrics = Metrics.create ();
+        rank;
         nports = Hashtbl.create 8;
         flows = Hashtbl.create 16;
         apps = Hashtbl.create 8;
@@ -1185,6 +1220,15 @@ let rib t = t.rib
 let metrics t = t.metrics
 
 let rmt_metrics t = Rmt.metrics t.rmt
+
+(* EFCP window occupancy for the flight-recorder probes: one triple per
+   open flow. *)
+let flow_stats t =
+  Hashtbl.fold
+    (fun cep fs acc ->
+      (cep, Efcp.in_flight fs.fs_efcp, Efcp.backlog fs.fs_efcp) :: acc)
+    t.flows []
+  |> List.sort compare
 
 let policy t = t.policy
 

@@ -38,6 +38,7 @@ val create :
   ?trace:Rina_sim.Trace.t ->
   ?credentials:string ->
   ?qos_cubes:Qos.t list ->
+  ?rank:int ->
   name:Types.apn ->
   dif:Types.dif_name ->
   policy:Policy.t ->
@@ -45,7 +46,9 @@ val create :
   t
 (** A fresh, unenrolled IPC process.  [credentials] is presented when
     enrolling (checked against the DIF's {!Policy.auth});
-    [qos_cubes] defaults to {!Qos.standard_cubes}. *)
+    [qos_cubes] defaults to {!Qos.standard_cubes}.  [rank] (default 0)
+    is the DIF's depth in the stack, stamped on flight-recorder
+    events. *)
 
 val bootstrap : t -> unit
 (** Make this process the founding member of its DIF: it assigns
@@ -126,6 +129,11 @@ val routing_table : t -> (Types.address * Types.address * float) list
 val rib : t -> Rib.t
 val metrics : t -> Rina_util.Metrics.t
 val rmt_metrics : t -> Rina_util.Metrics.t
+
+val flow_stats : t -> (Types.cep_id * int * int) list
+(** [(cep, in_flight, backlog)] per open flow, sorted by cep — what the
+    EFCP window-occupancy probes sample. *)
+
 val policy : t -> Policy.t
 
 val lsdb_size : t -> int

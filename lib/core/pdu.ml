@@ -117,3 +117,15 @@ let pp fmt t =
   Format.fprintf fmt "%s %d->%d cep %d->%d seq=%d ack=%d w=%d len=%d" kind
     t.src_addr t.dst_addr t.src_cep t.dst_cep t.seq t.ack t.window
     (Bytes.length t.payload)
+
+(* Flow key for the flight recorder: the destination end of the
+   connection identifies the flow, so the sender (which addressed the
+   PDU), every relay that decodes it and the receiver (whose address
+   and CEP these are) derive the same key — and hence, mixed with the
+   sequence number, the same trace id. *)
+let flow_key t = (t.dst_addr lsl 16) lor (t.dst_cep land 0xFFFF)
+
+let span t =
+  match t.pdu_type with
+  | Dtp -> Rina_util.Flight.span_of ~flow:(flow_key t) ~seq:t.seq
+  | Ack | Mgmt | Hello -> 0

@@ -62,3 +62,13 @@ val header_size : int
 (** Bytes of overhead [encode] adds on top of the payload. *)
 
 val pp : Format.formatter -> t -> unit
+
+val flow_key : t -> int
+(** Flight-recorder flow key: destination address and CEP packed into
+    one int, identical at the sender, every decoding relay and the
+    receiver. *)
+
+val span : t -> int
+(** Flight-recorder trace id for a [Dtp] PDU
+    ([Rina_util.Flight.span_of] over {!flow_key} and [seq]); 0 for
+    other PDU types. *)

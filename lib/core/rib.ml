@@ -35,6 +35,8 @@ let write t path value =
        Rina_util.Invariant.record ~code:"SAN_RIB_PATH"
          (Printf.sprintf "malformed RIB object name %S" path));
   let event = if Hashtbl.mem t.objects path then Updated else Created in
+  if !Rina_util.Flight.enabled then
+    Rina_util.Flight.emit ~component:"rib" (Rina_util.Flight.Custom "rib_write");
   Hashtbl.replace t.objects path value;
   notify t event path (Some value)
 
@@ -48,6 +50,9 @@ let read_str t path =
 
 let delete t path =
   if Hashtbl.mem t.objects path then begin
+    if !Rina_util.Flight.enabled then
+      Rina_util.Flight.emit ~component:"rib"
+        (Rina_util.Flight.Custom "rib_delete");
     Hashtbl.remove t.objects path;
     notify t Deleted path None;
     true

@@ -118,6 +118,8 @@ let opcode_name = function
   | M_start -> "M_START"
   | M_stop -> "M_STOP"
 
+let trace_label t = opcode_name t.opcode ^ "/" ^ t.obj_class
+
 let pp fmt t =
   Format.fprintf fmt "%s %s:%s inv=%d%s" (opcode_name t.opcode) t.obj_class
     t.obj_name t.invoke_id

@@ -15,6 +15,8 @@ type port = {
 type t = {
   engine : Rina_sim.Engine.t;
   own_address : unit -> Types.address;
+  label : string;  (* flight-recorder component prefix *)
+  rank : int;
   scheduler : Policy.scheduler;
   ports : (Types.port_id, port) Hashtbl.t;
   mutable next_port : Types.port_id;
@@ -25,10 +27,12 @@ type t = {
   metrics : Rina_util.Metrics.t;
 }
 
-let create engine ~own_address ~scheduler () =
+let create engine ~own_address ~scheduler ?(label = "rmt") ?(rank = 0) () =
   {
     engine;
     own_address;
+    label;
+    rank;
     scheduler;
     ports = Hashtbl.create 8;
     next_port = 1;
@@ -51,8 +55,23 @@ let metrics t = t.metrics
 
 let frame_of_pdu pdu = Sdu_protection.protect (Pdu.encode pdu)
 
+(* Flight-recorder emissions; [Flight.enabled] is checked at every call
+   site so the disabled path allocates nothing.  The component names
+   the relay instance ("label@address"), and the span id is recomputed
+   from the decoded PDU so relay events join the end-to-end EFCP
+   events. *)
+module Flight = Rina_util.Flight
+
+let flight_pdu t (pdu : Pdu.t) kind =
+  Flight.emit
+    ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+    ~flow:pdu.Pdu.dst_cep ~rank:t.rank ~seq:pdu.Pdu.seq
+    ~size:(Pdu.header_size + Bytes.length pdu.Pdu.payload)
+    ~span:(Pdu.span pdu) kind
+
 let transmit_now t port pdu =
   Rina_util.Metrics.incr t.metrics "sent";
+  if !Flight.enabled then flight_pdu t pdu Flight.Pdu_sent;
   port.chan.Rina_sim.Chan.send (frame_of_pdu pdu)
 
 (* Pick the next PDU to serve on a shaped port according to the
@@ -111,6 +130,7 @@ let rec serve t port rate =
     match pick_next t port with
     | None -> ()
     | Some pdu ->
+      if !Flight.enabled then flight_pdu t pdu Flight.Dequeued;
       port.busy <- true;
       let size = Bytes.length (frame_of_pdu pdu) in
       let tx_time = float_of_int (8 * size) /. rate in
@@ -125,29 +145,44 @@ let enqueue t port pdu =
   | None -> transmit_now t port pdu
   | Some rate ->
     let cls = max 0 (min (num_classes - 1) (t.classify pdu)) in
-    if Queue.length port.queues.(cls) >= queue_capacity then
+    if Queue.length port.queues.(cls) >= queue_capacity then begin
+      if !Flight.enabled then
+        flight_pdu t pdu (Flight.Pdu_dropped Flight.R_queue_full);
       Rina_util.Metrics.incr t.metrics "queue_dropped"
+    end
     else begin
+      if !Flight.enabled then flight_pdu t pdu Flight.Enqueued;
       Queue.push pdu port.queues.(cls);
       serve t port rate
     end
 
 let deliver_up t from_port pdu =
   Rina_util.Metrics.incr t.metrics "delivered_up";
+  if !Flight.enabled then flight_pdu t pdu Flight.Pdu_recvd;
   t.deliver from_port pdu
 
 let relay_or_deliver t from_port pdu =
   let own = t.own_address () in
   if pdu.Pdu.dst_addr = own || pdu.Pdu.dst_addr = Types.no_address then
     deliver_up t from_port pdu
-  else if pdu.Pdu.ttl <= 1 then Rina_util.Metrics.incr t.metrics "ttl_expired"
+  else if pdu.Pdu.ttl <= 1 then begin
+    if !Flight.enabled then
+      flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ttl_expired);
+    Rina_util.Metrics.incr t.metrics "ttl_expired"
+  end
   else begin
     let pdu = { pdu with Pdu.ttl = pdu.Pdu.ttl - 1 } in
     match t.forwarding pdu with
-    | None -> Rina_util.Metrics.incr t.metrics "no_route"
+    | None ->
+      if !Flight.enabled then
+        flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
+      Rina_util.Metrics.incr t.metrics "no_route"
     | Some port_id -> (
       match Hashtbl.find_opt t.ports port_id with
-      | None -> Rina_util.Metrics.incr t.metrics "no_route"
+      | None ->
+        if !Flight.enabled then
+          flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
+        Rina_util.Metrics.incr t.metrics "no_route"
       | Some port ->
         (if from_port <> None then Rina_util.Metrics.incr t.metrics "relayed");
         enqueue t port pdu)
@@ -155,13 +190,29 @@ let relay_or_deliver t from_port pdu =
 
 let on_frame t port_id frame =
   match Sdu_protection.verify frame with
-  | None -> Rina_util.Metrics.incr t.metrics "crc_dropped"
+  | None ->
+    if !Flight.enabled then
+      Flight.emit
+        ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+        ~rank:t.rank ~size:(Bytes.length frame)
+        (Flight.Pdu_dropped Flight.R_crc);
+    Rina_util.Metrics.incr t.metrics "crc_dropped"
   | Some body -> (
     match Pdu.decode body with
-    | Error _ -> Rina_util.Metrics.incr t.metrics "decode_dropped"
+    | Error _ ->
+      if !Flight.enabled then
+        Flight.emit
+          ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+          ~rank:t.rank ~size:(Bytes.length body)
+          (Flight.Pdu_dropped Flight.R_decode);
+      Rina_util.Metrics.incr t.metrics "decode_dropped"
     | Ok pdu ->
       if t.ingress_filter port_id pdu then relay_or_deliver t (Some port_id) pdu
-      else Rina_util.Metrics.incr t.metrics "ingress_dropped")
+      else begin
+        if !Flight.enabled then
+          flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ingress_filter);
+        Rina_util.Metrics.incr t.metrics "ingress_dropped"
+      end)
 
 let add_port t ?rate chan =
   let id = t.next_port in

@@ -17,9 +17,14 @@ val create :
   Rina_sim.Engine.t ->
   own_address:(unit -> Types.address) ->
   scheduler:Policy.scheduler ->
+  ?label:string ->
+  ?rank:int ->
   unit ->
   t
-(** [own_address] is consulted per PDU (it changes at enrollment). *)
+(** [own_address] is consulted per PDU (it changes at enrollment).
+    [label] (default ["rmt"]) prefixes the flight-recorder component
+    name, which is [label ^ "@" ^ address]; [rank] stamps events with
+    the DIF rank. *)
 
 val set_forwarding : t -> (Pdu.t -> Types.port_id option) -> unit
 (** Install the relaying decision (management task supplies it;

@@ -50,6 +50,11 @@ let install t (lsa : Lsa.t) =
   | Some existing when existing.Lsa.seq >= lsa.Lsa.seq -> false
   | Some _ | None ->
     Hashtbl.replace t.db lsa.Lsa.origin lsa;
+    (* An accepted LSA is a routing-state change: events carry the
+       origin as the flow field and the LSA sequence number. *)
+    if !Rina_util.Flight.enabled then
+      Rina_util.Flight.emit ~component:"routing" ~flow:lsa.Lsa.origin
+        ~seq:lsa.Lsa.seq Rina_util.Flight.Route_update;
     true
 
 let withdraw t origin =

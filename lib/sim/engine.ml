@@ -10,6 +10,8 @@ let schedule_at t ~time f =
   let time = if time < t.clock then t.clock else time in
   let h = { cancelled = false; action = f } in
   Rina_util.Heap.push t.queue time h;
+  if !Rina_util.Flight.enabled then
+    Rina_util.Flight.emit ~component:"engine" Rina_util.Flight.Timer_set;
   h
 
 let schedule t ~delay f =
@@ -37,7 +39,11 @@ let step t =
       | Some _ | None -> ()
     end;
     t.clock <- time;
-    if not h.cancelled then h.action ();
+    if not h.cancelled then begin
+      if !Rina_util.Flight.enabled then
+        Rina_util.Flight.emit ~component:"engine" Rina_util.Flight.Timer_fired;
+      h.action ()
+    end;
     true
 
 let run ?until t =

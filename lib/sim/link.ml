@@ -11,6 +11,7 @@ type half = {
   delay : float;
   queue_capacity : int;
   loss : Loss.state;
+  comp : string;  (* flight-recorder component name for this direction *)
   stats : Rina_util.Metrics.t;
   mutable busy_until : float;
   mutable queued : int;
@@ -30,7 +31,7 @@ type t = {
   mutable watchers : (bool -> unit) list;
 }
 
-let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss =
+let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~comp =
   {
     engine;
     rng;
@@ -38,6 +39,7 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss =
     delay;
     queue_capacity;
     loss = Loss.make_state loss;
+    comp;
     stats = Rina_util.Metrics.create ();
     busy_until = 0.;
     queued = 0;
@@ -47,15 +49,19 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss =
   }
 
 let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_loss)
-    () =
+    ?(label = "link") () =
   if bit_rate <= 0. then invalid_arg "Link.create: bit_rate must be positive";
   if delay < 0. then invalid_arg "Link.create: delay must be non-negative";
   if queue_capacity <= 0 then
     invalid_arg "Link.create: queue_capacity must be positive";
   let rng_f = Rina_util.Prng.split rng and rng_b = Rina_util.Prng.split rng in
   {
-    forward = make_half engine rng_f ~bit_rate ~delay ~queue_capacity ~loss;
-    backward = make_half engine rng_b ~bit_rate ~delay ~queue_capacity ~loss;
+    forward =
+      make_half engine rng_f ~bit_rate ~delay ~queue_capacity ~loss
+        ~comp:(label ^ ".ab");
+    backward =
+      make_half engine rng_b ~bit_rate ~delay ~queue_capacity ~loss
+        ~comp:(label ^ ".ba");
     up = true;
     blackhole = false;
     watchers = [];
@@ -74,19 +80,32 @@ let[@inline] account_late_drop half =
   if !Rina_util.Invariant.enabled then
     half.conserv.dropped <- half.conserv.dropped + 1
 
+(* Flight-recorder emissions follow the same per-site guard discipline
+   as the conservation accounting above: frames are opaque here, so
+   events carry the frame size but no span id. *)
+let[@inline] flight_drop half reason size =
+  if !Rina_util.Flight.enabled then
+    Rina_util.Flight.emit ~component:half.comp ~size
+      (Rina_util.Flight.Pdu_dropped reason)
+
 let transmit t half frame =
   let m = half.stats in
   if not t.up then begin
     account_admission_drop half;
+    flight_drop half Rina_util.Flight.R_link_down (Bytes.length frame);
     Rina_util.Metrics.incr m "dropped_down"
   end
   else if half.queued >= half.queue_capacity then begin
     account_admission_drop half;
+    flight_drop half Rina_util.Flight.R_queue_full (Bytes.length frame);
     Rina_util.Metrics.incr m "dropped_queue"
   end
   else begin
     if !Rina_util.Invariant.enabled then
       half.conserv.injected <- half.conserv.injected + 1;
+    if !Rina_util.Flight.enabled then
+      Rina_util.Flight.emit ~component:half.comp ~size:(Bytes.length frame)
+        Rina_util.Flight.Pdu_sent;
     Rina_util.Metrics.incr m "tx";
     Rina_util.Metrics.add m "tx_bytes" (Bytes.length frame);
     half.queued <- half.queued + 1;
@@ -102,6 +121,7 @@ let transmit t half frame =
            if epoch = half.epoch && t.up then
              if Loss.drops half.loss half.rng then begin
                account_late_drop half;
+               flight_drop half Rina_util.Flight.R_loss (Bytes.length frame);
                Rina_util.Metrics.incr m "dropped_loss"
              end
              else
@@ -110,16 +130,23 @@ let transmit t half frame =
                       if epoch = half.epoch && t.up && not t.blackhole then begin
                         if !Rina_util.Invariant.enabled then
                           half.conserv.delivered <- half.conserv.delivered + 1;
+                        if !Rina_util.Flight.enabled then
+                          Rina_util.Flight.emit ~component:half.comp
+                            ~size:(Bytes.length frame)
+                            Rina_util.Flight.Pdu_recvd;
                         Rina_util.Metrics.incr m "rx";
                         Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
                         half.receiver frame
                       end
                       else begin
                         account_late_drop half;
+                        flight_drop half Rina_util.Flight.R_link_down
+                          (Bytes.length frame);
                         Rina_util.Metrics.incr m "dropped_down"
                       end))
            else begin
              account_late_drop half;
+             flight_drop half Rina_util.Flight.R_link_down (Bytes.length frame);
              Rina_util.Metrics.incr m "dropped_down"
            end))
   end
@@ -168,3 +195,7 @@ let stats_b t = t.backward.stats
 let conservation_a t = t.forward.conserv
 
 let conservation_b t = t.backward.conserv
+
+let queue_depth_a t = t.forward.queued
+
+let queue_depth_b t = t.backward.queued

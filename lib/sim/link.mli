@@ -16,11 +16,14 @@ val create :
   delay:float ->
   ?queue_capacity:int ->
   ?loss:Loss.t ->
+  ?label:string ->
   unit ->
   t
 (** [bit_rate] in bits/second, [delay] one-way propagation in seconds,
     [queue_capacity] in frames (default 64), [loss] per-direction
-    (default [No_loss]).
+    (default [No_loss]).  [label] (default ["link"]) names the link in
+    flight-recorder events: the two directions emit as [label^".ab"]
+    and [label^".ba"].
     @raise Invalid_argument on non-positive rate/negative delay. *)
 
 val endpoint_a : t -> Chan.t
@@ -60,3 +63,9 @@ val conservation_a : t -> conservation
 (** Accounting for frames sent by endpoint A (the forward half). *)
 
 val conservation_b : t -> conservation
+
+val queue_depth_a : t -> int
+(** Frames currently queued or serialising on the A→B half; the value
+    link-queue probes sample. *)
+
+val queue_depth_b : t -> int

@@ -5,6 +5,7 @@ type radio = {
   remote : node;
   range : float;
   edge_loss : float;
+  comp : string;  (* flight-recorder component name *)
   stats : Rina_util.Metrics.t;
   mutable receiver : bytes -> unit;
   mutable watchers : (bool -> unit) list;
@@ -71,10 +72,21 @@ let peer_of t r =
     (fun other -> other.local.id = r.remote.id && other.remote.id = r.local.id)
     t.radios
 
+let[@inline] flight_drop r reason size =
+  if !Rina_util.Flight.enabled then
+    Rina_util.Flight.emit ~component:r.comp ~size
+      (Rina_util.Flight.Pdu_dropped reason)
+
 let transmit t r frame =
   let m = r.stats in
-  if not (radio_up r) then Rina_util.Metrics.incr m "dropped_down"
+  if not (radio_up r) then begin
+    flight_drop r Rina_util.Flight.R_link_down (Bytes.length frame);
+    Rina_util.Metrics.incr m "dropped_down"
+  end
   else begin
+    if !Rina_util.Flight.enabled then
+      Rina_util.Flight.emit ~component:r.comp ~size:(Bytes.length frame)
+        Rina_util.Flight.Pdu_sent;
     Rina_util.Metrics.incr m "tx";
     Rina_util.Metrics.add m "tx_bytes" (Bytes.length frame);
     let now = Engine.now t.engine in
@@ -84,10 +96,18 @@ let transmit t r frame =
     let arrival = start +. ser +. t.base_delay in
     ignore
       (Engine.schedule_at t.engine ~time:arrival (fun () ->
-           if not (radio_up r) then Rina_util.Metrics.incr m "dropped_down"
-           else if Rina_util.Prng.bernoulli t.rng (loss_probability r) then
+           if not (radio_up r) then begin
+             flight_drop r Rina_util.Flight.R_link_down (Bytes.length frame);
+             Rina_util.Metrics.incr m "dropped_down"
+           end
+           else if Rina_util.Prng.bernoulli t.rng (loss_probability r) then begin
+             flight_drop r Rina_util.Flight.R_loss (Bytes.length frame);
              Rina_util.Metrics.incr m "dropped_loss"
+           end
            else begin
+             if !Rina_util.Flight.enabled then
+               Rina_util.Flight.emit ~component:r.comp
+                 ~size:(Bytes.length frame) Rina_util.Flight.Pdu_recvd;
              Rina_util.Metrics.incr m "rx";
              Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
              match peer_of t r with
@@ -104,6 +124,7 @@ let channel t ~local ~remote ~range ?(edge_loss = 0.3) () : Chan.t =
       remote;
       range;
       edge_loss;
+      comp = Printf.sprintf "radio.%d-%d" local.id remote.id;
       stats = Rina_util.Metrics.create ();
       receiver = (fun _ -> ());
       watchers = [];

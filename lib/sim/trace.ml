@@ -1,43 +1,134 @@
-type t = { engine : Engine.t; mutable events : (float * string * string) list }
+module Flight = Rina_util.Flight
 
-let create engine = { engine; events = [] }
+type t = {
+  engine : Engine.t;
+  buf : Flight.Buf.t;
+  mutable attached : bool;
+}
+
+let create engine = { engine; buf = Flight.Buf.create (); attached = false }
 
 let record t ~component ~event =
-  t.events <- (Engine.now t.engine, component, event) :: t.events
+  Flight.Buf.add t.buf
+    {
+      Flight.time = Engine.now t.engine;
+      component;
+      kind = Flight.Custom event;
+      flow = 0;
+      rank = 0;
+      seq = 0;
+      size = 0;
+      span = 0;
+    }
 
-let events t = List.rev t.events
+let typed_events t = Flight.Buf.to_list t.buf
+
+let length t = Flight.Buf.length t.buf
+
+let events t =
+  List.map
+    (fun (e : Flight.event) -> (e.time, e.component, Flight.kind_to_string e.kind))
+    (typed_events t)
 
 let filter t ~component =
-  List.filter_map
-    (fun (time, c, e) -> if String.equal c component then Some (time, e) else None)
-    (events t)
+  let acc = ref [] in
+  Flight.Buf.iter
+    (fun (e : Flight.event) ->
+      if String.equal e.component component then
+        acc := (e.time, Flight.kind_to_string e.kind) :: !acc)
+    t.buf;
+  List.rev !acc
 
 let count t ~component ~event =
-  List.length
-    (List.filter
-       (fun (_, c, e) -> String.equal c component && String.equal e event)
-       t.events)
+  let n = ref 0 in
+  Flight.Buf.iter
+    (fun (e : Flight.event) ->
+      if
+        String.equal e.component component
+        && String.equal (Flight.kind_to_string e.kind) event
+      then incr n)
+    t.buf;
+  !n
 
-let largest_gap t ~component ~event =
-  let times =
-    List.filter_map
-      (fun (time, c, e) ->
-        if String.equal c component && String.equal e event then Some time else None)
-      (events t)
-  in
+(* Times are sorted before scanning (record order among equal
+   timestamps is then irrelevant) and ties between equally wide gaps
+   resolve to the earliest interval, so duplicate timestamps give a
+   deterministic answer. *)
+let largest_gap_of_times times =
   match times with
   | [] | [ _ ] -> None
-  | first :: rest ->
-    let _, best =
-      List.fold_left
-        (fun (prev, best) time ->
-          let gap = time -. prev in
-          let best =
-            match best with
-            | Some (g, _) when g >= gap -> best
-            | Some _ | None -> Some (gap, prev)
-          in
-          (time, best))
-        (first, None) rest
+  | _ ->
+    let arr = Array.of_list times in
+    Array.sort compare arr;
+    let best = ref None in
+    for i = 1 to Array.length arr - 1 do
+      let gap = arr.(i) -. arr.(i - 1) in
+      match !best with
+      | Some (g, _) when g >= gap -> ()
+      | Some _ | None -> best := Some (gap, arr.(i - 1))
+    done;
+    !best
+
+let largest_gap t ~component ~event =
+  let times = ref [] in
+  Flight.Buf.iter
+    (fun (e : Flight.event) ->
+      if
+        String.equal e.component component
+        && String.equal (Flight.kind_to_string e.kind) event
+      then times := e.time :: !times)
+    t.buf;
+  largest_gap_of_times !times
+
+(* ---------- flight-recorder attachment ---------- *)
+
+let attach t =
+  t.attached <- true;
+  Flight.clock := (fun () -> Engine.now t.engine);
+  (Flight.sink := fun e -> Flight.Buf.add t.buf e);
+  Flight.enabled := true
+
+let detach () =
+  Flight.enabled := false;
+  (Flight.sink := fun _ -> ());
+  Flight.clock := (fun () -> 0.)
+
+let is_attached t = t.attached && !Flight.enabled
+
+(* ---------- periodic probes ---------- *)
+
+let probe t ~name ~period ~until sample =
+  if period <= 0. then invalid_arg "Trace.probe: period must be positive";
+  let rec tick () =
+    if !Flight.enabled then
+      Flight.emit ~component:name ~size:(sample ()) (Flight.Custom "probe");
+    if Engine.now t.engine +. period <= until then
+      ignore (Engine.schedule t.engine ~delay:period tick)
+  in
+  ignore (Engine.schedule t.engine ~delay:period tick)
+
+(* ---------- JSONL sink ---------- *)
+
+let save_jsonl t path =
+  Out_channel.with_open_text path (fun oc ->
+      Flight.Buf.iter
+        (fun e ->
+          Out_channel.output_string oc (Flight.event_to_json e);
+          Out_channel.output_char oc '\n')
+        t.buf)
+
+let load_jsonl path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text ->
+    let lines = String.split_on_char '\n' text in
+    let rec go lineno acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else (
+          match Flight.event_of_json line with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
     in
-    best
+    go 1 [] lines

@@ -1,19 +1,53 @@
-(** Timestamped event log.
+(** Timestamped event log backed by the {!Rina_util.Flight} recorder.
 
-    Experiments attach one trace to an engine; components record
-    (component, event) pairs.  Used to measure e.g. handoff
-    interruption windows (gap between consecutive delivery events) and
-    to assert event orderings in integration tests. *)
+    Experiments attach one trace to an engine; instrumented components
+    all over the stack then emit typed {!Rina_util.Flight.event}s into
+    it, and legacy components record plain (component, event) string
+    pairs.  Used to measure e.g. handoff interruption windows (gap
+    between consecutive delivery events), to assert event orderings in
+    integration tests, and to export JSONL for [rina_trace].
+
+    Events live in an O(1)-append buffer; nothing is recorded through
+    the typed path unless {!attach} has been called (tracing is off by
+    default and costs one load + one branch per emission site). *)
 
 type t
 
 val create : Engine.t -> t
 
+val attach : t -> unit
+(** Turn the global flight recorder on and direct it into [t]: installs
+    the engine clock as timestamp source, [t]'s buffer as the sink and
+    sets [Flight.enabled].  The recorder is process-global — attaching
+    a second trace redirects all emission. *)
+
+val detach : unit -> unit
+(** Turn the flight recorder off and restore the null sink/clock.
+    Already-buffered events remain readable. *)
+
+val is_attached : t -> bool
+
 val record : t -> component:string -> event:string -> unit
-(** Log [event] from [component] at the current virtual time. *)
+(** Log a string event from [component] at the current virtual time
+    (stored as [Custom event]).  Works without {!attach}, matching the
+    pre-flight-recorder behaviour. *)
+
+val probe : t -> name:string -> period:float -> until:float -> (unit -> int) -> unit
+(** [probe t ~name ~period ~until sample] schedules a periodic sampler
+    on the engine clock: every [period] seconds until [until] it emits
+    a [Custom "probe"] event with component [name] and the sampled
+    value in the [size] field — but only while the recorder is
+    attached.  Used for link queue depth and EFCP window occupancy.
+    @raise Invalid_argument if [period <= 0]. *)
 
 val events : t -> (float * string * string) list
-(** All events, oldest first. *)
+(** All events, oldest first, as [(time, component, label)] where the
+    label is [Flight.kind_to_string] of the typed kind. *)
+
+val typed_events : t -> Rina_util.Flight.event list
+(** All events, oldest first, in full typed form. *)
+
+val length : t -> int
 
 val filter : t -> component:string -> (float * string) list
 (** Events of one component, oldest first. *)
@@ -23,4 +57,13 @@ val count : t -> component:string -> event:string -> int
 val largest_gap : t -> component:string -> event:string -> (float * float) option
 (** [largest_gap t ~component ~event] is the widest interval between
     two consecutive occurrences, as [(gap, start_time)]; [None] with
-    fewer than two occurrences. *)
+    fewer than two occurrences.  Occurrence times are sorted first and
+    ties between equally wide gaps resolve to the earliest interval, so
+    duplicate timestamps yield a deterministic answer. *)
+
+val save_jsonl : t -> string -> unit
+(** Write every buffered event as one JSON object per line (the format
+    [bin/rina_trace] reads). *)
+
+val load_jsonl : string -> (Rina_util.Flight.event list, string) result
+(** Parse a file written by {!save_jsonl}; blank lines are skipped. *)

@@ -46,3 +46,15 @@ let pp_addr fmt a = Format.pp_print_string fmt (string_of_addr a)
 
 let pp_prefix fmt p =
   Format.fprintf fmt "%s/%d" (string_of_addr p.network) p.length
+
+(* Direction-independent flow key for the flight recorder: both ends of
+   a TCP/UDP conversation hash the same (addr, port) pairs regardless of
+   which side sends, so spans computed from it join across the path. *)
+let flow_key ~src ~dst ~sport ~dport =
+  let lo_a, lo_p, hi_a, hi_p =
+    if (src, sport) <= (dst, dport) then (src, sport, dst, dport)
+    else (dst, dport, src, sport)
+  in
+  let mix acc x = ((acc lxor x) * 0x9E3779B1) land 0x3FFFFFFFFFFFFF in
+  let k = mix (mix (mix (mix 0x2545F491 lo_a) lo_p) hi_a) hi_p in
+  if k = 0 then 1 else k

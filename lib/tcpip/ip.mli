@@ -29,3 +29,9 @@ val matches : prefix -> addr -> bool
 
 val pp_addr : Format.formatter -> addr -> unit
 val pp_prefix : Format.formatter -> prefix -> unit
+
+val flow_key : src:addr -> dst:addr -> sport:int -> dport:int -> int
+(** Direction-independent flight-recorder flow key: hashing the
+    canonically ordered (address, port) pairs gives the same key at
+    both ends of a conversation, so per-PDU spans derived from it join
+    across the path.  Always non-zero. *)

@@ -1,6 +1,7 @@
 module W = Rina_util.Codec.Writer
 module R = Rina_util.Codec.Reader
 module Metrics = Rina_util.Metrics
+module Flight = Rina_util.Flight
 
 let registration_port = 434
 
@@ -47,6 +48,13 @@ let home_agent node udp ~local =
           let registering = R.bool r in
           if registering then begin
             Hashtbl.replace t.ha_bindings home care_of;
+            (* A (re)registration is the mobility handoff as the home
+               agent sees it: the binding for [home] moves to a new
+               care-of address. *)
+            if !Flight.enabled then
+              Flight.emit
+                ~component:("ha:" ^ Node.node_name node)
+                ~flow:home ~size:care_of Flight.Handoff;
             Metrics.incr t.ha_metrics "registrations"
           end
           else begin
@@ -62,6 +70,11 @@ let home_agent node udp ~local =
   Node.set_forward_hook node (fun pkt ~in_if:_ ->
       match Hashtbl.find_opt t.ha_bindings pkt.Packet.dst with
       | Some care_of when pkt.Packet.proto <> Packet.P_tunnel ->
+        if !Flight.enabled then
+          Flight.emit
+            ~component:("ha:" ^ Node.node_name node)
+            ~flow:pkt.Packet.dst ~size:(Bytes.length pkt.Packet.payload)
+            (Flight.Custom "tunnel");
         Metrics.incr t.ha_metrics "tunnelled";
         Some
           (Packet.make ~src:t.ha_local ~dst:care_of ~proto:Packet.P_tunnel
@@ -92,6 +105,11 @@ let mobile node udp ~home_addr =
       match Packet.decode pkt.Packet.payload with
       | Error _ -> Metrics.incr t.m_metrics "bad_tunnel"
       | Ok inner ->
+        if !Flight.enabled then
+          Flight.emit
+            ~component:("mn:" ^ Node.node_name node)
+            ~flow:inner.Packet.dst ~size:(Bytes.length inner.Packet.payload)
+            (Flight.Custom "detunnel");
         Metrics.incr t.m_metrics "decapsulated";
         (* Deliver the inner packet as if it had arrived directly. *)
         Node.inject t.m_node inner ~in_if);
@@ -108,6 +126,12 @@ let register_msg t ~home_agent_addr ~care_of ~registering ~on_ack =
         let r = R.create body in
         if R.u8 r = Char.code 'A' && not !acked then begin
           acked := true;
+          (* Handoff completes for the mobile node when the home agent
+             acknowledges the new care-of binding. *)
+          if !Flight.enabled then
+            Flight.emit
+              ~component:("mn:" ^ Node.node_name t.m_node)
+              ~flow:t.m_home ~size:care_of Flight.Handoff;
           Udp.unlisten t.m_udp ~port:sport;
           on_ack ()
         end

@@ -1,0 +1,474 @@
+(* Flight recorder: the process-global typed event stream every layer
+   emits into.  Lives at the bottom of the library stack (engine, links,
+   EFCP, RMT and the TCP/IP baseline all depend on rina_util) so one
+   schema serves the whole simulator.
+
+   The hot-path contract mirrors Invariant: emission sites are guarded
+   by [if !enabled then emit ...] at the call site — when tracing is off
+   the cost is one load and one branch, and no closure or string is
+   allocated.  [emit] itself does not re-check the flag. *)
+
+type reason =
+  | R_queue_full
+  | R_link_down
+  | R_loss
+  | R_crc
+  | R_decode
+  | R_ttl_expired
+  | R_no_route
+  | R_ingress_filter
+  | R_stale
+  | R_duplicate
+  | R_other of string
+
+type kind =
+  | Pdu_sent
+  | Pdu_recvd
+  | Pdu_dropped of reason
+  | Enqueued
+  | Dequeued
+  | Timer_set
+  | Timer_fired
+  | Retransmit
+  | Handoff
+  | Route_update
+  | Custom of string
+
+type event = {
+  time : float;
+  component : string;
+  kind : kind;
+  flow : int;  (* flow identity (CEP / port / tuple hash); 0 = none *)
+  rank : int;  (* DIF rank; 0 = unknown / not applicable *)
+  seq : int;
+  size : int;  (* bytes for PDU events, sampled value for probes *)
+  span : int;  (* PDU trace id joining events across layers; 0 = none *)
+}
+
+let enabled = ref false
+
+let clock : (unit -> float) ref = ref (fun () -> 0.)
+
+let sink : (event -> unit) ref = ref (fun _ -> ())
+
+let emit ~component ?(flow = 0) ?(rank = 0) ?(seq = 0) ?(size = 0) ?(span = 0)
+    kind =
+  !sink { time = !clock (); component; kind; flow; rank; seq; size; span }
+
+(* A PDU's trace id is a deterministic mix of its flow key and sequence
+   number, so the sender, every relay that decodes the PDU and the
+   receiver all compute the same id without carrying anything extra on
+   the wire.  Fibonacci-hash style mixing keeps distinct (flow, seq)
+   pairs from colliding in practice; ids are clamped positive and
+   non-zero (0 means "no span"). *)
+let span_of ~flow ~seq =
+  let h = (flow * 0x9E3779B1) lxor (seq * 0x85EBCA77) in
+  let h = h lxor (h lsr 31) in
+  let h = h land 0x3FFFFFFFFFFF in
+  if h = 0 then 1 else h
+
+let reason_to_string = function
+  | R_queue_full -> "queue_full"
+  | R_link_down -> "link_down"
+  | R_loss -> "loss"
+  | R_crc -> "crc"
+  | R_decode -> "decode"
+  | R_ttl_expired -> "ttl_expired"
+  | R_no_route -> "no_route"
+  | R_ingress_filter -> "ingress_filter"
+  | R_stale -> "stale"
+  | R_duplicate -> "duplicate"
+  | R_other s -> s
+
+let reason_of_string = function
+  | "queue_full" -> R_queue_full
+  | "link_down" -> R_link_down
+  | "loss" -> R_loss
+  | "crc" -> R_crc
+  | "decode" -> R_decode
+  | "ttl_expired" -> R_ttl_expired
+  | "no_route" -> R_no_route
+  | "ingress_filter" -> R_ingress_filter
+  | "stale" -> R_stale
+  | "duplicate" -> R_duplicate
+  | s -> R_other s
+
+let kind_to_string = function
+  | Pdu_sent -> "pdu_sent"
+  | Pdu_recvd -> "pdu_recvd"
+  | Pdu_dropped r -> "pdu_dropped:" ^ reason_to_string r
+  | Enqueued -> "enqueued"
+  | Dequeued -> "dequeued"
+  | Timer_set -> "timer_set"
+  | Timer_fired -> "timer_fired"
+  | Retransmit -> "retransmit"
+  | Handoff -> "handoff"
+  | Route_update -> "route_update"
+  | Custom s -> s
+
+(* ---------- O(1)-append event buffer ---------- *)
+
+module Buf = struct
+  type t = { mutable arr : event array; mutable len : int }
+
+  let dummy =
+    {
+      time = 0.;
+      component = "";
+      kind = Custom "";
+      flow = 0;
+      rank = 0;
+      seq = 0;
+      size = 0;
+      span = 0;
+    }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let add b e =
+    if b.len = Array.length b.arr then begin
+      let cap = max 64 (2 * Array.length b.arr) in
+      let arr = Array.make cap dummy in
+      Array.blit b.arr 0 arr 0 b.len;
+      b.arr <- arr
+    end;
+    b.arr.(b.len) <- e;
+    b.len <- b.len + 1
+
+  let length b = b.len
+
+  let get b i =
+    if i < 0 || i >= b.len then invalid_arg "Flight.Buf.get: out of bounds";
+    b.arr.(i)
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f b.arr.(i)
+    done
+
+  let to_list b = List.init b.len (fun i -> b.arr.(i))
+
+  let clear b =
+    b.arr <- [||];
+    b.len <- 0
+end
+
+(* ---------- binary codec ---------- *)
+
+let reason_tag = function
+  | R_queue_full -> 0
+  | R_link_down -> 1
+  | R_loss -> 2
+  | R_crc -> 3
+  | R_decode -> 4
+  | R_ttl_expired -> 5
+  | R_no_route -> 6
+  | R_ingress_filter -> 7
+  | R_stale -> 8
+  | R_duplicate -> 9
+  | R_other _ -> 10
+
+let kind_tag = function
+  | Pdu_sent -> 0
+  | Pdu_recvd -> 1
+  | Pdu_dropped _ -> 2
+  | Enqueued -> 3
+  | Dequeued -> 4
+  | Timer_set -> 5
+  | Timer_fired -> 6
+  | Retransmit -> 7
+  | Handoff -> 8
+  | Route_update -> 9
+  | Custom _ -> 10
+
+let write_event w e =
+  let module W = Codec.Writer in
+  W.f64 w e.time;
+  W.string w e.component;
+  W.u8 w (kind_tag e.kind);
+  (match e.kind with
+   | Pdu_dropped r ->
+     W.u8 w (reason_tag r);
+     (match r with R_other s -> W.string w s | _ -> ())
+   | Custom s -> W.string w s
+   | _ -> ());
+  W.u64 w (Int64.of_int e.flow);
+  W.u16 w e.rank;
+  W.u64 w (Int64.of_int e.seq);
+  W.u64 w (Int64.of_int e.size);
+  W.u64 w (Int64.of_int e.span)
+
+let read_event r =
+  let module R = Codec.Reader in
+  let time = R.f64 r in
+  let component = R.string r in
+  let kind =
+    match R.u8 r with
+    | 0 -> Pdu_sent
+    | 1 -> Pdu_recvd
+    | 2 ->
+      Pdu_dropped
+        (match R.u8 r with
+         | 0 -> R_queue_full
+         | 1 -> R_link_down
+         | 2 -> R_loss
+         | 3 -> R_crc
+         | 4 -> R_decode
+         | 5 -> R_ttl_expired
+         | 6 -> R_no_route
+         | 7 -> R_ingress_filter
+         | 8 -> R_stale
+         | 9 -> R_duplicate
+         | 10 -> R_other (R.string r)
+         | n -> raise (R.Decode_error (Printf.sprintf "unknown reason tag %d" n)))
+    | 3 -> Enqueued
+    | 4 -> Dequeued
+    | 5 -> Timer_set
+    | 6 -> Timer_fired
+    | 7 -> Retransmit
+    | 8 -> Handoff
+    | 9 -> Route_update
+    | 10 -> Custom (R.string r)
+    | n -> raise (R.Decode_error (Printf.sprintf "unknown kind tag %d" n))
+  in
+  let flow = Int64.to_int (R.u64 r) in
+  let rank = R.u16 r in
+  let seq = Int64.to_int (R.u64 r) in
+  let size = Int64.to_int (R.u64 r) in
+  let span = Int64.to_int (R.u64 r) in
+  { time; component; kind; flow; rank; seq; size; span }
+
+let encode_events events =
+  let module W = Codec.Writer in
+  let w = W.create () in
+  W.u32 w (List.length events);
+  List.iter (write_event w) events;
+  W.contents w
+
+let decode_events data =
+  let module R = Codec.Reader in
+  try
+    let r = R.create data in
+    let n = R.u32 r in
+    let events = List.init n (fun _ -> read_event r) in
+    R.expect_end r;
+    Ok events
+  with R.Decode_error msg -> Error msg
+
+(* ---------- JSONL codec ---------- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Shortest representation that round-trips exactly. *)
+let json_float f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let event_to_json e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"t\":";
+  Buffer.add_string b (json_float e.time);
+  Buffer.add_string b ",\"c\":\"";
+  json_escape b e.component;
+  Buffer.add_string b "\",\"k\":\"";
+  (match e.kind with
+   | Pdu_sent -> Buffer.add_string b "pdu_sent"
+   | Pdu_recvd -> Buffer.add_string b "pdu_recvd"
+   | Pdu_dropped _ -> Buffer.add_string b "pdu_dropped"
+   | Enqueued -> Buffer.add_string b "enqueued"
+   | Dequeued -> Buffer.add_string b "dequeued"
+   | Timer_set -> Buffer.add_string b "timer_set"
+   | Timer_fired -> Buffer.add_string b "timer_fired"
+   | Retransmit -> Buffer.add_string b "retransmit"
+   | Handoff -> Buffer.add_string b "handoff"
+   | Route_update -> Buffer.add_string b "route_update"
+   | Custom _ -> Buffer.add_string b "custom");
+  Buffer.add_char b '"';
+  (match e.kind with
+   | Pdu_dropped r ->
+     Buffer.add_string b ",\"r\":\"";
+     json_escape b (reason_to_string r);
+     Buffer.add_char b '"'
+   | Custom s ->
+     Buffer.add_string b ",\"n\":\"";
+     json_escape b s;
+     Buffer.add_char b '"'
+   | _ -> ());
+  let int_field name v =
+    if v <> 0 then begin
+      Buffer.add_string b ",\"";
+      Buffer.add_string b name;
+      Buffer.add_string b "\":";
+      Buffer.add_string b (string_of_int v)
+    end
+  in
+  int_field "flow" e.flow;
+  int_field "rank" e.rank;
+  int_field "seq" e.seq;
+  int_field "size" e.size;
+  int_field "span" e.span;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+exception Json_error of string
+
+(* Minimal parser for the flat objects we emit: string keys mapping to
+   string or number values.  Not a general JSON parser. *)
+let parse_flat_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "bad escape";
+        (match s.[!pos] with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           if !pos + 4 >= n then fail "truncated \\u escape";
+           (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+            | Some _ -> Buffer.add_char b '?'
+            | None -> fail "bad \\u escape");
+           pos := !pos + 4
+         | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false)
+    do
+      incr pos
+    done;
+    if start = !pos then fail "expected value";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !pos < n && s.[!pos] = '}' then incr pos
+  else begin
+    let rec members () =
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      let v =
+        if !pos < n && s.[!pos] = '"' then `S (parse_string ())
+        else `N (parse_number ())
+      in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      if !pos < n && s.[!pos] = ',' then begin
+        incr pos;
+        members ()
+      end
+      else expect '}'
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then fail "trailing data";
+  List.rev !fields
+
+let event_of_json line =
+  match parse_flat_json line with
+  | exception Json_error msg -> Error msg
+  | fields ->
+    let str name =
+      match List.assoc_opt name fields with Some (`S s) -> Some s | _ -> None
+    in
+    let num name =
+      match List.assoc_opt name fields with Some (`N f) -> Some f | _ -> None
+    in
+    let int name = match num name with Some f -> int_of_float f | None -> 0 in
+    (match (num "t", str "c", str "k") with
+     | Some time, Some component, Some k ->
+       let kind =
+         match k with
+         | "pdu_sent" -> Ok Pdu_sent
+         | "pdu_recvd" -> Ok Pdu_recvd
+         | "pdu_dropped" ->
+           Ok
+             (Pdu_dropped
+                (match str "r" with
+                 | Some r -> reason_of_string r
+                 | None -> R_other "unknown"))
+         | "enqueued" -> Ok Enqueued
+         | "dequeued" -> Ok Dequeued
+         | "timer_set" -> Ok Timer_set
+         | "timer_fired" -> Ok Timer_fired
+         | "retransmit" -> Ok Retransmit
+         | "handoff" -> Ok Handoff
+         | "route_update" -> Ok Route_update
+         | "custom" ->
+           Ok (Custom (match str "n" with Some n -> n | None -> ""))
+         | k -> Error (Printf.sprintf "unknown event kind %S" k)
+       in
+       (match kind with
+        | Error e -> Error e
+        | Ok kind ->
+          Ok
+            {
+              time;
+              component;
+              kind;
+              flow = int "flow";
+              rank = int "rank";
+              seq = int "seq";
+              size = int "size";
+              span = int "span";
+            })
+     | _ -> Error "missing required field (t, c or k)")

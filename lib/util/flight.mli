@@ -1,0 +1,130 @@
+(** Flight recorder: a process-global stream of typed simulation events.
+
+    Every layer of the stack — engine timers, links, the wireless
+    medium, EFCP, the RMT, RIB/RIEP management, routing and the TCP/IP
+    baseline — emits into one shared schema, so a single trace can
+    follow a PDU down the DIF recursion, across relays and back up.
+
+    Tracing is off by default.  Emission sites follow the {!Invariant}
+    pattern: each is guarded by [if !enabled then emit ...], so the
+    disabled cost is one load and one branch with no allocation.
+    {!emit} itself does not re-check the flag.
+
+    [Rina_sim.Trace] installs the {!clock} and {!sink} hooks when a
+    trace is attached; this module stays free of engine and file
+    dependencies so it can sit at the bottom of the library stack. *)
+
+(** Why a PDU (or frame) was dropped. *)
+type reason =
+  | R_queue_full
+  | R_link_down
+  | R_loss
+  | R_crc
+  | R_decode
+  | R_ttl_expired
+  | R_no_route
+  | R_ingress_filter
+  | R_stale
+  | R_duplicate
+  | R_other of string
+
+type kind =
+  | Pdu_sent
+  | Pdu_recvd
+  | Pdu_dropped of reason
+  | Enqueued
+  | Dequeued
+  | Timer_set
+  | Timer_fired
+  | Retransmit
+  | Handoff
+  | Route_update
+  | Custom of string
+      (** Component-specific events, including legacy
+          [Trace.record] strings and periodic probe samples. *)
+
+type event = {
+  time : float;
+  component : string;
+  kind : kind;
+  flow : int;  (** flow identity (CEP / port / tuple hash); 0 = none *)
+  rank : int;  (** DIF rank; 0 = unknown / not applicable *)
+  seq : int;   (** sequence number; 0 = none *)
+  size : int;  (** bytes for PDU events, sampled value for probes *)
+  span : int;  (** trace id joining one PDU's events across layers *)
+}
+
+val enabled : bool ref
+(** Global tracing switch, [false] by default.  Guard every emission
+    site with [if !enabled then ...]. *)
+
+val clock : (unit -> float) ref
+(** Source of event timestamps; installed by [Trace.attach] to read the
+    engine's virtual clock.  Defaults to a constant [0.]. *)
+
+val sink : (event -> unit) ref
+(** Where emitted events go; installed by [Trace.attach].  Defaults to
+    dropping events. *)
+
+val emit :
+  component:string ->
+  ?flow:int ->
+  ?rank:int ->
+  ?seq:int ->
+  ?size:int ->
+  ?span:int ->
+  kind ->
+  unit
+(** Stamp an event with the current {!clock} time and pass it to the
+    {!sink}.  Only call under [!enabled] (the guard lives at the call
+    site so the disabled path allocates nothing). *)
+
+val span_of : flow:int -> seq:int -> int
+(** Deterministic trace id for a PDU, mixed from its flow key and
+    sequence number, so sender, relays and receiver compute the same id
+    with nothing extra on the wire.  Always positive and non-zero. *)
+
+val reason_to_string : reason -> string
+val reason_of_string : string -> reason
+(** Inverse of {!reason_to_string} for the built-in reasons; any other
+    string maps to [R_other]. *)
+
+val kind_to_string : kind -> string
+(** Display form; [Custom s] renders as [s] so legacy
+    [Trace.record] strings round-trip unchanged. *)
+
+(** Growable event buffer with O(1) amortised append. *)
+module Buf : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> event -> unit
+  val length : t -> int
+
+  val get : t -> int -> event
+  (** @raise Invalid_argument when out of bounds. *)
+
+  val iter : (event -> unit) -> t -> unit
+  val to_list : t -> event list
+  val clear : t -> unit
+end
+
+(** {2 Binary codec} *)
+
+val write_event : Codec.Writer.t -> event -> unit
+
+val read_event : Codec.Reader.t -> event
+(** @raise Codec.Reader.Decode_error on malformed input. *)
+
+val encode_events : event list -> bytes
+val decode_events : bytes -> (event list, string) result
+
+(** {2 JSONL codec}
+
+    One event per line, e.g.
+    [{"t":1.25,"c":"efcp","k":"pdu_dropped","r":"queue_full","flow":3,"seq":7,"size":500,"span":129}].
+    Zero-valued numeric fields are omitted on output and default to 0
+    when absent on input. *)
+
+val event_to_json : event -> string
+val event_of_json : string -> (event, string) result

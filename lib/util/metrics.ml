@@ -1,28 +1,89 @@
-type t = (string, int ref) Hashtbl.t
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, Stats.Histogram.h) Hashtbl.t;
+}
 
-let create () = Hashtbl.create 16
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 4;
+    hists = Hashtbl.create 4;
+  }
 
 let find t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.counters name with
   | Some r -> r
   | None ->
     let r = ref 0 in
-    Hashtbl.add t name r;
+    Hashtbl.add t.counters name r;
     r
 
 let incr t name = Stdlib.incr (find t name)
 
+(* Counters are monotone-ish tallies; a negative delta larger than the
+   current value clamps at zero rather than silently going negative
+   (which every reader treats as "impossible"). *)
 let add t name n =
   let r = find t name in
-  r := !r + n
+  r := max 0 (!r + n)
 
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
 let to_list t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* ---------- gauges ---------- *)
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r
+  | None ->
+    let r = ref 0. in
+    Hashtbl.add t.gauges name r;
+    r
+
+let set_gauge t name v = find_gauge t name := v
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0.
+
+let gauges t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---------- fixed-bucket histograms ---------- *)
+
+let observe t ?(lo = 0.) ?(hi = 1.) ?(bins = 20) name x =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+      let h = Stats.Histogram.create ~lo ~hi ~bins in
+      Hashtbl.add t.hists name h;
+      h
+  in
+  Stats.Histogram.add h x
+
+let histogram t name = Hashtbl.find_opt t.hists name
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter (fun _ r -> r := 0.) t.gauges;
+  Hashtbl.reset t.hists
+
 let pp fmt t =
-  List.iter (fun (name, v) -> Format.fprintf fmt "%s=%d@ " name v) (to_list t)
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s=%d@ " name v) (to_list t);
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s=%g@ " name v) (gauges t);
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf fmt "%s=[%s]@ " name
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int (Stats.Histogram.counts h)))))
+    (histograms t)

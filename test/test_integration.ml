@@ -12,6 +12,9 @@ module Topo = Rina_exp.Topo
 module Scenario = Rina_exp.Scenario
 module Workload = Rina_exp.Workload
 module Metrics = Rina_util.Metrics
+module Trace = Rina_sim.Trace
+module Flight = Rina_util.Flight
+module Trace_report = Rina_check.Trace_report
 
 let check = Alcotest.check
 
@@ -233,6 +236,60 @@ let test_multihoming_local_failover () =
         + Metrics.get (Ipcp.metrics b) "local_reroute"
         >= 1)
    | None -> Alcotest.fail "no flow")
+
+(* The flight-recorder view of the same failover: a steady stream over
+   a multihomed pair, one attachment killed mid-stream.  The recorder
+   must capture the reroute as a Handoff event, and the interruption
+   window reported offline (Trace_report.delivery_gap) must agree with
+   the trace's own largest_gap over EFCP deliveries. *)
+let test_traced_failover_interruption_window () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 13 in
+  let dif = Dif.create engine "mh" in
+  let a = Dif.add_member dif ~name:"a" () in
+  let b = Dif.add_member dif ~name:"b" () in
+  let l1 = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.001 ~label:"l1" () in
+  let l2 = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.001 ~label:"l2" () in
+  Dif.connect dif a b (Link.endpoint_a l1, Link.endpoint_b l1);
+  Dif.connect dif a b (Link.endpoint_a l2, Link.endpoint_b l2);
+  Dif.run_until_converged dif ();
+  let got = ref 0 in
+  Ipcp.register_app b (Types.apn "svc") ~on_flow:(fun flow ->
+      flow.Ipcp.set_on_receive (fun _ -> incr got));
+  Ipcp.register_app a (Types.apn "cli") ~on_flow:(fun _ -> ());
+  let flow = ref None in
+  Ipcp.allocate_flow a ~src:(Types.apn "cli") ~dst:(Types.apn "svc") ~qos_id:1
+    ~on_result:(function Ok f -> flow := Some f | Error e -> Alcotest.fail e);
+  wait engine 5.;
+  let f = Option.get !flow in
+  let tr = Trace.create engine in
+  Trace.attach tr;
+  let sent = ref 0 in
+  let rec pump () =
+    if !sent < 40 then begin
+      incr sent;
+      f.Ipcp.send (Bytes.create 32);
+      ignore (Engine.schedule engine ~delay:0.05 pump)
+    end
+  in
+  pump ();
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> Link.set_up l1 false));
+  wait engine 10.;
+  Trace.detach ();
+  check Alcotest.int "stream delivered across failover" 40 !got;
+  let evs = Trace.typed_events tr in
+  check Alcotest.bool "handoff recorded" true
+    (List.exists (fun ev -> ev.Flight.kind = Flight.Handoff) evs);
+  let report = Trace_report.delivery_gap ~component:"efcp" evs in
+  let legacy = Trace.largest_gap tr ~component:"efcp" ~event:"pdu_recvd" in
+  (match (report, legacy) with
+  | Some (g1, s1), Some (g2, s2) ->
+    check (Alcotest.float 1e-9) "same gap" g2 g1;
+    check (Alcotest.float 1e-9) "same start" s2 s1;
+    (* the interruption window sits at the failure, and dwarfs the
+       50 ms inter-send spacing of the undisturbed stream *)
+    check Alcotest.bool "gap is the outage" true (g1 > 0.05 && s1 >= 0.9)
+  | _ -> Alcotest.fail "expected a delivery gap")
 
 let test_ring_reroutes_after_link_failure () =
   (* Square ring 0-1-2-3-0: kill 0-1; 0 must still reach 1 the long
@@ -526,6 +583,8 @@ let () =
       ( "failover",
         [
           Alcotest.test_case "multihoming local" `Quick test_multihoming_local_failover;
+          Alcotest.test_case "traced failover window" `Quick
+            test_traced_failover_interruption_window;
           Alcotest.test_case "ring reroute" `Quick test_ring_reroutes_after_link_failure;
         ] );
       ("recursion", [ Alcotest.test_case "stacked transfer" `Quick test_stacked_dif_transfer ]);

@@ -7,6 +7,11 @@ module Link = Rina_sim.Link
 module Medium = Rina_sim.Medium
 module Trace = Rina_sim.Trace
 module Prng = Rina_util.Prng
+module Flight = Rina_util.Flight
+module Trace_report = Rina_check.Trace_report
+module Dif = Rina_core.Dif
+module Ipcp = Rina_core.Ipcp
+module Types = Rina_core.Types
 
 let check = Alcotest.check
 
@@ -309,6 +314,264 @@ let test_trace () =
     check (Alcotest.float 1e-9) "start" 1. start
   | None -> Alcotest.fail "expected a gap"
 
+(* Duplicate timestamps must not make the widest-gap answer depend on
+   record order: times are sorted and ties resolve to the earliest
+   interval. *)
+let test_trace_duplicate_gap () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  let at d = ignore (Engine.schedule e ~delay:d (fun () -> Trace.record tr ~component:"x" ~event:"t")) in
+  at 1.;
+  at 1.;
+  (* duplicate timestamp *)
+  at 3.;
+  at 5.;
+  Engine.run e;
+  (* gaps: 0 (the duplicate), 2 (1->3), 2 (3->5): tie resolves to the
+     earliest interval, so start must be 1, not 3 *)
+  (match Trace.largest_gap tr ~component:"x" ~event:"t" with
+  | Some (gap, start) ->
+    check (Alcotest.float 1e-9) "gap" 2. gap;
+    check (Alcotest.float 1e-9) "earliest tied interval" 1. start
+  | None -> Alcotest.fail "expected a gap");
+  (* same answer through the offline report path *)
+  let mk time =
+    { Flight.time; component = "x"; kind = Flight.Pdu_recvd;
+      flow = 0; rank = 0; seq = 0; size = 0; span = 0 }
+  in
+  match Trace_report.delivery_gap [ mk 3.; mk 1.; mk 5.; mk 1. ] with
+  | Some (gap, start) ->
+    check (Alcotest.float 1e-9) "report gap" 2. gap;
+    check (Alcotest.float 1e-9) "report start" 1. start
+  | None -> Alcotest.fail "expected a report gap"
+
+(* Attaching turns on typed emission (engine timers included);
+   detaching stops it while keeping buffered events readable. *)
+let test_trace_attach_timer_events () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  check Alcotest.bool "off by default" false !Flight.enabled;
+  Trace.attach tr;
+  check Alcotest.bool "attached" true (Trace.is_attached tr);
+  ignore (Engine.schedule e ~delay:1. (fun () -> ()));
+  ignore (Engine.schedule e ~delay:2. (fun () -> ()));
+  Engine.run e;
+  Trace.detach ();
+  let is k ev = ev.Flight.kind = k in
+  let evs = Trace.typed_events tr in
+  check Alcotest.int "timers set" 2 (List.length (List.filter (is Flight.Timer_set) evs));
+  check Alcotest.int "timers fired" 2 (List.length (List.filter (is Flight.Timer_fired) evs));
+  let n = Trace.length tr in
+  ignore (Engine.schedule e ~delay:1. (fun () -> ()));
+  Engine.run e;
+  check Alcotest.int "silent after detach" n (Trace.length tr);
+  check Alcotest.bool "detached" false (Trace.is_attached tr)
+
+let test_trace_probe () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Trace.probe: period must be positive") (fun () ->
+      Trace.probe tr ~name:"q" ~period:0. ~until:5. (fun () -> 0));
+  Trace.attach tr;
+  let v = ref 0 in
+  Trace.probe tr ~name:"q" ~period:1. ~until:5. (fun () ->
+      incr v;
+      !v * 10);
+  Engine.run e;
+  Trace.detach ();
+  let samples =
+    List.filter_map
+      (fun ev ->
+        if ev.Flight.component = "q" && ev.Flight.kind = Flight.Custom "probe"
+        then Some (ev.Flight.time, ev.Flight.size)
+        else None)
+      (Trace.typed_events tr)
+  in
+  (* fires at t = 1..5 inclusive, then stops (until reached) *)
+  check
+    Alcotest.(list (pair (float 1e-9) int))
+    "periodic samples"
+    [ (1., 10); (2., 20); (3., 30); (4., 40); (5., 50) ]
+    samples
+
+(* Link halves emit typed lifecycle events with per-direction
+   components and drop reasons. *)
+let test_trace_link_drop_reasons () =
+  let e = Engine.create () in
+  let rng = Prng.create 7 in
+  let link =
+    Link.create e rng ~bit_rate:8_000. ~delay:0.01 ~queue_capacity:1
+      ~label:"lk" ()
+  in
+  let tr = Trace.create e in
+  Trace.attach tr;
+  let a = Link.endpoint_a link in
+  (Link.endpoint_b link).Chan.set_receiver (fun _ -> ());
+  a.Chan.send (Bytes.create 100);
+  (* first frame serialises (100 ms at 8 kb/s) *)
+  check Alcotest.int "queue depth" 1 (Link.queue_depth_a link);
+  a.Chan.send (Bytes.create 100);
+  (* capacity 1 -> tail drop *)
+  Engine.run e;
+  Link.set_up link false;
+  a.Chan.send (Bytes.create 100);
+  (* carrier down -> drop *)
+  Engine.run e;
+  Trace.detach ();
+  let dropped r ev = ev.Flight.kind = Flight.Pdu_dropped r in
+  let evs = List.filter (fun ev -> ev.Flight.component = "lk.ab") (Trace.typed_events tr) in
+  check Alcotest.int "queue_full drop" 1
+    (List.length (List.filter (dropped Flight.R_queue_full) evs));
+  check Alcotest.int "link_down drop" 1
+    (List.length (List.filter (dropped Flight.R_link_down) evs));
+  check Alcotest.int "sent" 1
+    (List.length (List.filter (fun ev -> ev.Flight.kind = Flight.Pdu_sent) evs));
+  check Alcotest.int "recvd" 1
+    (List.length (List.filter (fun ev -> ev.Flight.kind = Flight.Pdu_recvd) evs));
+  match Trace_report.drop_breakdown (Trace.typed_events tr) with
+  | [ (r1, 1); (r2, 1) ] ->
+    check
+      Alcotest.(slist string compare)
+      "reasons" [ "link_down"; "queue_full" ] [ r1; r2 ]
+  | other ->
+    Alcotest.failf "unexpected drop breakdown (%d entries)" (List.length other)
+
+let test_trace_jsonl_roundtrip () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  Trace.attach tr;
+  ignore
+    (Engine.schedule e ~delay:0.5 (fun () ->
+         Flight.emit ~component:"efcp" ~flow:3 ~rank:1 ~seq:7 ~size:500
+           ~span:(Flight.span_of ~flow:3 ~seq:7)
+           (Flight.Pdu_dropped (Flight.R_other "weird"));
+         Trace.record tr ~component:"legacy" ~event:"tick"));
+  Engine.run e;
+  Trace.detach ();
+  let path = Filename.temp_file "rina_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save_jsonl tr path;
+      match Trace.load_jsonl path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok evs ->
+        check Alcotest.int "all lines back" (Trace.length tr) (List.length evs);
+        check Alcotest.bool "events identical" true (evs = Trace.typed_events tr))
+
+(* Offline analysis must tolerate out-of-order input: the receive event
+   arriving before the send must still join into one span. *)
+let test_trace_span_join_out_of_order () =
+  let span = Flight.span_of ~flow:9 ~seq:1 in
+  let mk time component kind =
+    { Flight.time; component; kind; flow = 9; rank = 0; seq = 1; size = 100; span }
+  in
+  let events =
+    [
+      mk 2.5 "efcp" Flight.Pdu_recvd;
+      (* out of order: delivery first *)
+      mk 1.0 "efcp" Flight.Pdu_sent;
+      mk 1.5 "rmt:d@1" Flight.Retransmit;
+    ]
+  in
+  (match Trace_report.latency_by_flow events with
+  | [ (9, st) ] ->
+    check Alcotest.int "one sample" 1 (Rina_util.Stats.count st);
+    (* earliest send (1.0) to earliest delivery (2.5), ignoring the
+       retransmitted copy *)
+    check (Alcotest.float 1e-9) "latency" 1.5 (Rina_util.Stats.mean st)
+  | _ -> Alcotest.fail "expected exactly flow 9");
+  match Trace_report.span_tree events with
+  | [ (s, steps) ] ->
+    check Alcotest.bool "span id" true (s = span);
+    check
+      Alcotest.(list (pair string string))
+      "time-sorted steps"
+      [ ("efcp", "pdu_sent"); ("rmt:d@1", "retransmit"); ("efcp", "pdu_recvd") ]
+      (List.map (fun (_, c, k) -> (c, k)) steps)
+  | other -> Alcotest.failf "expected one span, got %d" (List.length other)
+
+(* End-to-end span joining over a stacked (2-DIF) arrangement with a
+   relay in the lower DIF: one SDU sent on the upper flow must produce
+   an upper-DIF span (efcp -> rmt -> rmt -> efcp, rank 1) and a
+   lower-DIF span that crosses the relay (efcp -> rmt at each of the
+   three members -> efcp, rank 0). *)
+let test_trace_relay_span_tree () =
+  let e = Engine.create () in
+  let rng = Prng.create 42 in
+  let lower = Dif.create e "low" in
+  let la = Dif.add_member lower ~name:"la" () in
+  let lr = Dif.add_member lower ~name:"lr" () in
+  let lb = Dif.add_member lower ~name:"lb" () in
+  let mk_link () = Link.create e rng ~bit_rate:10_000_000. ~delay:0.001 () in
+  let l1 = mk_link () and l2 = mk_link () in
+  (* a line: la - lr - lb, so la<->lb traffic relays through lr *)
+  Dif.connect lower la lr (Link.endpoint_a l1, Link.endpoint_b l1);
+  Dif.connect lower lr lb (Link.endpoint_a l2, Link.endpoint_b l2);
+  Dif.run_until_converged lower ();
+  let upper = Dif.create e ~rank:1 "up" in
+  let ua = Dif.add_member upper ~name:"ua" () in
+  let ub = Dif.add_member upper ~name:"ub" () in
+  Dif.stack_connect ~lower_a:la ~lower_b:lb ~upper_a:ua ~upper_b:ub ();
+  Dif.run_until_converged upper ();
+  let received = ref 0 in
+  Ipcp.register_app ub (Types.apn "server") ~on_flow:(fun fl ->
+      fl.Ipcp.set_on_receive (fun _ -> incr received));
+  let tr = Trace.create e in
+  Trace.attach tr;
+  Ipcp.allocate_flow ua ~src:(Types.apn "client") ~dst:(Types.apn "server")
+    ~qos_id:0
+    ~on_result:(fun r ->
+      match r with
+      | Ok fl -> fl.Ipcp.send (Bytes.create 64)
+      | Error msg -> Alcotest.failf "allocate failed: %s" msg);
+  Engine.run ~until:(Engine.now e +. 10.) e;
+  Trace.detach ();
+  check Alcotest.bool "SDU delivered" true (!received >= 1);
+  let evs = Trace.typed_events tr in
+  (* group the PDU-lifecycle events per span, in time order *)
+  let shape_of (_, steps) =
+    List.map (fun (_, c, k) -> (c, k)) steps
+  in
+  let shapes = List.map shape_of (Trace_report.span_tree ~max_spans:max_int evs) in
+  let is_rmt prefix c =
+    String.length c > String.length prefix && String.sub c 0 (String.length prefix) = prefix
+  in
+  let upper_shape shape =
+    match shape with
+    | [ ("efcp", "pdu_sent"); (r1, "pdu_sent"); (r2, "pdu_recvd"); ("efcp", "pdu_recvd") ]
+      when is_rmt "rmt:up@" r1 && is_rmt "rmt:up@" r2 && r1 <> r2 -> true
+    | _ -> false
+  in
+  let lower_relay_shape shape =
+    match shape with
+    | [
+        ("efcp", "pdu_sent");
+        (r1, "pdu_sent");
+        (r2, "pdu_sent");
+        (* the relay retransmits the PDU unchanged: same span *)
+        (r3, "pdu_recvd");
+        ("efcp", "pdu_recvd");
+      ]
+      when is_rmt "rmt:low@" r1 && is_rmt "rmt:low@" r2 && is_rmt "rmt:low@" r3
+           && r1 <> r2 && r2 <> r3 -> true
+    | _ -> false
+  in
+  check Alcotest.bool "upper-DIF span (no relay)" true
+    (List.exists upper_shape shapes);
+  check Alcotest.bool "lower-DIF span crosses the relay" true
+    (List.exists lower_relay_shape shapes);
+  (* rank stamping: efcp/rmt events of the upper DIF carry rank 1,
+     lower-DIF ones rank 0 *)
+  List.iter
+    (fun ev ->
+      if is_rmt "rmt:up@" ev.Flight.component then
+        check Alcotest.int "upper rank" 1 ev.Flight.rank
+      else if is_rmt "rmt:low@" ev.Flight.component then
+        check Alcotest.int "lower rank" 0 ev.Flight.rank)
+    evs
+
 let () =
   Alcotest.run "rina_sim"
     [
@@ -344,5 +607,15 @@ let () =
           Alcotest.test_case "range and movement" `Quick test_medium_range_and_movement;
           Alcotest.test_case "edge loss grows" `Quick test_medium_edge_loss_grows;
         ] );
-      ("trace", [ Alcotest.test_case "record and gaps" `Quick test_trace ]);
+      ( "trace",
+        [
+          Alcotest.test_case "record and gaps" `Quick test_trace;
+          Alcotest.test_case "duplicate timestamps" `Quick test_trace_duplicate_gap;
+          Alcotest.test_case "attach / timer events" `Quick test_trace_attach_timer_events;
+          Alcotest.test_case "probe cadence" `Quick test_trace_probe;
+          Alcotest.test_case "link drop reasons" `Quick test_trace_link_drop_reasons;
+          Alcotest.test_case "jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
+          Alcotest.test_case "span join out of order" `Quick test_trace_span_join_out_of_order;
+          Alcotest.test_case "2-DIF relay span tree" `Quick test_trace_relay_span_tree;
+        ] );
     ]

@@ -328,6 +328,140 @@ let test_metrics () =
   Metrics.reset m;
   check Alcotest.int "reset" 0 (Metrics.get m "a")
 
+
+(* ---------- Flight recorder ---------- *)
+
+module Flight = Rina_util.Flight
+
+let test_metrics_clamp () =
+  let m = Metrics.create () in
+  Metrics.add m "a" 5;
+  Metrics.add m "a" (-9);
+  check Alcotest.int "clamped at zero" 0 (Metrics.get m "a");
+  Metrics.add m "a" 3;
+  check Alcotest.int "counts up from zero" 3 (Metrics.get m "a")
+
+(* Golden rendering: counters, gauges and histograms, each
+   alphabetically, in that order. *)
+let test_metrics_pp_golden () =
+  let m = Metrics.create () in
+  Metrics.incr m "tx";
+  Metrics.add m "rx_bytes" 300;
+  Metrics.set_gauge m "depth" 2.5;
+  Metrics.observe m ~lo:0. ~hi:1. ~bins:2 "lat" 0.25;
+  Metrics.observe m ~lo:0. ~hi:1. ~bins:2 "lat" 0.75;
+  Metrics.observe m ~lo:0. ~hi:1. ~bins:2 "lat" 0.8;
+  check Alcotest.string "golden"
+    "rx_bytes=300 tx=1 depth=2.5 lat=[1;2]\n"
+    (Format.asprintf "%a" Metrics.pp m)
+
+let test_span_of () =
+  check Alcotest.bool "nonzero" true (Flight.span_of ~flow:0 ~seq:0 <> 0);
+  check Alcotest.int "deterministic"
+    (Flight.span_of ~flow:77 ~seq:3)
+    (Flight.span_of ~flow:77 ~seq:3);
+  check Alcotest.bool "seq separates" true
+    (Flight.span_of ~flow:77 ~seq:3 <> Flight.span_of ~flow:77 ~seq:4);
+  check Alcotest.bool "flow separates" true
+    (Flight.span_of ~flow:77 ~seq:3 <> Flight.span_of ~flow:78 ~seq:3)
+
+let test_reason_strings () =
+  let all =
+    [ Flight.R_queue_full; Flight.R_link_down; Flight.R_loss; Flight.R_crc;
+      Flight.R_decode; Flight.R_ttl_expired; Flight.R_no_route;
+      Flight.R_ingress_filter; Flight.R_stale; Flight.R_duplicate;
+      Flight.R_other "because" ]
+  in
+  List.iter
+    (fun r ->
+      check Alcotest.bool "roundtrip" true
+        (Flight.reason_of_string (Flight.reason_to_string r) = r))
+    all
+
+let test_flight_buf () =
+  let b = Flight.Buf.create () in
+  check Alcotest.int "empty" 0 (Flight.Buf.length b);
+  let ev i =
+    { Flight.time = float_of_int i; component = "c"; kind = Flight.Pdu_sent;
+      flow = 0; rank = 0; seq = i; size = 0; span = 0 }
+  in
+  for i = 1 to 1000 do
+    Flight.Buf.add b (ev i)
+  done;
+  check Alcotest.int "length" 1000 (Flight.Buf.length b);
+  check Alcotest.int "get keeps order" 17 (Flight.Buf.get b 16).Flight.seq;
+  let sum = ref 0 in
+  Flight.Buf.iter (fun e -> sum := !sum + e.Flight.seq) b;
+  check Alcotest.int "iter sees all" (1000 * 1001 / 2) !sum;
+  Flight.Buf.clear b;
+  check Alcotest.int "cleared" 0 (Flight.Buf.length b);
+  Alcotest.check_raises "bounds"
+    (Invalid_argument "Flight.Buf.get: out of bounds") (fun () ->
+      ignore (Flight.Buf.get b 0))
+
+(* PRNG-driven event generator; times come from int generators so they
+   are always finite and exactly representable. *)
+let event_gen =
+  let open QCheck.Gen in
+  let reason =
+    oneof
+      [
+        oneofl
+          [ Flight.R_queue_full; Flight.R_link_down; Flight.R_loss;
+            Flight.R_crc; Flight.R_decode; Flight.R_ttl_expired;
+            Flight.R_no_route; Flight.R_ingress_filter; Flight.R_stale;
+            Flight.R_duplicate ];
+        (* must not collide with a built-in reason name, or
+           reason_of_string canonicalises it *)
+        map (fun s -> Flight.R_other ("x-" ^ s)) (string_size ~gen:printable (return 4));
+      ]
+  in
+  let kind =
+    oneof
+      [
+        oneofl
+          [ Flight.Pdu_sent; Flight.Pdu_recvd; Flight.Enqueued;
+            Flight.Dequeued; Flight.Timer_set; Flight.Timer_fired;
+            Flight.Retransmit; Flight.Handoff; Flight.Route_update ];
+        map (fun r -> Flight.Pdu_dropped r) reason;
+        map (fun s -> Flight.Custom s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let* time = map (fun n -> float_of_int n /. 64.) (int_bound 1_000_000) in
+  let* component = string_size ~gen:printable (int_bound 16) in
+  let* kind = kind in
+  let* flow = int_bound 0xFFFFFF in
+  let* rank = int_bound 0xFFFF in
+  let* seq = int_bound 0xFFFFFF in
+  let* size = int_bound 0xFFFF in
+  let* span = int_bound 0x3FFFFFFFFFFF in
+  return { Flight.time; component; kind; flow; rank; seq; size; span }
+
+let prop_flight_binary_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"flight binary codec roundtrips"
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_bound 20) event_gen))
+    (fun events ->
+      match Flight.decode_events (Flight.encode_events events) with
+      | Ok decoded -> decoded = events
+      | Error _ -> false)
+
+let prop_flight_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"flight JSON codec roundtrips"
+    (QCheck.make event_gen) (fun e ->
+      match Flight.event_of_json (Flight.event_to_json e) with
+      | Ok decoded -> decoded = e
+      | Error _ -> false)
+
+let test_flight_json_garbage () =
+  List.iter
+    (fun line ->
+      match Flight.event_of_json line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [ ""; "{"; "{}"; "not json"; "{\"t\":1}"; "{\"t\":1,\"c\":\"x\"}";
+      "{\"t\":1,\"c\":\"x\",\"k\":\"nope\"}";
+      "{\"t\":1,\"c\":\"x\",\"k\":\"pdu_sent\"}trailing" ]
+
 (* ---------- Table ---------- *)
 
 let test_table () =
@@ -399,5 +533,16 @@ let () =
           Alcotest.test_case "token bucket" `Quick test_token_bucket;
           Alcotest.test_case "metrics" `Quick test_metrics;
           Alcotest.test_case "table" `Quick test_table;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "metrics clamp" `Quick test_metrics_clamp;
+          Alcotest.test_case "metrics pp golden" `Quick test_metrics_pp_golden;
+          Alcotest.test_case "span_of" `Quick test_span_of;
+          Alcotest.test_case "reason strings" `Quick test_reason_strings;
+          Alcotest.test_case "buffer" `Quick test_flight_buf;
+          Alcotest.test_case "json rejects garbage" `Quick test_flight_json_garbage;
+          QCheck_alcotest.to_alcotest prop_flight_binary_roundtrip;
+          QCheck_alcotest.to_alcotest prop_flight_json_roundtrip;
         ] );
     ]
