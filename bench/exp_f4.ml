@@ -41,7 +41,8 @@ let rina_case ?(fail = true) ~silent () =
   Rina_core.Dif.connect dif r m (Link.endpoint_a l_rm2, Link.endpoint_b l_rm2);
   Rina_core.Dif.run_until_converged dif ();
   let net =
-    { Topo.engine; rng; dif; nodes = [| h; r; m |]; links = [| l_hr; l_rm1; l_rm2 |] }
+    { Topo.engine; rng; dif; nodes = [| h; r; m |];
+      links = [| l_hr; l_rm1; l_rm2 |]; edges = [| (0, 1); (1, 2); (1, 2) |] }
   in
   let sink = Workload.sink () in
   match Scenario.open_flow net ~src:0 ~dst:2 ~qos_id:0 ~sink () with

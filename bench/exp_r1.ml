@@ -1,0 +1,356 @@
+(* R1 — recovery under chaos: an identical fault schedule against the
+   2-DIF relay arrangement and the TCP/IP baseline.
+
+   Topology (both stacks, same shape):
+
+     RINA   H1 ==link-DIF== R ==link-DIF== H2, host-to-host DIF
+            stacked across the relay (Fig. 2's arrangement);
+     TCP/IP hostA -- r0 -- hostB (Topo.ip_line, DV routing).
+
+   A 1 Mb/s CBR stream crosses each stack while one deterministic
+   fault plan (Rina_sim.Fault) runs, with times relative to the
+   stream's start t0:
+
+     t0+ 8 .. t0+11   flap-left        carrier loss, access wire
+     t0+15 .. t0+18   blackhole-right  silent drops, carrier stays up
+     t0+21 .. t0+24   degrade-left     10% of rate + 20% loss
+     t0+27 .. t0+32   crash-relay      fail-stop of the relay: in RINA
+                      Ipcp.crash/restart of the relaying IPC process
+                      (state loss, dead-peer detection, LSA
+                      withdrawal, re-enrollment with a fresh address);
+                      in IP both router wires lose carrier.
+
+   The flight recorder runs throughout.  Per-fault blackout windows
+   (Rina_check.Trace_report.blackouts) and delivery-gap percentiles
+   are computed from the trace and written to
+   BENCH_chaos_recovery.json; the CI chaos smoke job fails the build
+   on any "recovered": false (a fault from which delivery never
+   resumed).  Everything is seeded and runs in virtual time, so the
+   JSON is bit-identical across runs. *)
+
+module Engine = Rina_sim.Engine
+module Link = Rina_sim.Link
+module Loss = Rina_sim.Loss
+module Fault = Rina_sim.Fault
+module Trace = Rina_sim.Trace
+module Flight = Rina_util.Flight
+module Stats = Rina_util.Stats
+module Table = Rina_util.Table
+module Ipcp = Rina_core.Ipcp
+module Dif = Rina_core.Dif
+module Shim = Rina_core.Shim
+module Types = Rina_core.Types
+module Topo = Rina_exp.Topo
+module Workload = Rina_exp.Workload
+module Report = Rina_check.Trace_report
+
+let cbr_rate = 1_000_000.
+
+let sdu_size = 500
+
+let stream_len = 40.
+
+(* Observation continues past the stream so post-crash recovery (RTO
+   backoff can push the first repaired delivery well after the heal)
+   is still captured. *)
+let drain = 20.
+
+(* (label, start, end) relative to t0 — the shared schedule. *)
+let schedule =
+  [
+    ("flap-left", 8., 11.);
+    ("blackhole-right", 15., 18.);
+    ("degrade-left", 21., 24.);
+    ("crash-relay", 27., 32.);
+  ]
+
+(* EFCP must persist through multi-second outages rather than declare
+   the flow dead — link-layer-style persistence as in F3.  Detection
+   policies (keepalive, dead-peer, aging) stay at their defaults: they
+   are what the experiment measures. *)
+let tolerant_policy =
+  let d = Rina_core.Policy.default in
+  {
+    d with
+    Rina_core.Policy.efcp =
+      {
+        d.Rina_core.Policy.efcp with
+        Rina_core.Policy.init_rto = 0.3;
+        min_rto = 0.05;
+        max_rtx = 100_000;
+      };
+  }
+
+type outcome = {
+  delivered : int;
+  blackouts : (string * float * float option) list;
+  gaps : Stats.t;
+}
+
+(* Inter-arrival gaps between consecutive deliveries. *)
+let gap_stats times =
+  let st = Stats.create () in
+  (match List.sort compare times with
+  | [] -> ()
+  | first :: rest ->
+    ignore
+      (List.fold_left
+         (fun prev t ->
+           Stats.add st (t -. prev);
+           t)
+         first rest));
+  st
+
+(* ---------- RINA ---------- *)
+
+let build_rina () =
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create 101 in
+  let wire_l = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.005 () in
+  let wire_r = Link.create engine rng ~bit_rate:10_000_000. ~delay:0.005 () in
+  let link_dif name link =
+    let dif = Dif.create engine ~policy:tolerant_policy name in
+    let a = Dif.add_member dif ~name:(name ^ "-a") () in
+    let b = Dif.add_member dif ~name:(name ^ "-b") () in
+    Dif.connect dif a b
+      ( Shim.wrap ~dif:name (Link.endpoint_a link),
+        Shim.wrap ~dif:name (Link.endpoint_b link) );
+    Dif.run_until_converged dif ();
+    (a, b)
+  in
+  let la, lb = link_dif "left" wire_l in
+  let ra, rb = link_dif "right" wire_r in
+  let top = Dif.create engine ~policy:tolerant_policy ~rank:1 "relay" in
+  let h1 = Dif.add_member top ~name:"h1" () in
+  let r = Dif.add_member top ~name:"r" () in
+  let h2 = Dif.add_member top ~name:"h2" () in
+  Dif.stack_connect ~lower_a:la ~lower_b:lb ~upper_a:h1 ~upper_b:r ();
+  Dif.stack_connect ~lower_a:ra ~lower_b:rb ~upper_a:r ~upper_b:h2 ();
+  Dif.run_until_converged top ~max_time:90. ();
+  (engine, h1, r, h2, wire_l, wire_r)
+
+let arm_link_faults plan ~t0 ~left ~right =
+  List.iter
+    (fun (label, a, b) ->
+      let at = t0 +. a and until = t0 +. b in
+      match label with
+      | "flap-left" -> Fault.link_down plan ~at ~until ~label left
+      | "blackhole-right" -> Fault.link_blackhole plan ~at ~until ~label right
+      | "degrade-left" ->
+        Fault.link_degrade plan ~at ~until ~label ~rate_factor:0.1
+          ~loss:(Loss.Bernoulli 0.2) left
+      | _ -> (* crash-relay is stack-specific; armed by the caller *) ())
+    schedule
+
+let crash_bounds =
+  match List.assoc_opt "crash-relay" (List.map (fun (l, a, b) -> (l, (a, b))) schedule) with
+  | Some w -> w
+  | None -> assert false
+
+let run_rina () =
+  let engine, h1, r, h2, wire_l, wire_r = build_rina () in
+  let tr = Trace.create engine in
+  Trace.attach tr;
+  let sink = Workload.sink () in
+  let dst = Types.apn "chaos-sink" in
+  Ipcp.register_app h2 dst ~on_flow:(fun flow ->
+      flow.Ipcp.set_on_receive (fun sdu ->
+          Workload.on_sdu sink ~now:(Engine.now engine) sdu));
+  let src = Types.apn "chaos-src" in
+  Ipcp.register_app h1 src ~on_flow:(fun _ -> ());
+  let result = ref None in
+  Ipcp.allocate_flow h1 ~src ~dst ~qos_id:1 ~on_result:(fun res ->
+      result := Some res);
+  let deadline = Engine.now engine +. 30. in
+  while !result = None && Engine.now engine < deadline do
+    Engine.run ~until:(Engine.now engine +. 0.05) engine
+  done;
+  match !result with
+  | Some (Ok flow) ->
+    let t0 = Engine.now engine in
+    let plan = Fault.create () in
+    arm_link_faults plan ~t0 ~left:wire_l ~right:wire_r;
+    let ca, cb = crash_bounds in
+    Fault.window plan ~at:(t0 +. ca) ~until:(t0 +. cb) ~label:"crash-relay"
+      ~apply:(fun () -> Ipcp.crash r)
+      ~heal:(fun () -> Ipcp.restart r);
+    Fault.arm plan engine;
+    Workload.cbr engine ~send:flow.Ipcp.send ~rate:cbr_rate ~size:sdu_size
+      ~until:(t0 +. stream_len) ();
+    Engine.run ~until:(t0 +. stream_len +. drain) engine;
+    let events = Trace.typed_events tr in
+    (* RINA_TRACE=<file> additionally saves the RINA run's trace, so
+       `rina_trace --faults <file>` reproduces the blackout table. *)
+    (match Sys.getenv_opt "RINA_TRACE" with
+    | Some path -> Trace.save_jsonl tr path
+    | None -> ());
+    Trace.detach ();
+    (* Deliveries that count are EFCP receptions in the host-to-host
+       DIF (rank 1) — lower-DIF and management traffic would mask the
+       blackout (hellos keep flowing on the surviving segment). *)
+    let kept =
+      List.filter
+        (fun (e : Flight.event) ->
+          match e.Flight.kind with
+          | Flight.Pdu_recvd ->
+            e.Flight.rank = 1 && String.equal e.Flight.component "efcp"
+          | _ -> true)
+        events
+    in
+    let times =
+      List.filter_map
+        (fun (e : Flight.event) ->
+          match e.Flight.kind with
+          | Flight.Pdu_recvd -> Some e.Flight.time
+          | _ -> None)
+        kept
+    in
+    Ok
+      {
+        delivered = sink.Workload.count;
+        blackouts = Report.blackouts kept;
+        gaps = gap_stats times;
+      }
+  | Some (Error e) ->
+    Trace.detach ();
+    Error ("allocation failed: " ^ e)
+  | None ->
+    Trace.detach ();
+    Error "allocation hung"
+
+(* ---------- TCP/IP baseline ---------- *)
+
+let run_ip () =
+  let net =
+    Topo.ip_line ~seed:101 ~bit_rate:10_000_000. ~delay:0.005 ~routers:1 ()
+  in
+  let engine = net.Topo.ip_engine in
+  let tr = Trace.create engine in
+  Trace.attach tr;
+  let u_a = Tcpip.Udp.attach net.Topo.hosts.(0) in
+  let u_b = Tcpip.Udp.attach net.Topo.hosts.(1) in
+  let src_addr = Tcpip.Ip.addr_of_octets 10 1 0 1 in
+  let dst_addr = Tcpip.Ip.addr_of_octets 10 2 0 2 in
+  let sink = Workload.sink () in
+  Tcpip.Udp.listen u_b ~port:9000 (fun ~src:_ ~sport:_ body ->
+      Workload.on_sdu sink ~now:(Engine.now engine) body);
+  let t0 = Engine.now engine in
+  let plan = Fault.create () in
+  let left = net.Topo.ip_links.(0) and right = net.Topo.ip_links.(1) in
+  arm_link_faults plan ~t0 ~left ~right;
+  (* Fail-stop of r0, seen from the network: both wires dead. *)
+  let ca, cb = crash_bounds in
+  Fault.window plan ~at:(t0 +. ca) ~until:(t0 +. cb) ~label:"crash-relay"
+    ~apply:(fun () ->
+      Link.set_up left false;
+      Link.set_up right false)
+    ~heal:(fun () ->
+      Link.set_up left true;
+      Link.set_up right true);
+  Fault.arm plan engine;
+  Workload.cbr engine
+    ~send:(fun sdu ->
+      Tcpip.Udp.send u_a ~src:src_addr ~dst:dst_addr ~sport:9000 ~dport:9000
+        sdu)
+    ~rate:cbr_rate ~size:sdu_size ~until:(t0 +. stream_len) ();
+  Engine.run ~until:(t0 +. stream_len +. drain) engine;
+  let events = Trace.typed_events tr in
+  Trace.detach ();
+  let times =
+    List.filter_map
+      (fun (e : Flight.event) ->
+        match e.Flight.kind with
+        | Flight.Pdu_recvd when String.equal e.Flight.component "udp:hostB" ->
+          Some e.Flight.time
+        | _ -> None)
+      events
+  in
+  {
+    delivered = sink.Workload.count;
+    blackouts = Report.blackouts ~component:"udp:hostB" events;
+    gaps = gap_stats times;
+  }
+
+(* ---------- reporting ---------- *)
+
+let blackout_of outcome label =
+  match
+    List.find_opt (fun (l, _, _) -> String.equal l label) outcome.blackouts
+  with
+  | Some (_, _, gap) -> gap
+  | None -> None
+
+let json_stack buf name outcome =
+  let p q = 1000. *. Stats.percentile outcome.gaps q in
+  Buffer.add_string buf (Printf.sprintf "  %S: {\n" name);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"delivered\": %d,\n" outcome.delivered);
+  Buffer.add_string buf "    \"faults\": [\n";
+  let n = List.length schedule in
+  List.iteri
+    (fun i (label, at, until) ->
+      let blackout, recovered =
+        match blackout_of outcome label with
+        | Some g -> (Printf.sprintf "%.6f" g, true)
+        | None -> ("null", false)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"label\": %S, \"at_s\": %.1f, \"until_s\": %.1f, \
+            \"blackout_s\": %s, \"recovered\": %b}%s\n"
+           label at until blackout recovered
+           (if i = n - 1 then "" else ",")))
+    schedule;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"gap_p50_ms\": %.3f,\n    \"gap_p95_ms\": %.3f,\n    \
+        \"gap_p99_ms\": %.3f,\n    \"gap_max_s\": %.6f\n"
+       (p 50.) (p 95.) (p 99.)
+       (Stats.max_value outcome.gaps))
+
+let write_json rina ip =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  json_stack buf "rina" rina;
+  Buffer.add_string buf "  },\n";
+  json_stack buf "ip" ip;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text "BENCH_chaos_recovery.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
+let fmt_blackout = function
+  | Some g -> Printf.sprintf "%.2f s" g
+  | None -> "UNRECOVERED"
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "R1: recovery under an identical fault schedule — 1 Mb/s CBR \
+         through a relay"
+      ~columns:[ "fault"; "window"; "RINA blackout"; "TCP/IP blackout" ]
+  in
+  match run_rina () with
+  | Error e -> Printf.printf "R1: RINA run failed: %s\n" e
+  | Ok rina ->
+    let ip = run_ip () in
+    List.iter
+      (fun (label, at, until) ->
+        Table.add_rowf table "%s | %.0f..%.0f s | %s | %s" label at until
+          (fmt_blackout (blackout_of rina label))
+          (fmt_blackout (blackout_of ip label)))
+      schedule;
+    Table.add_rowf table
+      "delivery gaps (p50/p99/max) | 0..%.0f s | %.0f ms / %.0f ms / %.1f s \
+       | %.0f ms / %.0f ms / %.1f s"
+      (stream_len +. drain)
+      (1000. *. Stats.percentile rina.gaps 50.)
+      (1000. *. Stats.percentile rina.gaps 99.)
+      (Stats.max_value rina.gaps)
+      (1000. *. Stats.percentile ip.gaps 50.)
+      (1000. *. Stats.percentile ip.gaps 99.)
+      (Stats.max_value ip.gaps);
+    Table.print table;
+    write_json rina ip;
+    Printf.printf "wrote BENCH_chaos_recovery.json\n"

@@ -11,6 +11,7 @@
      rina_trace trace.jsonl
      rina_trace --latency --drops trace.jsonl
      rina_trace --gap --component efcp trace.jsonl
+     rina_trace --faults trace.jsonl
      rina_trace --seq 3 trace.jsonl
 
    Exit status: 0 on success, 2 if the trace cannot be read or
@@ -72,18 +73,33 @@ let print_gap component events =
       | None -> ""
       | Some c -> Printf.sprintf " (components %s*)" c)
 
-let run file latency drops queues gap seq component =
+let print_faults component rank events =
+  match Report.blackouts ?component ?rank events with
+  | [] -> print_string "faults: none injected\n"
+  | faults ->
+    print_string "fault blackout windows:\n";
+    Printf.printf "  %-24s %12s %12s\n" "fault" "t" "blackout";
+    List.iter
+      (fun (label, t, gap) ->
+        match gap with
+        | Some g -> Printf.printf "  %-24s %12.6f %10.3f s\n" label t g
+        | None ->
+          Printf.printf "  %-24s %12.6f %12s\n" label t "UNRECOVERED")
+      faults
+
+let run file latency drops queues gap faults seq component rank =
   match Rina_sim.Trace.load_jsonl file with
   | Error e ->
     Printf.eprintf "rina_trace: %s\n" e;
     2
   | Ok events ->
-    let any = latency || drops || queues || gap || seq <> None in
+    let any = latency || drops || queues || gap || faults || seq <> None in
     if not any then print_string (Report.summary events);
     if latency then print_latency events;
     if drops then print_drops events;
     if queues then print_queues events;
     if gap then print_gap component events;
+    if faults then print_faults component rank events;
     (match seq with
     | Some n -> print_string (Report.sequence_diagram ~max_spans:n events)
     | None -> ());
@@ -113,6 +129,13 @@ let cmd =
              ~doc:"Largest gap between consecutive deliveries (interruption \
                    window).")
   in
+  let faults =
+    Arg.(value & flag
+         & info [ "faults" ]
+             ~doc:"Per-fault blackout windows: time from the last \
+                   delivery before each injected fault to the first \
+                   delivery after it.")
+  in
   let seq =
     Arg.(value & opt (some int) None
          & info [ "seq" ] ~docv:"N"
@@ -121,11 +144,21 @@ let cmd =
   let component =
     Arg.(value & opt (some string) None
          & info [ "component" ] ~docv:"PREFIX"
-             ~doc:"Restrict --gap to components starting with $(docv).")
+             ~doc:"Restrict --gap and --faults to components starting \
+                   with $(docv).")
+  in
+  let rank =
+    Arg.(value & opt (some int) None
+         & info [ "rank" ] ~docv:"N"
+             ~doc:"Restrict --faults to deliveries of DIF rank $(docv) \
+                   — in a stacked run, lower DIFs keep delivering \
+                   through a higher-level outage.")
   in
   Cmd.v
     (Cmd.info "rina_trace" ~version:"1.0.0"
        ~doc:"Analyze flight-recorder traces (latency, drops, queues, gaps)")
-    Term.(const run $ file $ latency $ drops $ queues $ gap $ seq $ component)
+    Term.(
+      const run $ file $ latency $ drops $ queues $ gap $ faults $ seq
+      $ component $ rank)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,7 @@ type topo = { diameter : int; bottleneck_bit_rate : float; rtt : float }
 (* What a value must look like; mirrors the validation Policy_lang
    performs, but reported as diagnostics instead of a fail-fast
    Error. *)
-type vkind = Pos_int | Nonneg_float | Enum of string list | Any_string
+type vkind = Pos_int | Nonneg_int | Nonneg_float | Enum of string list | Any_string
 
 let schema =
   [
@@ -29,6 +29,15 @@ let schema =
         ("dead_interval", Nonneg_float);
         ("lsa_min_interval", Nonneg_float);
         ("refresh_ticks", Pos_int);
+        ("keepalive_interval", Nonneg_float);
+        ("dead_peer_timeout", Nonneg_float);
+        ("lsa_max_age", Nonneg_float);
+      ] );
+    ( "enrollment",
+      [
+        ("enroll_timeout", Nonneg_float);
+        ("enroll_retries", Nonneg_int);
+        ("retry_backoff", Nonneg_float);
       ] );
     ("auth", [ ("kind", Enum [ "none"; "password" ]); ("secret", Any_string) ]);
     ("dif", [ ("max_ttl", Pos_int) ]);
@@ -39,6 +48,7 @@ let known_sections = List.map fst schema
 let value_ok kind v =
   match kind with
   | Pos_int -> ( match int_of_string_opt v with Some n -> n > 0 | None -> false)
+  | Nonneg_int -> ( match int_of_string_opt v with Some n -> n >= 0 | None -> false)
   | Nonneg_float -> (
     match float_of_string_opt v with Some f -> f >= 0. | None -> false)
   | Enum choices -> List.mem v choices
@@ -46,6 +56,7 @@ let value_ok kind v =
 
 let kind_to_string = function
   | Pos_int -> "a positive integer"
+  | Nonneg_int -> "a non-negative integer"
   | Nonneg_float -> "a non-negative number"
   | Enum choices -> String.concat "|" choices
   | Any_string -> "a string"
@@ -267,6 +278,35 @@ let consistency sc (base : Policy.t) topo =
             "window = 1 with ack_delay = %g s adds the ack delay to every PDU's RTT"
             ack_delay)
          ~hint:"drop ack_delay, or open the window");
+  (* L112: a keepalive period at or above the dead-peer timeout means
+     every probe gap looks like death — one lost reply partitions the
+     adjacency. *)
+  let keepalive, ln_ka =
+    getf sc "routing" "keepalive_interval" r.Policy.keepalive_interval
+  in
+  let dead_peer, ln_dp =
+    getf sc "routing" "dead_peer_timeout" r.Policy.dead_peer_timeout
+  in
+  if keepalive > 0. && keepalive >= dead_peer then
+    emit sc
+      (Diag.error ~line:(at [ ln_ka; ln_dp ]) "L112"
+         (Printf.sprintf
+            "keepalive_interval (%g s) is not below dead_peer_timeout (%g s)" keepalive
+            dead_peer)
+         ~hint:
+           "an enrolled peer is declared dead before its next keepalive is even \
+            due; use dead_peer_timeout > 2 x keepalive_interval");
+  (* L113: zero-retry enrollment gives up on the first lost M_connect
+     and waits a whole hello period to try again. *)
+  let retries, ln_retries =
+    geti sc "enrollment" "enroll_retries" base.Policy.enrollment.Policy.enroll_retries
+  in
+  if retries = 0 then
+    emit sc
+      (Diag.warning ~line:(at [ ln_retries ]) "L113"
+         "enroll_retries = 0: a single lost enrollment exchange stalls joining \
+          until the next hello"
+         ~hint:"allow at least one backoff retry");
   match topo with
   | None -> ()
   | Some { diameter; bottleneck_bit_rate; rtt } ->

@@ -12,10 +12,11 @@
     Rule codes are stable (documented in [docs/linting.md]):
     - [L001]–[L005]: structure — unknown sections and keys, duplicate
       keys, malformed lines, out-of-range or mistyped values.
-    - [L101]–[L111]: cross-field consistency on the resolved policy
+    - [L101]–[L113]: cross-field consistency on the resolved policy
       (spec applied over [base]), e.g. [min_rto <= init_rto],
       [quantum] only under [kind = drr], [secret] iff password auth,
-      [dead_interval > 2 x hello_interval].
+      [dead_interval > 2 x hello_interval],
+      [keepalive_interval < dead_peer_timeout], zero-retry enrollment.
     - [L201]–[L202]: topology-aware checks, only when [?topo] is
       given — TTL vs network diameter, window vs the
       bandwidth-delay product. *)

@@ -21,17 +21,19 @@ let violations () =
     (Invariant.violations ())
 
 let audit_half label (c : Rina_sim.Link.conservation) =
-  let in_flight = c.injected - c.delivered - c.dropped in
+  let in_flight = c.injected - c.delivered - c.dropped - c.blackholed in
   if in_flight = 0 then []
   else
     [
       Diag.error "SAN_PDU_CONSERVATION"
         (Printf.sprintf
-           "%s: injected %d <> delivered %d + dropped %d (%d unaccounted)" label
-           c.injected c.delivered c.dropped in_flight)
+           "%s: injected %d <> delivered %d + dropped %d + blackholed %d (%d \
+            unaccounted)"
+           label c.injected c.delivered c.dropped c.blackholed in_flight)
         ~hint:
-          "every frame must end up delivered or counted in a drop path; run the \
-           audit only after the event queue drains";
+          "every frame must end up delivered or counted in a drop path \
+           (including blackholed); run the audit only after the event queue \
+           drains";
     ]
 
 let audit_link ?(label = "link") link =

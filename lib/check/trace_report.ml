@@ -110,6 +110,76 @@ let delivery_gap ?component events =
        (fun e -> if keep e then Some e.Flight.time else None)
        events)
 
+(* ---------- per-fault blackout windows ---------- *)
+
+(* The fault injector emits [Custom "fault:<label>"] at the apply time
+   and [Custom "heal:<label>"] at the heal time of every plan step.
+   The blackout attributed to a fault active on [a, h] is the widest
+   interval between consecutive [Pdu_recvd] events that overlaps the
+   active window — deliveries of PDUs already in flight right after
+   the apply instant must not mask the outage, and the outage usually
+   outlives the heal (retransmission backoff, reconvergence), which is
+   exactly the recovery time under measurement.  [None] means no
+   delivery ever happened after the fault applied — unbounded outage,
+   the thing the chaos CI gate fails on.  A fault that hit during
+   ramp-up (no deliveries at or before the heal) is charged from its
+   apply time to the first delivery. *)
+let blackouts ?component ?rank events =
+  let keep_recv (e : Flight.event) =
+    (match e.Flight.kind with Flight.Pdu_recvd -> true | _ -> false)
+    && (match rank with None -> true | Some r -> e.Flight.rank = r)
+    &&
+    match component with
+    | None -> true
+    | Some p -> String.starts_with ~prefix:p e.Flight.component
+  in
+  let recvs =
+    Array.of_list
+      (List.filter_map
+         (fun e -> if keep_recv e then Some e.Flight.time else None)
+         events)
+  in
+  Array.sort compare recvs;
+  let tagged prefix =
+    let plen = String.length prefix in
+    List.filter_map
+      (fun (e : Flight.event) ->
+        match e.Flight.kind with
+        | Flight.Custom s when String.starts_with ~prefix s ->
+          Some (e.Flight.time, String.sub s plen (String.length s - plen))
+        | _ -> None)
+      events
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let faults = tagged "fault:" and heals = tagged "heal:" in
+  List.map
+    (fun (a, label) ->
+      let h =
+        match
+          List.find_opt (fun (t, l) -> t >= a && String.equal l label) heals
+        with
+        | Some (t, _) -> t
+        | None -> a
+      in
+      let after =
+        Array.fold_left
+          (fun acc x -> if x > a && acc = None then Some x else acc)
+          None recvs
+      in
+      let gap =
+        match after with
+        | None -> None
+        | Some first_after ->
+          let best = ref 0. in
+          for i = 0 to Array.length recvs - 2 do
+            if recvs.(i + 1) > a && recvs.(i) <= h then
+              best := Float.max !best (recvs.(i + 1) -. recvs.(i))
+          done;
+          if !best > 0. then Some !best else Some (first_after -. a)
+      in
+      (label, a, gap))
+    faults
+
 (* ---------- queue / window occupancy timelines ---------- *)
 
 let queue_timeline events =

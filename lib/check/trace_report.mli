@@ -28,6 +28,24 @@ val delivery_gap :
     fewer than two deliveries.  Same tie-breaking contract as
     {!Rina_sim.Trace.largest_gap}. *)
 
+val blackouts :
+  ?component:string ->
+  ?rank:int ->
+  Rina_util.Flight.event list ->
+  (string * float * float option) list
+(** Per-fault delivery interruption: for every fault-injector event
+    ([Custom "fault:<label>"]) applied at time [a] and healed at the
+    matching ["heal:<label>"] time [h] (or [a] when none), the widest
+    interval between consecutive [Pdu_recvd] events overlapping
+    [\[a, h\]], as [(label, a, gap)] sorted by apply time.  The gap may
+    extend past the heal — that tail {e is} the recovery time.
+    [gap = None] means delivery never resumed after [a] — an unbounded
+    outage.  A fault with no deliveries before its heal is charged
+    from [a] to the first delivery.  [component] restricts the
+    deliveries considered, as in {!delivery_gap}; [rank] restricts
+    them to one DIF level (in a stacked run the lower DIFs keep
+    delivering management traffic through a higher-level outage). *)
+
 val queue_timeline :
   Rina_util.Flight.event list -> (string * (float * int) list) list
 (** Probe samples ([Custom "probe"] events) grouped by probe name:

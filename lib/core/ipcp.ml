@@ -10,6 +10,7 @@ type flow = {
   remote_app : Types.apn;
   send : bytes -> unit;
   set_on_receive : (bytes -> unit) -> unit;
+  set_on_error : (string -> unit) -> unit;
   close : unit -> unit;
   flow_metrics : unit -> Metrics.t;
 }
@@ -26,6 +27,7 @@ type flow_state = {
   fs_efcp : Efcp.t;
   fs_reasm : Delimiting.reassembler;
   mutable fs_on_receive : bytes -> unit;
+  mutable fs_on_error : string -> unit;
   mutable fs_closed : bool;
 }
 
@@ -50,6 +52,10 @@ type nport = {
   mutable np_peer : Types.address;  (* 0 until the peer's hello *)
   mutable np_peer_name : string;
   mutable np_last_hello : float;
+  mutable np_last_seen : float;
+      (* any proof of life: hello, keepalive probe or reply.  Drives
+         the dead-peer declaration, which is stricter than mere
+         adjacency expiry: it withdraws the peer's LSA DIF-wide. *)
 }
 
 type enroll_state = E_none | E_pending of Types.port_id
@@ -100,6 +106,13 @@ type t = {
       (* fired with [true] = attached when the live-adjacency set flips
          between empty and non-empty *)
   mutable was_attached : bool;
+  mutable up : bool;
+      (* false between [crash] and [restart]: timers keep rescheduling
+         but their bodies no-op, and the ingress filter drops
+         everything *)
+  rng : Rina_util.Prng.t;
+      (* private stream for enrollment backoff jitter; seeded from the
+         (dif, name) pair so runs stay deterministic *)
 }
 
 let trace t event =
@@ -341,6 +354,21 @@ let flood_rib_delete t ?except_port path =
           (Riep.make ~opcode:Riep.M_delete ~obj_class:"rib" ~obj_name:path ()))
     (adjacent_ports t)
 
+(* LSA withdrawal: flooded when an origin is declared dead (by the
+   dead-peer timeout) or aged out, so stale reachability does not
+   linger in every member's database until the heat death of the
+   simulation. *)
+let flood_lsa_delete t ?except_port origin =
+  List.iter
+    (fun np ->
+      if Some np.np_id <> except_port then begin
+        Metrics.incr t.metrics "lsa_withdraw_tx";
+        send_mgmt_on_port t ~port:np.np_id
+          (Riep.make ~opcode:Riep.M_delete ~obj_class:"lsa"
+             ~obj_name:(string_of_int origin) ())
+      end)
+    (adjacent_ports t)
+
 (* ---------- routing recomputation ---------- *)
 
 let schedule_recompute t =
@@ -370,7 +398,7 @@ let rebuild_own_lsa t =
       let lsa =
         { Routing.Lsa.origin = t.address; seq = t.own_lsa_seq; neighbors = adj }
       in
-      ignore (Routing.install t.lsdb lsa);
+      ignore (Routing.install ~now:(Engine.now t.engine) t.lsdb lsa);
       trace t "lsa_update";
       flood_lsa t lsa;
       schedule_recompute t
@@ -411,22 +439,46 @@ let sync_peer t np =
       (Rib.children t.rib "/dir")
   end
 
-let rec start_enrollment t np =
+(* One M_connect attempt plus its timeout; on expiry, back off
+   exponentially (jitter from the process-private PRNG) and try again
+   up to [enroll_retries] times before giving up until the next
+   hello. *)
+let rec enroll_attempt t np ~attempt =
+  send_mgmt_on_port t ~port:np.np_id
+    (Riep.make ~opcode:Riep.M_connect ~obj_class:"enrollment"
+       ~obj_name:(Types.apn_to_string t.name)
+       ~obj_value:(Rib.V_str t.credentials) ());
+  let en = t.policy.Policy.enrollment in
+  ignore
+    (Engine.schedule t.engine ~delay:en.Policy.enroll_timeout (fun () ->
+         match t.enroll_state with
+         | E_pending p when p = np.np_id && not t.enrolled ->
+           Metrics.incr t.metrics "enroll_timeout";
+           if attempt < en.Policy.enroll_retries && t.up then begin
+             Metrics.incr t.metrics "enroll_retries";
+             trace t "enroll_backoff";
+             let delay =
+               Rina_util.Backoff.delay_for ~rng:t.rng
+                 ~base:(Float.max 1e-6 en.Policy.retry_backoff)
+                 attempt
+             in
+             ignore
+               (Engine.schedule t.engine ~delay (fun () ->
+                    match t.enroll_state with
+                    | E_pending p when p = np.np_id && not t.enrolled && t.up ->
+                      enroll_attempt t np ~attempt:(attempt + 1)
+                    | E_pending _ | E_none -> ()))
+           end
+           else
+             (* Out of retries; a later hello will start over. *)
+             t.enroll_state <- E_none
+         | E_pending _ | E_none -> ()))
+
+and start_enrollment t np =
   if t.auto_enroll && t.enroll_state = E_none && not t.enrolled then begin
     t.enroll_state <- E_pending np.np_id;
     trace t "enroll_start";
-    send_mgmt_on_port t ~port:np.np_id
-      (Riep.make ~opcode:Riep.M_connect ~obj_class:"enrollment"
-         ~obj_name:(Types.apn_to_string t.name)
-         ~obj_value:(Rib.V_str t.credentials) ());
-    ignore
-      (Engine.schedule t.engine ~delay:2.0 (fun () ->
-           match t.enroll_state with
-           | E_pending p when p = np.np_id && not t.enrolled ->
-             (* Give up; a later hello will retry. *)
-             t.enroll_state <- E_none;
-             Metrics.incr t.metrics "enroll_timeout"
-           | E_pending _ | E_none -> ()))
+    enroll_attempt t np ~attempt:0
   end
 
 and handle_hello t port_id (pdu : Pdu.t) =
@@ -443,6 +495,7 @@ and handle_hello t port_id (pdu : Pdu.t) =
       trace t "hello_rejected"
     | Ok (peer_name, peer_addr, _) ->
       np.np_last_hello <- Engine.now t.engine;
+      np.np_last_seen <- Engine.now t.engine;
       np.np_peer_name <- peer_name;
       if np.np_peer <> peer_addr then begin
         np.np_peer <- peer_addr;
@@ -572,7 +625,10 @@ let handle_connect_r t port_id (msg : Riep.t) =
         | Ok (granted, entries, lsas) ->
           t.address <- granted;
           List.iter (fun (path, v) -> Rib.write t.rib path v) entries;
-          List.iter (fun lsa -> ignore (Routing.install t.lsdb lsa)) lsas;
+          List.iter
+            (fun lsa ->
+              ignore (Routing.install ~now:(Engine.now t.engine) t.lsdb lsa))
+            lsas;
           t.enrolled <- true;
           t.enroll_state <- E_none;
           Metrics.incr t.metrics "enrolled";
@@ -617,7 +673,23 @@ let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
   in
   let on_error reason =
     Metrics.incr t.metrics "flow_errors";
-    trace t ("flow_error:" ^ reason)
+    trace t ("flow_error:" ^ reason);
+    if !Flight.enabled then
+      Flight.emit ~component:(flight_comp t) ~flow:local_cep ~rank:t.rank
+        (Flight.Custom "flow_abort");
+    (* Abort: tear the local endpoint down and surface the reason to
+       whoever holds the flow.  The peer is not notified — if it were
+       reachable the retransmissions would not have exhausted. *)
+    match !fs_ref with
+    | None -> ()
+    | Some fs ->
+      let notify = fs.fs_on_error in
+      if not fs.fs_closed then begin
+        fs.fs_closed <- true;
+        Efcp.close fs.fs_efcp;
+        Hashtbl.remove t.flows fs.fs_local_cep
+      end;
+      notify reason
   in
   (* Span keys are address-qualified so per-PDU trace ids join with
      the events relays compute from decoded PDUs ({!Pdu.flow_key}):
@@ -644,6 +716,7 @@ let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
       fs_efcp = efcp;
       fs_reasm = reasm;
       fs_on_receive = (fun _ -> ());
+      fs_on_error = (fun _ -> ());
       fs_closed = false;
     }
   in
@@ -678,6 +751,7 @@ let flow_of_state t fs =
         List.iter (fun frag -> Efcp.send fs.fs_efcp frag)
           (Delimiting.fragment ~mtu sdu));
     set_on_receive = (fun f -> fs.fs_on_receive <- f);
+    set_on_error = (fun f -> fs.fs_on_error <- f);
     close = (fun () -> close_flow_state t fs ~notify_peer:true);
     flow_metrics = (fun () -> Efcp.metrics fs.fs_efcp);
   }
@@ -821,12 +895,104 @@ let handle_lsa t from_port (msg : Riep.t) =
     match Routing.Lsa.decode data with
     | Error _ -> Metrics.incr t.metrics "bad_lsa"
     | Ok lsa ->
-      if Routing.install t.lsdb lsa then begin
+      if Routing.install ~now:(Engine.now t.engine) t.lsdb lsa then begin
         Metrics.incr t.metrics "lsa_rx_new";
         flood_lsa t ?except_port:from_port lsa;
         schedule_recompute t
       end)
   | Some _ | None -> Metrics.incr t.metrics "bad_lsa"
+
+(* Withdrawal flooding.  [withdraw] is idempotent, so the re-flood
+   terminates exactly like LSA flooding does: the second copy finds
+   nothing to remove and is not propagated.  A node receiving a
+   withdrawal of its *own* origin is alive by definition and defends
+   itself with a fresh, higher-sequence LSA. *)
+let handle_lsa_delete t from_port (msg : Riep.t) =
+  match int_of_string_opt msg.Riep.obj_name with
+  | None -> Metrics.incr t.metrics "bad_lsa"
+  | Some origin ->
+    if t.enrolled && origin = t.address then begin
+      Metrics.incr t.metrics "lsa_defended";
+      t.own_lsa_seq <- t.own_lsa_seq + 1;
+      let lsa =
+        {
+          Routing.Lsa.origin = t.address;
+          seq = t.own_lsa_seq;
+          neighbors = t.last_adjacency;
+        }
+      in
+      ignore (Routing.install ~now:(Engine.now t.engine) t.lsdb lsa);
+      flood_lsa t lsa
+    end
+    else if Routing.withdraw t.lsdb origin then begin
+      Metrics.incr t.metrics "lsa_withdrawn";
+      trace t (Printf.sprintf "lsa_withdrawn:%d" origin);
+      flood_lsa_delete t ?except_port:from_port origin;
+      schedule_recompute t
+    end
+
+(* ---------- keepalives / dead-peer detection ---------- *)
+
+let touch_port t port_id =
+  match Hashtbl.find_opt t.nports port_id with
+  | Some np -> np.np_last_seen <- Engine.now t.engine
+  | None -> ()
+
+let handle_keepalive t port_id (msg : Riep.t) =
+  touch_port t port_id;
+  send_mgmt_on_port t ~port:port_id
+    (Riep.make ~opcode:Riep.M_read_r ~obj_class:"keepalive"
+       ~invoke_id:msg.Riep.invoke_id ())
+
+let handle_keepalive_r t port_id = touch_port t port_id
+
+(* Declare the peer behind [np] dead: tear down the local adjacency
+   view and withdraw the peer's LSA DIF-wide (unless another live port
+   still reaches the same peer — multihoming). *)
+let declare_peer_dead t np =
+  let dead = np.np_peer in
+  Metrics.incr t.metrics "peer_declared_dead";
+  trace t (Printf.sprintf "peer_dead:%d" dead);
+  if !Flight.enabled then
+    Flight.emit ~component:(flight_comp t) ~flow:dead ~rank:t.rank
+      (Flight.Custom "peer_dead");
+  np.np_peer <- 0;
+  np.np_peer_name <- "";
+  Hashtbl.remove t.chosen_poa dead;
+  rebuild_own_lsa t;
+  let still_reachable =
+    Hashtbl.fold
+      (fun _ other acc -> acc || (other.np_peer = dead && nport_alive t other))
+      t.nports false
+  in
+  if (not still_reachable) && Routing.withdraw t.lsdb dead then begin
+    Metrics.incr t.metrics "lsa_withdrawn";
+    flood_lsa_delete t dead;
+    schedule_recompute t
+  end
+
+let keepalive_interval t = t.policy.Policy.routing.Policy.keepalive_interval
+
+let rec keepalive_tick t =
+  (if t.up && t.enrolled then
+     let now = Engine.now t.engine in
+     let timeout = t.policy.Policy.routing.Policy.dead_peer_timeout in
+     Hashtbl.iter
+       (fun _ np ->
+         if np.np_peer > 0 && np.np_chan.Chan.is_up () then
+           if now -. np.np_last_seen > timeout then declare_peer_dead t np
+           else begin
+             if now -. np.np_last_seen > keepalive_interval t then
+               Metrics.incr t.metrics "keepalive_miss";
+             Metrics.incr t.metrics "keepalive_tx";
+             send_mgmt_on_port t ~port:np.np_id
+               (Riep.make ~opcode:Riep.M_read ~obj_class:"keepalive"
+                  ~obj_name:(string_of_int t.address) ())
+           end)
+       t.nports);
+  ignore
+    (Engine.schedule t.engine ~delay:(keepalive_interval t) (fun () ->
+         keepalive_tick t))
 
 let handle_mgmt t from_port (pdu : Pdu.t) =
   match Riep.decode pdu.Pdu.payload with
@@ -848,6 +1014,15 @@ let handle_mgmt t from_port (pdu : Pdu.t) =
     | Riep.M_write, "rib" -> handle_rib_write t from_port msg
     | Riep.M_delete, "rib" -> handle_rib_delete t from_port msg
     | Riep.M_write, "lsa" -> handle_lsa t from_port msg
+    | Riep.M_delete, "lsa" -> handle_lsa_delete t from_port msg
+    | Riep.M_read, "keepalive" -> (
+      match from_port with
+      | Some p -> handle_keepalive t p msg
+      | None -> ())
+    | Riep.M_read_r, "keepalive" -> (
+      match from_port with
+      | Some p -> handle_keepalive_r t p
+      | None -> ())
     | Riep.M_read, "addr-alloc" -> handle_addr_alloc t msg ~from_addr:pdu.Pdu.src_addr
     | Riep.M_read_r, "addr-alloc" -> handle_addr_alloc_r t msg
     | Riep.M_create, "flow" -> handle_flow_create t msg
@@ -870,8 +1045,11 @@ let deliver_up t from_port (pdu : Pdu.t) =
   | Pdu.Dtp | Pdu.Ack -> handle_data t pdu
 
 (* PDUs from ports whose peer is not an authenticated member are
-   dropped, except the neighbour-scope traffic needed to become one. *)
+   dropped, except the neighbour-scope traffic needed to become one.
+   A crashed process receives nothing at all. *)
 let ingress_allowed t port_id (pdu : Pdu.t) =
+  t.up
+  &&
   match pdu.Pdu.pdu_type with
   | Pdu.Hello -> true
   | Pdu.Mgmt when pdu.Pdu.dst_addr = Types.no_address -> true
@@ -896,7 +1074,7 @@ let refresh_state t =
         neighbors = t.last_adjacency;
       }
     in
-    ignore (Routing.install t.lsdb lsa);
+    ignore (Routing.install ~now:(Engine.now t.engine) t.lsdb lsa);
     flood_lsa t lsa;
     Hashtbl.iter
       (fun _ reg ->
@@ -907,15 +1085,38 @@ let refresh_state t =
       t.apps
   end
 
+(* LSA aging: origins that have not refreshed within [lsa_max_age] are
+   presumed dead and withdrawn.  Gated on [refresh_ticks > 0] — with
+   refresh off, live members never re-install and would be aged out
+   too. *)
+let age_lsdb t =
+  let r = t.policy.Policy.routing in
+  if
+    t.enrolled && r.Policy.lsa_max_age > 0. && r.Policy.refresh_ticks > 0
+  then
+    List.iter
+      (fun origin ->
+        if origin <> t.address && Routing.withdraw t.lsdb origin then begin
+          Metrics.incr t.metrics "lsa_aged_out";
+          trace t (Printf.sprintf "lsa_aged_out:%d" origin);
+          flood_lsa_delete t origin;
+          schedule_recompute t
+        end)
+      (Routing.expired t.lsdb ~now:(Engine.now t.engine)
+         ~max_age:r.Policy.lsa_max_age)
+
 let rec hello_tick t =
-  t.hello_ticks <- t.hello_ticks + 1;
-  Hashtbl.iter
-    (fun _ np -> if np.np_chan.Chan.is_up () then send_hello t np)
-    t.nports;
-  (* Hello expiry may have silently killed adjacencies. *)
-  rebuild_own_lsa t;
-  (let ticks = t.policy.Policy.routing.Policy.refresh_ticks in
-   if ticks > 0 && t.hello_ticks mod ticks = 0 then refresh_state t);
+  if t.up then begin
+    t.hello_ticks <- t.hello_ticks + 1;
+    Hashtbl.iter
+      (fun _ np -> if np.np_chan.Chan.is_up () then send_hello t np)
+      t.nports;
+    (* Hello expiry may have silently killed adjacencies. *)
+    rebuild_own_lsa t;
+    (let ticks = t.policy.Policy.routing.Policy.refresh_ticks in
+     if ticks > 0 && t.hello_ticks mod ticks = 0 then refresh_state t);
+    age_lsdb t
+  end;
   ignore
     (Engine.schedule t.engine ~delay:t.policy.Policy.routing.Policy.hello_interval
        (fun () -> hello_tick t))
@@ -963,6 +1164,10 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
         auto_enroll = true;
         isolation_watchers = [];
         was_attached = false;
+        up = true;
+        rng =
+          Rina_util.Prng.create
+            (Hashtbl.hash (dif, Types.apn_to_string name, "ipcp-backoff"));
       }
   in
   let t = Lazy.force t in
@@ -986,6 +1191,10 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
   ignore
     (Engine.schedule t.engine ~delay:t.policy.Policy.routing.Policy.hello_interval
        (fun () -> hello_tick t));
+  if keepalive_interval t > 0. then
+    ignore
+      (Engine.schedule t.engine ~delay:(keepalive_interval t) (fun () ->
+           keepalive_tick t));
   t
 
 let bootstrap t =
@@ -1010,6 +1219,7 @@ let bind_port t ?(cost = 1.0) ?rate chan =
       np_peer = 0;
       np_peer_name = "";
       np_last_hello = Engine.now t.engine;
+      np_last_seen = Engine.now t.engine;
     }
   in
   Hashtbl.replace t.nports port_id np;
@@ -1048,7 +1258,7 @@ let leave t =
     let lsa =
       { Routing.Lsa.origin = t.address; seq = t.own_lsa_seq; neighbors = [] }
     in
-    ignore (Routing.install t.lsdb lsa);
+    ignore (Routing.install ~now:(Engine.now t.engine) t.lsdb lsa);
     flood_lsa t lsa;
     t.last_adjacency <- [];
     trace t "left";
@@ -1069,11 +1279,77 @@ let leave t =
     Hashtbl.reset t.chosen_poa
   end
 
-(* ---------- application interface ---------- *)
-
 let publish_app t apn =
   Rib.write t.rib ("/dir/" ^ Types.apn_to_string apn) (Rib.V_int t.address);
   flood_rib_write t ("/dir/" ^ Types.apn_to_string apn) (Rib.V_int t.address)
+
+(* ---------- crash / restart ---------- *)
+
+(* A crash is [leave] minus every courtesy: no withdrawal floods, no
+   flow teardown messages, no final LSA.  All volatile state vanishes;
+   the rest of the DIF must *detect* the death (keepalive timeout, LSA
+   aging) rather than being told about it. *)
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    trace t "crash";
+    Metrics.incr t.metrics "crashes";
+    if !Flight.enabled then
+      Flight.emit ~component:(flight_comp t) ~rank:t.rank (Flight.Custom "crash");
+    let flows = Hashtbl.fold (fun _ fs acc -> fs :: acc) t.flows [] in
+    List.iter (fun fs -> close_flow_state t fs ~notify_peer:false) flows;
+    Hashtbl.iter (fun _ pa -> Engine.cancel pa.pa_timeout) t.pending;
+    Hashtbl.reset t.pending;
+    Hashtbl.iter (fun _ pg -> Engine.cancel pg.pg_timeout) t.pending_grants;
+    Hashtbl.reset t.pending_grants;
+    Rib.clear t.rib;
+    Routing.clear t.lsdb;
+    t.enrolled <- false;
+    t.enroll_state <- E_none;
+    t.address <- Types.no_address;
+    t.own_lsa_seq <- 0;
+    t.last_adjacency <- [];
+    t.next_hops <- Hashtbl.create 1;
+    Hashtbl.reset t.chosen_poa;
+    Hashtbl.iter
+      (fun _ np ->
+        np.np_peer <- 0;
+        np.np_peer_name <- "")
+      t.nports;
+    if t.was_attached then begin
+      t.was_attached <- false;
+      List.iter (fun f -> f false) t.isolation_watchers
+    end
+  end
+
+let restart t =
+  if not t.up then begin
+    t.up <- true;
+    trace t "restart";
+    Metrics.incr t.metrics "restarts";
+    if !Flight.enabled then
+      Flight.emit ~component:(flight_comp t) ~rank:t.rank
+        (Flight.Custom "restart");
+    t.auto_enroll <- true;
+    (* Registered applications survive the reboot (they live above the
+       IPC process); republish their directory entries once
+       re-enrollment lands. *)
+    Hashtbl.iter
+      (fun _ reg ->
+        let apn = reg.ar_name in
+        t.enrolled_hooks <- (fun () -> publish_app t apn) :: t.enrolled_hooks)
+      t.apps;
+    Hashtbl.iter
+      (fun _ np ->
+        np.np_last_hello <- Engine.now t.engine;
+        np.np_last_seen <- Engine.now t.engine;
+        if np.np_chan.Chan.is_up () then send_hello t np)
+      t.nports
+  end
+
+let is_up t = t.up
+
+(* ---------- application interface ---------- *)
 
 let on_enrolled t f =
   if t.enrolled then f () else t.enrolled_hooks <- f :: t.enrolled_hooks

@@ -29,6 +29,10 @@ type flow = {
   remote_app : Types.apn;
   send : bytes -> unit;  (** transmit one SDU (delimited internally) *)
   set_on_receive : (bytes -> unit) -> unit;  (** complete-SDU callback *)
+  set_on_error : (string -> unit) -> unit;
+      (** abort callback: fires (at most once) when EFCP gives up on
+          the flow — persistent retransmission failure — after which
+          the local endpoint is already closed *)
   close : unit -> unit;  (** deallocate both ends *)
   flow_metrics : unit -> Rina_util.Metrics.t;  (** EFCP counters *)
 }
@@ -68,6 +72,23 @@ val unbind_port : t -> Types.port_id -> unit
 val set_auto_enroll : t -> bool -> unit
 (** Whether seeing a member's hello triggers enrollment (default
     [true]; {!leave} clears it so a departure sticks). *)
+
+val crash : t -> unit
+(** Fail-stop: every piece of volatile state — flows, RIB, link-state
+    database, address, enrollment — vanishes without any notification
+    to the rest of the DIF, which must {e detect} the death (dead-peer
+    timeout, LSA aging).  Timers keep ticking but no-op; the ingress
+    filter drops everything.  Idempotent. *)
+
+val restart : t -> unit
+(** Bring a crashed process back as a blank, unenrolled member: it
+    re-announces itself on its ports and re-enrolls on the next member
+    hello, obtaining a {e fresh} address.  Applications registered
+    before the crash survive and are republished in the directory once
+    re-enrollment completes.  No-op unless crashed. *)
+
+val is_up : t -> bool
+(** [false] between {!crash} and {!restart}. *)
 
 val leave : t -> unit
 (** Graceful departure from the DIF (§5's lifecycle, completed): all

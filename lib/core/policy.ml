@@ -18,6 +18,15 @@ type routing = {
   dead_interval : float;
   lsa_min_interval : float;
   refresh_ticks : int;
+  keepalive_interval : float;
+  dead_peer_timeout : float;
+  lsa_max_age : float;
+}
+
+type enrollment = {
+  enroll_timeout : float;
+  enroll_retries : int;
+  retry_backoff : float;
 }
 
 type auth = Auth_none | Auth_password of string
@@ -28,6 +37,7 @@ type t = {
   efcp : efcp;
   scheduler : scheduler;
   routing : routing;
+  enrollment : enrollment;
   auth : auth;
   acl : acl;
   max_ttl : int;
@@ -51,13 +61,20 @@ let default_routing =
     dead_interval = 3.5;
     lsa_min_interval = 0.05;
     refresh_ticks = 5;
+    keepalive_interval = 1.0;
+    dead_peer_timeout = 3.5;
+    lsa_max_age = 30.;
   }
+
+let default_enrollment =
+  { enroll_timeout = 2.0; enroll_retries = 4; retry_backoff = 0.5 }
 
 let default =
   {
     efcp = default_efcp;
     scheduler = Fifo;
     routing = default_routing;
+    enrollment = default_enrollment;
     auth = Auth_none;
     acl = Allow_all;
     max_ttl = 32;

@@ -37,6 +37,27 @@ type routing = {
   refresh_ticks : int;
       (** re-flood own LSA + directory every this many hello ticks
           (anti-entropy against lost management PDUs); 0 disables *)
+  keepalive_interval : float;
+      (** RIEP keepalive probe period per adjacency, s; 0 disables
+          keepalives (dead peers are then only caught by missed
+          hellos) *)
+  dead_peer_timeout : float;
+      (** silence window (no hello, no keepalive reply) after which an
+          enrolled peer is declared dead: its adjacency is torn down
+          and its LSA withdrawn from the whole DIF *)
+  lsa_max_age : float;
+      (** age out LSAs not refreshed for this long (s); 0 disables
+          aging.  Only meaningful when [refresh_ticks > 0], otherwise
+          live members would be aged out too. *)
+}
+
+type enrollment = {
+  enroll_timeout : float;  (** per-attempt M_connect response timeout, s *)
+  enroll_retries : int;
+      (** extra attempts after the first before giving up until the
+          next hello; 0 means single-shot *)
+  retry_backoff : float;
+      (** base delay for exponential backoff between attempts, s *)
 }
 
 type auth =
@@ -53,6 +74,7 @@ type t = {
   efcp : efcp;
   scheduler : scheduler;
   routing : routing;
+  enrollment : enrollment;
   auth : auth;
   acl : acl;
   max_ttl : int;  (** initial TTL stamped on PDUs entering the DIF *)
@@ -60,6 +82,7 @@ type t = {
 
 val default_efcp : efcp
 val default_routing : routing
+val default_enrollment : enrollment
 
 val default : t
 (** Selective-repeat EFCP (window 64, mtu 1400), FIFO scheduling, 1 s

@@ -1,4 +1,11 @@
-type section = S_none | S_efcp | S_scheduler | S_routing | S_auth | S_dif
+type section =
+  | S_none
+  | S_efcp
+  | S_scheduler
+  | S_routing
+  | S_enrollment
+  | S_auth
+  | S_dif
 
 (* Mutable build state folded over the lines of the spec. *)
 type state = {
@@ -16,6 +23,12 @@ let parse_int line key v k =
   match int_of_string_opt v with
   | Some n when n > 0 -> k n
   | Some _ | None -> err line (Printf.sprintf "%s expects a positive integer, got %S" key v)
+
+let parse_nat line key v k =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> k n
+  | Some _ | None ->
+    err line (Printf.sprintf "%s expects a non-negative integer, got %S" key v)
 
 let parse_float line key v k =
   match float_of_string_opt v with
@@ -95,6 +108,44 @@ let apply_kv st line key v =
             p with
             Policy.routing = { p.Policy.routing with Policy.lsa_min_interval = f };
           })
+  | S_routing, "keepalive_interval" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.routing = { p.Policy.routing with Policy.keepalive_interval = f };
+          })
+  | S_routing, "dead_peer_timeout" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.routing = { p.Policy.routing with Policy.dead_peer_timeout = f };
+          })
+  | S_routing, "lsa_max_age" ->
+    parse_float line key v (fun f ->
+        Ok { p with Policy.routing = { p.Policy.routing with Policy.lsa_max_age = f } })
+  | S_enrollment, "enroll_timeout" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.enrollment = { p.Policy.enrollment with Policy.enroll_timeout = f };
+          })
+  | S_enrollment, "enroll_retries" ->
+    parse_nat line key v (fun n ->
+        Ok
+          {
+            p with
+            Policy.enrollment = { p.Policy.enrollment with Policy.enroll_retries = n };
+          })
+  | S_enrollment, "retry_backoff" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.enrollment = { p.Policy.enrollment with Policy.retry_backoff = f };
+          })
   | S_auth, "kind" ->
     st.auth_kind <- v;
     Ok p
@@ -102,7 +153,7 @@ let apply_kv st line key v =
     st.auth_secret <- v;
     Ok p
   | S_dif, "max_ttl" -> parse_int line key v (fun n -> Ok { p with Policy.max_ttl = n })
-  | (S_efcp | S_scheduler | S_routing | S_auth | S_dif), other ->
+  | (S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif), other ->
     err line (Printf.sprintf "unknown key %S in this section" other)
 
 let finish st line =
@@ -133,6 +184,7 @@ let section_name = function
   | S_efcp -> "efcp"
   | S_scheduler -> "scheduler"
   | S_routing -> "routing"
+  | S_enrollment -> "enrollment"
   | S_auth -> "auth"
   | S_dif -> "dif"
 
@@ -185,6 +237,9 @@ let parse ?(base = Policy.default) text =
         | "routing" ->
           st.section <- S_routing;
           loop (n + 1) rest
+        | "enrollment" ->
+          st.section <- S_enrollment;
+          loop (n + 1) rest
         | "auth" ->
           st.section <- S_auth;
           loop (n + 1) rest
@@ -216,7 +271,7 @@ let parse ?(base = Policy.default) text =
   loop 1 lines
 
 let to_string (p : Policy.t) =
-  let e = p.Policy.efcp and r = p.Policy.routing in
+  let e = p.Policy.efcp and r = p.Policy.routing and en = p.Policy.enrollment in
   let rtx =
     match e.Policy.rtx_strategy with
     | Policy.Selective_repeat -> "selective"
@@ -252,6 +307,13 @@ let to_string (p : Policy.t) =
       Printf.sprintf "dead_interval = %g" r.Policy.dead_interval;
       Printf.sprintf "lsa_min_interval = %g" r.Policy.lsa_min_interval;
       Printf.sprintf "refresh_ticks = %d" r.Policy.refresh_ticks;
+      Printf.sprintf "keepalive_interval = %g" r.Policy.keepalive_interval;
+      Printf.sprintf "dead_peer_timeout = %g" r.Policy.dead_peer_timeout;
+      Printf.sprintf "lsa_max_age = %g" r.Policy.lsa_max_age;
+      "[enrollment]";
+      Printf.sprintf "enroll_timeout = %g" en.Policy.enroll_timeout;
+      Printf.sprintf "enroll_retries = %d" en.Policy.enroll_retries;
+      Printf.sprintf "retry_backoff = %g" en.Policy.retry_backoff;
       "[auth]";
       auth_lines;
       "[dif]";

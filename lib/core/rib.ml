@@ -79,6 +79,8 @@ let children t prefix =
 
 let subscribe t ~prefix callback = t.watchers <- { prefix; callback } :: t.watchers
 
+let clear t = Hashtbl.reset t.objects
+
 let size t = Hashtbl.length t.objects
 
 let dump t =

@@ -43,6 +43,11 @@ val subscribe : t -> prefix:string -> (event -> string -> value option -> unit) 
 (** Watch every object at or below [prefix]; the callback receives the
     event kind, the full path and the new value ([None] on delete). *)
 
+val clear : t -> unit
+(** Drop every object without firing watchers — the state loss of an
+    IPCP crash.  Subscriptions survive (they are re-populated by
+    re-enrollment). *)
+
 val size : t -> int
 (** Number of objects stored. *)
 

@@ -41,15 +41,27 @@ module Lsa = struct
          (List.map (fun (a, c) -> Printf.sprintf "%d/%.1f" a c) t.neighbors))
 end
 
-type t = { db : (Types.address, Lsa.t) Hashtbl.t }
+type t = {
+  db : (Types.address, Lsa.t) Hashtbl.t;
+  (* virtual time each origin's LSA was last installed/refreshed;
+     drives aging.  An origin absent here was installed by a caller
+     that never passes ~now (age 0 forever). *)
+  installed_at : (Types.address, float) Hashtbl.t;
+}
 
-let create () = { db = Hashtbl.create 32 }
+let create () = { db = Hashtbl.create 32; installed_at = Hashtbl.create 32 }
 
-let install t (lsa : Lsa.t) =
+let install ?(now = 0.) t (lsa : Lsa.t) =
   match Hashtbl.find_opt t.db lsa.Lsa.origin with
-  | Some existing when existing.Lsa.seq >= lsa.Lsa.seq -> false
+  | Some existing when existing.Lsa.seq > lsa.Lsa.seq -> false
+  | Some existing when existing.Lsa.seq = lsa.Lsa.seq ->
+    (* Duplicate: not a change (don't re-flood), but the origin proved
+       itself alive, so refresh its age. *)
+    Hashtbl.replace t.installed_at lsa.Lsa.origin now;
+    false
   | Some _ | None ->
     Hashtbl.replace t.db lsa.Lsa.origin lsa;
+    Hashtbl.replace t.installed_at lsa.Lsa.origin now;
     (* An accepted LSA is a routing-state change: events carry the
        origin as the flow field and the LSA sequence number. *)
     if !Rina_util.Flight.enabled then
@@ -60,9 +72,28 @@ let install t (lsa : Lsa.t) =
 let withdraw t origin =
   if Hashtbl.mem t.db origin then begin
     Hashtbl.remove t.db origin;
+    Hashtbl.remove t.installed_at origin;
     true
   end
   else false
+
+let expired t ~now ~max_age =
+  if max_age <= 0. then []
+  else
+    Hashtbl.fold
+      (fun origin _ acc ->
+        let at =
+          match Hashtbl.find_opt t.installed_at origin with
+          | Some at -> at
+          | None -> 0.
+        in
+        if now -. at > max_age then origin :: acc else acc)
+      t.db []
+    |> List.sort compare
+
+let clear t =
+  Hashtbl.reset t.db;
+  Hashtbl.reset t.installed_at
 
 let lsa_of t origin = Hashtbl.find_opt t.db origin
 

@@ -27,12 +27,24 @@ type t
 
 val create : unit -> t
 
-val install : t -> Lsa.t -> bool
+val install : ?now:float -> t -> Lsa.t -> bool
 (** Insert if newer than the stored version for that origin; [true]
-    means the database changed and the LSA should be flooded on. *)
+    means the database changed and the LSA should be flooded on.
+    [now] (virtual time, default 0) stamps the entry for {!expired};
+    a duplicate of the stored sequence number refreshes the stamp
+    without reporting a change — the origin proved itself alive. *)
 
 val withdraw : t -> Types.address -> bool
-(** Remove an origin's LSA entirely (member left); [true] if present. *)
+(** Remove an origin's LSA entirely (member left or declared dead);
+    [true] if present. *)
+
+val expired : t -> now:float -> max_age:float -> Types.address list
+(** Origins whose LSA has not been (re-)installed within [max_age]
+    seconds of [now], sorted.  Empty when [max_age <= 0] (aging
+    disabled). *)
+
+val clear : t -> unit
+(** Drop the whole database — an IPCP losing its state on crash. *)
 
 val lsa_of : t -> Types.address -> Lsa.t option
 

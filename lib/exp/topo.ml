@@ -9,6 +9,7 @@ type rina_net = {
   dif : Dif.t;
   nodes : Ipcp.t array;
   links : Link.t array;
+  edges : (int * int) array;
 }
 
 let wait engine d = Engine.run ~until:(Engine.now engine +. d) engine
@@ -28,7 +29,7 @@ let make_net ?(seed = 7) ?policy ~n () =
   let nodes =
     Array.init n (fun i -> Dif.add_member dif ~name:(Printf.sprintf "n%d" i) ())
   in
-  { engine; rng; dif; nodes; links = [||] }
+  { engine; rng; dif; nodes; links = [||]; edges = [||] }
 
 let line ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
     ?(loss = Rina_sim.Loss.No_loss) ?(rate_limited = false) ~n () =
@@ -39,7 +40,7 @@ let line ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
     Array.init (n - 1) (fun i ->
         connect_pair net ?rate i (i + 1) ~bit_rate ~delay ~loss)
   in
-  let net = { net with links } in
+  let net = { net with links; edges = Array.init (n - 1) (fun i -> (i, i + 1)) } in
   Dif.run_until_converged net.dif ();
   net
 
@@ -50,7 +51,7 @@ let star ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
   let links =
     Array.init leaves (fun i -> connect_pair net 0 (i + 1) ~bit_rate ~delay ~loss)
   in
-  let net = { net with links } in
+  let net = { net with links; edges = Array.init leaves (fun i -> (0, i + 1)) } in
   Dif.run_until_converged net.dif ();
   net
 
@@ -78,7 +79,7 @@ let random_graph ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002) ~n
            connect_pair net a b ~bit_rate ~delay ~loss:Rina_sim.Loss.No_loss)
          !edges)
   in
-  let net = { net with links } in
+  let net = { net with links; edges = Array.of_list !edges } in
   Dif.run_until_converged net.dif ~max_time:(30. +. (2. *. float_of_int n)) ();
   net
 

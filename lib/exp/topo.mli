@@ -7,6 +7,10 @@ type rina_net = {
   dif : Rina_core.Dif.t;
   nodes : Rina_core.Ipcp.t array;
   links : Rina_sim.Link.t array;
+  edges : (int * int) array;
+      (** [edges.(i)] is the (node index, node index) pair joined by
+          [links.(i)] — what the chaos hooks use to find the links that
+          straddle a partition. *)
 }
 
 val line :

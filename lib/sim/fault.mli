@@ -1,0 +1,62 @@
+(** Deterministic fault injection.
+
+    A fault {e plan} is an ordered schedule of labelled steps — apply a
+    fault at one virtual time, optionally heal it at a later one —
+    built before the run and then {!arm}ed, which compiles every step
+    into ordinary engine events.  Determinism falls out for free: the
+    plan is data, the engine is deterministic, and any randomness used
+    to build a plan comes from the caller's seeded {!Rina_util.Prng}.
+
+    Canned link faults (flap, blackhole, degradation) are provided
+    here; node-level faults (IPCP crash/restart, partitions) are
+    closures supplied by higher layers via {!inject}/{!window} —
+    [Rina_exp.Scenario] wires those, keeping this module free of any
+    dependency on the RINA stack.
+
+    Every armed step emits a flight-recorder event on component
+    ["fault"]: [Custom "fault:<label>"] when it applies and
+    [Custom "heal:<label>"] when it heals, which is what
+    [rina_trace --faults] and the per-fault blackout report key on. *)
+
+type t
+(** A mutable plan under construction. *)
+
+val create : unit -> t
+
+val inject : t -> at:float -> label:string -> (unit -> unit) -> unit
+(** One-shot fault step at absolute virtual time [at]. *)
+
+val heal_at : t -> at:float -> label:string -> (unit -> unit) -> unit
+(** One-shot heal step (recorded as ["heal:<label>"]). *)
+
+val window :
+  t -> at:float -> until:float -> label:string ->
+  apply:(unit -> unit) -> heal:(unit -> unit) -> unit
+(** Fault active on \[[at], [until]): [apply] fires at [at], [heal] at
+    [until].  @raise Invalid_argument if [until <= at]. *)
+
+val link_down : t -> at:float -> until:float -> ?label:string -> Link.t -> unit
+(** Carrier flap: the link is down for the window (watchers fire). *)
+
+val link_blackhole :
+  t -> at:float -> until:float -> ?label:string -> Link.t -> unit
+(** Silent failure for the window: frames vanish, carrier stays up. *)
+
+val link_degrade :
+  t -> at:float -> until:float -> ?label:string ->
+  ?rate_factor:float -> ?loss:Loss.t -> Link.t -> unit
+(** Degradation: for the window the link runs at
+    [rate_factor * bit_rate] (default [0.1]) and/or under [loss];
+    healing restores the original rate and loss model.
+    @raise Invalid_argument if [rate_factor] is not in (0, 1\]. *)
+
+val events : t -> (float * string) list
+(** The compiled schedule as [(time, "fault:<label>" | "heal:<label>")]
+    pairs, sorted by time (ties keep insertion order).  Two plans built
+    from the same seed compare equal here — the replay-determinism
+    check. *)
+
+val arm : t -> Engine.t -> unit
+(** Schedule every step on the engine.  Steps in the past (before
+    [Engine.now]) are clamped to "immediately" by the engine.  A plan
+    can be armed once per engine run. *)

@@ -2,15 +2,16 @@ type conservation = {
   mutable injected : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable blackholed : int;
 }
 
 type half = {
   engine : Engine.t;
   rng : Rina_util.Prng.t;
-  bit_rate : float;
+  mutable bit_rate : float;  (* mutable so faults can degrade a live link *)
   delay : float;
   queue_capacity : int;
-  loss : Loss.state;
+  mutable loss : Loss.state;
   comp : string;  (* flight-recorder component name for this direction *)
   stats : Rina_util.Metrics.t;
   mutable busy_until : float;
@@ -45,7 +46,7 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~comp =
     queued = 0;
     receiver = (fun _ -> ());
     epoch = 0;
-    conserv = { injected = 0; delivered = 0; dropped = 0 };
+    conserv = { injected = 0; delivered = 0; dropped = 0; blackholed = 0 };
   }
 
 let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_loss)
@@ -79,6 +80,10 @@ let[@inline] account_admission_drop half =
 let[@inline] account_late_drop half =
   if !Rina_util.Invariant.enabled then
     half.conserv.dropped <- half.conserv.dropped + 1
+
+let[@inline] account_blackhole half =
+  if !Rina_util.Invariant.enabled then
+    half.conserv.blackholed <- half.conserv.blackholed + 1
 
 (* Flight-recorder emissions follow the same per-site guard discipline
    as the conservation accounting above: frames are opaque here, so
@@ -138,6 +143,13 @@ let transmit t half frame =
                         Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
                         half.receiver frame
                       end
+                      else if epoch = half.epoch && t.up then begin
+                        (* carrier still up: the blackhole ate it *)
+                        account_blackhole half;
+                        flight_drop half Rina_util.Flight.R_blackhole
+                          (Bytes.length frame);
+                        Rina_util.Metrics.incr m "dropped_blackhole"
+                      end
                       else begin
                         account_late_drop half;
                         flight_drop half Rina_util.Flight.R_link_down
@@ -172,6 +184,19 @@ let endpoint_b t : Chan.t =
   }
 
 let set_blackhole t b = t.blackhole <- b
+
+let bit_rate t = t.forward.bit_rate
+
+let loss t = Loss.model t.forward.loss
+
+let set_bit_rate t bit_rate =
+  if bit_rate <= 0. then invalid_arg "Link.set_bit_rate: must be positive";
+  t.forward.bit_rate <- bit_rate;
+  t.backward.bit_rate <- bit_rate
+
+let set_loss t loss =
+  t.forward.loss <- Loss.make_state loss;
+  t.backward.loss <- Loss.make_state loss
 
 let set_up t up =
   if t.up <> up then begin

@@ -36,7 +36,25 @@ val set_up : t -> bool -> unit
 val set_blackhole : t -> bool -> unit
 (** Silently drop every frame in both directions *without* any carrier
     notification — the "silent failure" (misbehaving middlebox, radio
-    shadow) that forces endpoints to detect loss by timeout. *)
+    shadow) that forces endpoints to detect loss by timeout.
+    Swallowed frames are still visible to diagnostics: they count in
+    the [blackholed] conservation column and emit
+    [Flight.R_blackhole] drops, distinct from carrier loss. *)
+
+val bit_rate : t -> float
+(** Current serialisation rate in bits/second (both halves share it). *)
+
+val loss : t -> Loss.t
+(** Current loss model specification. *)
+
+val set_bit_rate : t -> float -> unit
+(** Change the serialisation rate of both halves — degradation faults
+    ramp this down and back up.  Frames already serialising keep their
+    old finish time.  @raise Invalid_argument if non-positive. *)
+
+val set_loss : t -> Loss.t -> unit
+(** Swap the loss model on both halves (fresh model state, so a
+    Gilbert–Elliott burst does not leak across the swap). *)
 
 val is_up : t -> bool
 
@@ -47,16 +65,19 @@ val stats_b : t -> Rina_util.Metrics.t
 
 (** Sanitizer accounting for one direction (see
     {!Rina_check.Sanitizer.audit_link}): every frame handed to the link
-    is [injected], and ends up [delivered] or [dropped] (queue tail,
-    loss model, carrier loss, blackhole).  Once the event queue drains,
-    [injected = delivered + dropped] — the PDU-conservation invariant.
-    Only maintained while [Rina_util.Invariant.enabled] is set (enable
-    it before injecting traffic); the fields are mutable so tests can
-    simulate an accounting leak. *)
+    is [injected], and ends up [delivered], [dropped] (queue tail, loss
+    model, carrier loss) or [blackholed] (swallowed while the carrier
+    stayed up).  Once the event queue drains,
+    [injected = delivered + dropped + blackholed] — the
+    PDU-conservation invariant.  Only maintained while
+    [Rina_util.Invariant.enabled] is set (enable it before injecting
+    traffic); the fields are mutable so tests can simulate an
+    accounting leak. *)
 type conservation = {
   mutable injected : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable blackholed : int;
 }
 
 val conservation_a : t -> conservation

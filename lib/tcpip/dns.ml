@@ -74,17 +74,20 @@ let resolve udp engine ~local ~server:server_addr name ~on_result =
   let send () =
     Udp.send udp ~src:local ~dst:server_addr ~sport ~dport:port (encode_query id name)
   in
-  let rec retry n () =
+  (* Retransmissions back off exponentially (1 s, 2 s, 4 s) like a real
+     resolver, so a congested path is not hammered at a fixed rate. *)
+  let rec retry attempt () =
     if not !answered then begin
-      if n <= 0 then begin
+      if attempt >= 3 then begin
         answered := true;
         Udp.unlisten udp ~port:sport;
         on_result (Error "DNS query timed out")
       end
       else begin
         send ();
-        ignore (Rina_sim.Engine.schedule engine ~delay:1.0 (retry (n - 1)))
+        let delay = Rina_util.Backoff.delay_for ~base:1.0 attempt in
+        ignore (Rina_sim.Engine.schedule engine ~delay (retry (attempt + 1)))
       end
     end
   in
-  retry 3 ()
+  retry 0 ()

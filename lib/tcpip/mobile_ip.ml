@@ -141,15 +141,21 @@ let register_msg t ~home_agent_addr ~care_of ~registering ~on_ack =
       ~dport:registration_port
       (encode_reg ~home:t.m_home ~care_of ~registering)
   in
-  let rec retry n () =
+  (* Registration retransmits with exponential backoff (0.5 s, 1 s,
+     2 s, 4 s) — RFC 5944 asks agents not to be beaten at a fixed
+     rate while the visited link is degraded. *)
+  let rec retry attempt () =
     if not !acked then
-      if n <= 0 then Udp.unlisten t.m_udp ~port:sport
+      if attempt >= 4 then Udp.unlisten t.m_udp ~port:sport
       else begin
         send ();
-        ignore (Rina_sim.Engine.schedule (Node.engine t.m_node) ~delay:0.5 (retry (n - 1)))
+        let delay = Rina_util.Backoff.delay_for ~base:0.5 attempt in
+        ignore
+          (Rina_sim.Engine.schedule (Node.engine t.m_node) ~delay
+             (retry (attempt + 1)))
       end
   in
-  retry 4 ()
+  retry 0 ()
 
 let register_care_of t ~home_agent_addr ~care_of ~on_ack =
   register_msg t ~home_agent_addr ~care_of ~registering:true ~on_ack

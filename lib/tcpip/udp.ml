@@ -15,6 +15,16 @@ let attach node =
         match Hashtbl.find_opt t.listeners d.Packet.Udp.dport with
         | Some f ->
           Metrics.incr t.metrics "rx";
+          (* Datagram handed to an application — the delivery point the
+             recovery experiments key on (component "udp:<node>", like
+             "efcp" on the RINA side), distinct from ip:<node> which
+             also counts routing-protocol chatter. *)
+          if !Rina_util.Flight.enabled then
+            Rina_util.Flight.emit
+              ~component:("udp:" ^ Node.node_name t.node)
+              ~flow:d.Packet.Udp.dport
+              ~size:(Bytes.length d.Packet.Udp.body)
+              Rina_util.Flight.Pdu_recvd;
           f ~src:pkt.Packet.src ~sport:d.Packet.Udp.sport d.Packet.Udp.body
         | None -> Metrics.incr t.metrics "port_unreachable"));
   t

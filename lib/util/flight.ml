@@ -11,6 +11,7 @@
 type reason =
   | R_queue_full
   | R_link_down
+  | R_blackhole
   | R_loss
   | R_crc
   | R_decode
@@ -70,6 +71,7 @@ let span_of ~flow ~seq =
 let reason_to_string = function
   | R_queue_full -> "queue_full"
   | R_link_down -> "link_down"
+  | R_blackhole -> "blackhole"
   | R_loss -> "loss"
   | R_crc -> "crc"
   | R_decode -> "decode"
@@ -83,6 +85,7 @@ let reason_to_string = function
 let reason_of_string = function
   | "queue_full" -> R_queue_full
   | "link_down" -> R_link_down
+  | "blackhole" -> R_blackhole
   | "loss" -> R_loss
   | "crc" -> R_crc
   | "decode" -> R_decode
@@ -167,6 +170,7 @@ let reason_tag = function
   | R_stale -> 8
   | R_duplicate -> 9
   | R_other _ -> 10
+  | R_blackhole -> 11
 
 let kind_tag = function
   | Pdu_sent -> 0
@@ -220,6 +224,7 @@ let read_event r =
          | 8 -> R_stale
          | 9 -> R_duplicate
          | 10 -> R_other (R.string r)
+         | 11 -> R_blackhole
          | n -> raise (R.Decode_error (Printf.sprintf "unknown reason tag %d" n)))
     | 3 -> Enqueued
     | 4 -> Dequeued

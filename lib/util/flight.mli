@@ -18,6 +18,7 @@
 type reason =
   | R_queue_full
   | R_link_down
+  | R_blackhole
   | R_loss
   | R_crc
   | R_decode

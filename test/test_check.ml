@@ -151,6 +151,25 @@ let test_l111_stop_and_wait_delayed_acks () =
   silent "L111" "[efcp]\nwindow = 1\n";
   silent "L111" "[efcp]\nwindow = 8\nack_delay = 0.02\n"
 
+let test_l112_keepalive_vs_dead_peer () =
+  fires "L112" "[routing]\nkeepalive_interval = 4.0\ndead_peer_timeout = 3.0\n";
+  fires "L112" "[routing]\nkeepalive_interval = 3.0\ndead_peer_timeout = 3.0\n";
+  silent "L112" "[routing]\nkeepalive_interval = 1.0\ndead_peer_timeout = 3.5\n";
+  (* keepalives disabled: no detection, nothing to mis-tune *)
+  silent "L112" "[routing]\nkeepalive_interval = 0\ndead_peer_timeout = 0.1\n";
+  Alcotest.(check bool) "L112 is an error" true
+    (severity_of "L112"
+       "[routing]\nkeepalive_interval = 5.0\ndead_peer_timeout = 1.0\n"
+    = Diag.Error)
+
+let test_l113_zero_retry_enrollment () =
+  fires "L113" "[enrollment]\nenroll_retries = 0\n";
+  silent "L113" "[enrollment]\nenroll_retries = 2\n";
+  silent "L113" "";
+  (* a warning, not an error: single-shot enrollment is legal *)
+  Alcotest.(check bool) "L113 is a warning" true
+    (severity_of "L113" "[enrollment]\nenroll_retries = 0\n" = Diag.Warning)
+
 (* ---------- topology-aware rules ---------- *)
 
 let topo = { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1 }
@@ -232,6 +251,15 @@ let random_policy rng =
         dead_interval = milli rng 100 19999;
         lsa_min_interval = milli rng 1 999;
         refresh_ticks = 1 + Prng.int rng 50;
+        keepalive_interval = (if Prng.bool rng then 0. else milli rng 100 9999);
+        dead_peer_timeout = milli rng 100 19999;
+        lsa_max_age = (if Prng.bool rng then 0. else milli rng 1000 99999);
+      };
+    enrollment =
+      {
+        Policy.enroll_timeout = milli rng 100 9999;
+        enroll_retries = Prng.int rng 10;
+        retry_backoff = milli rng 10 2000;
       };
     auth =
       (if Prng.bool rng then Policy.Auth_none
@@ -496,6 +524,8 @@ let () =
           Alcotest.test_case "L109 dead within 2 hellos" `Quick test_l109_dead_within_two_hellos;
           Alcotest.test_case "L110 lsa damping" `Quick test_l110_lsa_damping;
           Alcotest.test_case "L111 stop-and-wait delayed acks" `Quick test_l111_stop_and_wait_delayed_acks;
+          Alcotest.test_case "L112 keepalive vs dead peer" `Quick test_l112_keepalive_vs_dead_peer;
+          Alcotest.test_case "L113 zero-retry enrollment" `Quick test_l113_zero_retry_enrollment;
         ] );
       ( "lint-topology",
         [

@@ -517,6 +517,7 @@ let prop_policy_lang_roundtrip_random =
                 Policy.hello_interval = hello;
                 refresh_ticks = refresh;
               };
+            enrollment = Policy.default_enrollment;
             auth = (if auth then Policy.Auth_password "pw" else Policy.Auth_none);
             acl = Policy.Allow_all;
             max_ttl = ttl;

@@ -114,6 +114,40 @@ let test_scenario_open_flow_and_metrics () =
   Alcotest.(check bool) "summed rmt metric nonzero" true
     (Scenario.sum_rmt_metric net "sent" > 0)
 
+let test_random_plan_replays_identically () =
+  let build () =
+    let net = Topo.line ~seed:5 ~n:4 () in
+    let rng = Rina_util.Prng.create 77 in
+    Scenario.random_plan net ~rng ~horizon:30. ~faults:8 ()
+  in
+  let a = Rina_sim.Fault.events (build ()) in
+  let b = Rina_sim.Fault.events (build ()) in
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "same seed, same topology: identical schedule" a b;
+  Alcotest.(check bool) "eight faults compiled" true (List.length a >= 8);
+  (* node 0 is the address allocator and protected by default *)
+  List.iter
+    (fun (_, tag) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s never crashes node 0" tag)
+        false
+        (String.length tag > 3
+        && String.sub tag (String.length tag - 3) 3 = "-n0"))
+    a
+
+let test_straddling_links_on_line () =
+  let net = Topo.line ~n:3 () in
+  (match Scenario.straddling_links net ~group:[ 0 ] with
+  | [ l ] -> Alcotest.(check bool) "cut {0}|{1,2}" true (l == net.Topo.links.(0))
+  | ls -> Alcotest.failf "expected one straddling link, got %d" (List.length ls));
+  (match Scenario.straddling_links net ~group:[ 0; 1 ] with
+  | [ l ] -> Alcotest.(check bool) "cut {0,1}|{2}" true (l == net.Topo.links.(1))
+  | ls -> Alcotest.failf "expected one straddling link, got %d" (List.length ls));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Scenario.straddling_links: node index out of range")
+    (fun () -> ignore (Scenario.straddling_links net ~group:[ 9 ]))
+
 let () =
   Alcotest.run "rina_exp"
     [
@@ -133,5 +167,11 @@ let () =
           Alcotest.test_case "ip line builds" `Quick test_ip_line_builds;
         ] );
       ( "scenario",
-        [ Alcotest.test_case "open flow + metrics" `Quick test_scenario_open_flow_and_metrics ] );
+        [
+          Alcotest.test_case "open flow + metrics" `Quick test_scenario_open_flow_and_metrics;
+          Alcotest.test_case "random plan replays" `Quick
+            test_random_plan_replays_identically;
+          Alcotest.test_case "straddling links" `Quick
+            test_straddling_links_on_line;
+        ] );
     ]

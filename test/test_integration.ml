@@ -556,6 +556,144 @@ let test_policy_language_drives_dif () =
       wait net.Topo.engine 10.;
       check Alcotest.int "stop-and-wait delivers" 10 sink.Workload.count)
 
+(* ---------- chaos: crash, dead-peer detection, EFCP abort ---------- *)
+
+(* Tight detection timers so failure detection plays out in a few
+   virtual seconds: keepalives every 0.25 s, a peer is dead after
+   0.8 s of silence, stale LSAs age out after 3 s. *)
+let chaos_policy =
+  let p = Policy.default in
+  {
+    p with
+    Policy.routing =
+      {
+        Policy.hello_interval = 0.2;
+        dead_interval = 0.7;
+        lsa_min_interval = 0.02;
+        refresh_ticks = 2;
+        keepalive_interval = 0.25;
+        dead_peer_timeout = 0.8;
+        lsa_max_age = 3.0;
+      };
+  }
+
+let test_crash_restart_fresh_address () =
+  let net = Topo.line ~policy:chaos_policy ~n:3 () in
+  let engine = net.Topo.engine in
+  let n0 = net.Topo.nodes.(0) and n1 = net.Topo.nodes.(1) in
+  let old_addr = Ipcp.address n1 in
+  check Alcotest.int "converged lsdb has all three" 3 (Ipcp.lsdb_size n0);
+  Ipcp.crash n1;
+  Alcotest.(check bool) "down after crash" false (Ipcp.is_up n1);
+  (* silence > dead_peer_timeout: the survivors declare the relay dead
+     and withdraw its LSA without any goodbye from it *)
+  wait engine 2.0;
+  Alcotest.(check bool) "LSA withdrawn at n0" true (Ipcp.lsdb_size n0 < 3);
+  Alcotest.(check bool) "adjacency torn down at n0" true
+    (not (List.mem_assoc old_addr (Ipcp.neighbors n0)));
+  Ipcp.restart n1;
+  (* re-enrollment on the next hello, reconvergence, and one aging
+     window so any stale entry for the old incarnation expires *)
+  wait engine 10.0;
+  Alcotest.(check bool) "re-enrolled" true (Ipcp.is_enrolled n1);
+  let fresh = Ipcp.address n1 in
+  Alcotest.(check bool) "fresh nonzero address" true
+    (fresh > 0 && fresh <> old_addr);
+  check Alcotest.int "lsdb back to three live members" 3 (Ipcp.lsdb_size n0);
+  Alcotest.(check bool) "no stale LSA for the old address" true
+    (not
+       (List.exists
+          (fun (dst, _, _) -> dst = old_addr)
+          (Ipcp.routing_table n0)));
+  (* end-to-end proof of reconvergence: a flow across the restarted
+     relay delivers *)
+  let sink = Workload.sink () in
+  match Scenario.open_flow net ~src:0 ~dst:2 ~qos_id:1 ~sink () with
+  | Error e -> Alcotest.fail e
+  | Ok (flow, _) ->
+    flow.Ipcp.send (Bytes.of_string "through the new incarnation");
+    wait engine 5.;
+    check Alcotest.int "delivered across restarted relay" 1
+      sink.Workload.count
+
+let test_dead_peer_fires_only_after_timeout () =
+  (* Hello-based adjacency expiry is parked (dead_interval huge) so
+     only the RIEP keepalive / dead-peer path can declare death. *)
+  let policy =
+    {
+      chaos_policy with
+      Policy.routing =
+        {
+          chaos_policy.Policy.routing with
+          Policy.dead_interval = 1000.;
+          keepalive_interval = 0.25;
+          dead_peer_timeout = 2.0;
+        };
+    }
+  in
+  let net = Topo.line ~policy ~n:2 () in
+  let engine = net.Topo.engine in
+  let n0 = net.Topo.nodes.(0) in
+  let link = net.Topo.links.(0) in
+  let peer = Ipcp.address net.Topo.nodes.(1) in
+  (* a silence shorter than the timeout must not kill the adjacency *)
+  Link.set_blackhole link true;
+  wait engine 1.0;
+  Link.set_blackhole link false;
+  wait engine 1.0;
+  Alcotest.(check bool) "short silence: peer kept" true
+    (List.mem_assoc peer (Ipcp.neighbors n0));
+  (* permanent silence: still alive just before the timeout... *)
+  Link.set_blackhole link true;
+  wait engine 1.2;
+  Alcotest.(check bool) "not yet declared before timeout" true
+    (List.mem_assoc peer (Ipcp.neighbors n0));
+  (* ...and declared dead (adjacency gone, LSA withdrawn) after it *)
+  wait engine 2.0;
+  Alcotest.(check bool) "declared dead after timeout" false
+    (List.mem_assoc peer (Ipcp.neighbors n0));
+  check Alcotest.int "peer LSA withdrawn" 1 (Ipcp.lsdb_size n0)
+
+let test_efcp_abort_surfaces_to_owner () =
+  (* Park every routing-level detector so EFCP retransmission
+     exhaustion is the only thing that can kill the flow. *)
+  let p = Policy.default in
+  let policy =
+    {
+      p with
+      Policy.efcp =
+        { p.Policy.efcp with Policy.init_rto = 0.1; min_rto = 0.05; max_rtx = 3 };
+      routing =
+        {
+          p.Policy.routing with
+          Policy.dead_interval = 1000.;
+          keepalive_interval = 0.;
+          dead_peer_timeout = 1000.;
+          lsa_max_age = 0.;
+        };
+    }
+  in
+  let net = Topo.line ~policy ~n:2 () in
+  let engine = net.Topo.engine in
+  let link = net.Topo.links.(0) in
+  let sink = Workload.sink () in
+  match Scenario.open_flow net ~src:0 ~dst:1 ~qos_id:1 ~sink () with
+  | Error e -> Alcotest.fail e
+  | Ok (flow, _) ->
+    let err = ref None in
+    flow.Ipcp.set_on_error (fun reason -> err := Some reason);
+    flow.Ipcp.send (Bytes.of_string "gets through");
+    wait engine 2.;
+    check Alcotest.int "healthy delivery first" 1 sink.Workload.count;
+    Alcotest.(check bool) "no error yet" true (!err = None);
+    Link.set_blackhole link true;
+    flow.Ipcp.send (Bytes.of_string "into the void");
+    wait engine 10.;
+    Alcotest.(check bool) "abort surfaced to the flow owner" true
+      (!err <> None);
+    Alcotest.(check bool) "flow_errors metric counted" true
+      (Metrics.get (Ipcp.metrics net.Topo.nodes.(0)) "flow_errors" > 0)
+
 let () =
   Alcotest.run "integration"
     [
@@ -588,6 +726,15 @@ let () =
           Alcotest.test_case "ring reroute" `Quick test_ring_reroutes_after_link_failure;
         ] );
       ("recursion", [ Alcotest.test_case "stacked transfer" `Quick test_stacked_dif_transfer ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "crash then restart: fresh address" `Quick
+            test_crash_restart_fresh_address;
+          Alcotest.test_case "dead-peer timeout respected" `Quick
+            test_dead_peer_fires_only_after_timeout;
+          Alcotest.test_case "efcp abort surfaces" `Quick
+            test_efcp_abort_surfaces_to_owner;
+        ] );
       ( "lifecycle",
         [
           Alcotest.test_case "dif helpers and trace" `Quick test_dif_helpers_and_trace;

@@ -9,6 +9,8 @@ module Trace = Rina_sim.Trace
 module Prng = Rina_util.Prng
 module Flight = Rina_util.Flight
 module Trace_report = Rina_check.Trace_report
+module Fault = Rina_sim.Fault
+module Sanitizer = Rina_check.Sanitizer
 module Dif = Rina_core.Dif
 module Ipcp = Rina_core.Ipcp
 module Types = Rina_core.Types
@@ -572,6 +574,113 @@ let test_trace_relay_span_tree () =
         check Alcotest.int "lower rank" 0 ev.Flight.rank)
     evs
 
+(* ---------- Fault injection ---------- *)
+
+let test_fault_events_sorted_and_replayable () =
+  let build () =
+    let p = Fault.create () in
+    Fault.inject p ~at:5. ~label:"late" (fun () -> ());
+    Fault.window p ~at:1. ~until:3. ~label:"win"
+      ~apply:(fun () -> ())
+      ~heal:(fun () -> ());
+    Fault.heal_at p ~at:2. ~label:"late" (fun () -> ());
+    p
+  in
+  let evs = Fault.events (build ()) in
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "sorted schedule"
+    [ (1., "fault:win"); (2., "heal:late"); (3., "heal:win"); (5., "fault:late") ]
+    evs;
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "identical plans compare equal" evs
+    (Fault.events (build ()))
+
+let test_fault_window_rejects_empty () =
+  let p = Fault.create () in
+  Alcotest.check_raises "until <= at"
+    (Invalid_argument "Fault.window: until must be after at") (fun () ->
+      Fault.window p ~at:2. ~until:2. ~label:"x"
+        ~apply:(fun () -> ())
+        ~heal:(fun () -> ()))
+
+let test_fault_arm_fires_on_schedule () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  let log = ref [] in
+  let p = Fault.create () in
+  Fault.window p ~at:1. ~until:2. ~label:"w"
+    ~apply:(fun () -> log := (Engine.now e, "apply") :: !log)
+    ~heal:(fun () -> log := (Engine.now e, "heal") :: !log);
+  Fault.inject p ~at:0.5 ~label:"one-shot" (fun () ->
+      log := (Engine.now e, "shot") :: !log);
+  Fault.arm p e;
+  Trace.attach tr;
+  Engine.run e;
+  Trace.detach ();
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "actions at plan times"
+    [ (0.5, "shot"); (1., "apply"); (2., "heal") ]
+    (List.rev !log);
+  let customs =
+    List.filter_map
+      (fun (ev : Flight.event) ->
+        match ev.Flight.kind with
+        | Flight.Custom s when ev.Flight.component = "fault" ->
+          Some (ev.Flight.time, s)
+        | _ -> None)
+      (Trace.typed_events tr)
+  in
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "flight events mirror the schedule"
+    [ (0.5, "fault:one-shot"); (1., "fault:w"); (2., "heal:w") ]
+    customs
+
+let test_fault_blackhole_conservation () =
+  Sanitizer.enable ();
+  let e = Engine.create () in
+  let rng = Prng.create 3 in
+  let l =
+    Link.create e rng ~bit_rate:1_000_000. ~delay:0.001 ~label:"bh" ()
+  in
+  let tr = Trace.create e in
+  Trace.attach tr;
+  let received = ref 0 in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr received);
+  let p = Fault.create () in
+  Fault.link_blackhole p ~at:0.05 ~until:0.15 l;
+  Fault.arm p e;
+  (* one frame per 10 ms for 200 ms: ~10 land inside the window *)
+  for i = 0 to 19 do
+    ignore
+      (Engine.schedule_at e
+         ~time:(0.01 *. float_of_int i)
+         (fun () -> (Link.endpoint_a l).Chan.send (Bytes.create 64)))
+  done;
+  Engine.run e;
+  Trace.detach ();
+  let c = Link.conservation_a l in
+  Alcotest.(check bool) "some frames blackholed" true (c.Link.blackholed > 0);
+  check Alcotest.int "conservation holds" c.Link.injected
+    (c.Link.delivered + c.Link.dropped + c.Link.blackholed);
+  check Alcotest.int "delivered = received" c.Link.delivered !received;
+  check (Alcotest.list Alcotest.string) "audit clean" []
+    (List.map
+       (fun (d : Rina_check.Diag.t) -> d.Rina_check.Diag.code)
+       (Sanitizer.audit_link l));
+  Sanitizer.disable ();
+  let bh_drops =
+    List.filter
+      (fun (ev : Flight.event) ->
+        ev.Flight.kind = Flight.Pdu_dropped Flight.R_blackhole)
+      (Trace.typed_events tr)
+  in
+  check Alcotest.int "R_blackhole drops traced" c.Link.blackholed
+    (List.length bh_drops)
+
 let () =
   Alcotest.run "rina_sim"
     [
@@ -617,5 +726,16 @@ let () =
           Alcotest.test_case "jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
           Alcotest.test_case "span join out of order" `Quick test_trace_span_join_out_of_order;
           Alcotest.test_case "2-DIF relay span tree" `Quick test_trace_relay_span_tree;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "plan events sorted + replayable" `Quick
+            test_fault_events_sorted_and_replayable;
+          Alcotest.test_case "window rejects empty interval" `Quick
+            test_fault_window_rejects_empty;
+          Alcotest.test_case "arm fires on schedule" `Quick
+            test_fault_arm_fires_on_schedule;
+          Alcotest.test_case "blackhole conservation" `Quick
+            test_fault_blackhole_conservation;
         ] );
     ]

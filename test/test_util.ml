@@ -464,6 +464,59 @@ let test_flight_json_garbage () =
 
 (* ---------- Table ---------- *)
 
+(* ---------- Backoff ---------- *)
+
+let test_backoff_doubles_and_caps () =
+  let b = Rina_util.Backoff.make ~base:0.5 ~cap:3.0 () in
+  check (Alcotest.float 1e-9) "1st" 0.5 (Rina_util.Backoff.next b);
+  check (Alcotest.float 1e-9) "2nd" 1.0 (Rina_util.Backoff.next b);
+  check (Alcotest.float 1e-9) "3rd" 2.0 (Rina_util.Backoff.next b);
+  check (Alcotest.float 1e-9) "capped" 3.0 (Rina_util.Backoff.next b);
+  check (Alcotest.float 1e-9) "stays capped" 3.0 (Rina_util.Backoff.next b);
+  check Alcotest.int "attempts counted" 5 (Rina_util.Backoff.attempt b);
+  Rina_util.Backoff.reset b;
+  check Alcotest.int "reset" 0 (Rina_util.Backoff.attempt b);
+  check (Alcotest.float 1e-9) "base again" 0.5 (Rina_util.Backoff.next b)
+
+let test_backoff_delay_for_matches_next () =
+  let b = Rina_util.Backoff.make ~base:0.25 () in
+  for n = 0 to 9 do
+    check (Alcotest.float 1e-9)
+      (Printf.sprintf "delay_for %d" n)
+      (Rina_util.Backoff.next b)
+      (Rina_util.Backoff.delay_for ~base:0.25 n)
+  done
+
+let test_backoff_jitter_bounds () =
+  let rng = Prng.create 7 in
+  for n = 0 to 20 do
+    let full = Rina_util.Backoff.delay_for ~base:0.1 ~cap:5.0 n in
+    let d = Rina_util.Backoff.delay_for ~rng ~base:0.1 ~cap:5.0 n in
+    Alcotest.(check bool)
+      (Printf.sprintf "jitter in [d/2, d] at %d" n)
+      true
+      (d >= (full /. 2.) -. 1e-12 && d <= full +. 1e-12)
+  done;
+  (* same seed, same stream: deterministic *)
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for n = 0 to 10 do
+    check (Alcotest.float 1e-12)
+      (Printf.sprintf "replay %d" n)
+      (Rina_util.Backoff.delay_for ~rng:a ~base:0.3 n)
+      (Rina_util.Backoff.delay_for ~rng:b ~base:0.3 n)
+  done
+
+let test_backoff_rejects_bad_args () =
+  Alcotest.check_raises "base <= 0"
+    (Invalid_argument "Backoff: base must be positive") (fun () ->
+      ignore (Rina_util.Backoff.make ~base:0. ()));
+  Alcotest.check_raises "cap < base"
+    (Invalid_argument "Backoff: cap must be >= base") (fun () ->
+      ignore (Rina_util.Backoff.make ~base:2.0 ~cap:1.0 ()));
+  Alcotest.check_raises "negative attempt"
+    (Invalid_argument "Backoff.delay_for: negative attempt") (fun () ->
+      ignore (Rina_util.Backoff.delay_for ~base:1.0 (-1)))
+
 let test_table () =
   let t = Table.create ~title:"T" ~columns:[ "x"; "y" ] in
   Table.add_row t [ "1"; "2" ];
@@ -533,6 +586,16 @@ let () =
           Alcotest.test_case "token bucket" `Quick test_token_bucket;
           Alcotest.test_case "metrics" `Quick test_metrics;
           Alcotest.test_case "table" `Quick test_table;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "doubles and caps" `Quick
+            test_backoff_doubles_and_caps;
+          Alcotest.test_case "delay_for matches next" `Quick
+            test_backoff_delay_for_matches_next;
+          Alcotest.test_case "jitter bounds" `Quick test_backoff_jitter_bounds;
+          Alcotest.test_case "rejects bad args" `Quick
+            test_backoff_rejects_bad_args;
         ] );
       ( "flight",
         [
