@@ -4,7 +4,7 @@
    trajectory is machine-readable across commits:
 
    - the disabled path: every instrumented site costs one ref load and
-     one branch ([if !Flight.enabled then ...]) — measured per event to
+     one branch ([if Flight.enabled () then ...]) — measured per event to
      show that tracing off is free;
    - the enabled path: full event construction + sink call (a counting
      sink, so the numbers are emission cost, not buffer growth);
@@ -18,7 +18,7 @@ module Link = Rina_sim.Link
 
 (* The representative emission site: guard, span computation, emit. *)
 let[@inline never] emission_site i =
-  if !Flight.enabled then
+  if Flight.enabled () then
     Flight.emit ~component:"bench" ~flow:7 ~seq:i ~size:1400
       ~span:(Flight.span_of ~flow:7 ~seq:i) Flight.Pdu_sent
 
@@ -60,8 +60,8 @@ let run () =
   let ns_disabled = 1e9 *. time_per_call emission_site in
   let scenario_disabled = scenario () in
   let count = ref 0 in
-  Flight.sink := (fun _ -> incr count);
-  Flight.enabled := true;
+  Flight.set_sink (fun _ -> incr count);
+  Flight.set_enabled true;
   let ns_enabled = 1e9 *. time_per_call emission_site in
   let scenario_enabled = scenario () in
   Rina_sim.Trace.detach ();

@@ -307,6 +307,27 @@ let consistency sc (base : Policy.t) topo =
          "enroll_retries = 0: a single lost enrollment exchange stalls joining \
           until the next hello"
          ~hint:"allow at least one backoff retry");
+  (* L114: timer pressure.  Each periodic timer class fires about
+     1/period times per simulated second (hellos and keepalives per
+     adjacency, delayed acks per flow, and the retransmission timer at
+     worst every min_rto).  A policy whose periods sum past ~10k
+     events/s floods the event loop with timer churn and slows every
+     experiment that uses it. *)
+  let rate p = if p > 0. then 1. /. p else 0. in
+  let timer_load =
+    rate hello +. rate keepalive +. rate ack_delay +. rate min_rto
+  in
+  if timer_load > 10_000. then
+    emit sc
+      (Diag.warning
+         ~line:(at [ ln_hello; ln_ka; ln_ack; ln_mrto ]) "L114"
+         (Printf.sprintf
+            "timer settings schedule ~%.0f timer events per simulated second \
+             (hello %g s, keepalive %g s, ack_delay %g s, min_rto %g s)"
+            timer_load hello keepalive ack_delay min_rto)
+         ~hint:
+           "raise the shortest period(s); sub-millisecond timers dominate the \
+            event loop (use --strict to make this failing)");
   match topo with
   | None -> ()
   | Some { diameter; bottleneck_bit_rate; rtt } ->

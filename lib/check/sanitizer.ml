@@ -6,7 +6,7 @@ let enable () =
 
 let disable () = Invariant.set_enabled false
 
-let enabled () = !Invariant.enabled
+let enabled () = Invariant.enabled ()
 
 let reset () = Invariant.clear ()
 

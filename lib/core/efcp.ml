@@ -130,18 +130,20 @@ let rec arm_rto_timer t =
   cancel_timer t.rto_timer;
   t.rto_timer <- None;
   if reliable t && in_flight t > 0 && not t.closed then begin
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
         Flight.Timer_set;
     t.rto_timer <-
-      Some (Rina_sim.Engine.schedule t.engine ~delay:t.rto (fun () -> on_rto t))
+      Some
+        (Rina_sim.Engine.schedule ~lane:Rina_sim.Engine.Timer t.engine
+           ~delay:t.rto (fun () -> on_rto t))
   end
 
 and on_rto t =
   if t.closed || t.errored then ()
   else begin
     Rina_util.Metrics.incr t.metrics "rto_fired";
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
         Flight.Timer_fired;
     t.rto <- Float.min max_rto (2. *. t.rto);
@@ -170,7 +172,7 @@ and retransmit_seq t seq =
       u.retries <- u.retries + 1;
       u.sent_at <- Rina_sim.Engine.now t.engine;
       Rina_util.Metrics.incr t.metrics "pdus_rtx";
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_tx t seq (Bytes.length u.payload) Flight.Retransmit;
       t.send_pdu (dtp_pdu t seq u.payload)
     end
@@ -182,7 +184,7 @@ let transmit t payload =
     Hashtbl.replace t.retx seq
       { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0 };
   Rina_util.Metrics.incr t.metrics "pdus_sent";
-  if !Flight.enabled then flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
+  if Flight.enabled () then flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
   t.send_pdu (dtp_pdu t seq payload);
   if t.rto_timer = None then arm_rto_timer t
 
@@ -237,7 +239,8 @@ let schedule_ack t =
     | None ->
       t.ack_timer <-
         Some
-          (Rina_sim.Engine.schedule t.engine ~delay:t.config.Policy.ack_delay
+          (Rina_sim.Engine.schedule ~lane:Rina_sim.Engine.Timer t.engine
+             ~delay:t.config.Policy.ack_delay
              (fun () ->
                t.ack_timer <- None;
                if not t.closed then send_ack_now t))
@@ -251,7 +254,7 @@ let deliver_in_sequence t =
       Hashtbl.remove t.ooo seq;
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_rx t seq (Bytes.length payload) Flight.Pdu_recvd;
       t.deliver payload
     | None -> continue := false
@@ -261,7 +264,7 @@ let handle_dtp t (pdu : Pdu.t) =
   if reliable t then begin
     if pdu.Pdu.seq < t.rcv_next || Hashtbl.mem t.ooo pdu.Pdu.seq then begin
       Rina_util.Metrics.incr t.metrics "dup_rcvd";
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_rx t pdu.Pdu.seq
           (Bytes.length pdu.Pdu.payload)
           (Flight.Pdu_dropped Flight.R_duplicate)
@@ -269,7 +272,7 @@ let handle_dtp t (pdu : Pdu.t) =
     else if pdu.Pdu.seq = t.rcv_next then begin
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
       t.deliver pdu.Pdu.payload;
       deliver_in_sequence t
@@ -285,7 +288,7 @@ let handle_dtp t (pdu : Pdu.t) =
         else Rina_util.Metrics.incr t.metrics "ooo_overflow"
       | Policy.Go_back_n | Policy.No_rtx ->
         Rina_util.Metrics.incr t.metrics "gbn_discards";
-        if !Flight.enabled then
+        if Flight.enabled () then
           flight_rx t pdu.Pdu.seq
             (Bytes.length pdu.Pdu.payload)
             (Flight.Pdu_dropped (Flight.R_other "gbn_discard"))
@@ -298,7 +301,7 @@ let handle_dtp t (pdu : Pdu.t) =
     (* Unreliable: deliver subject only to the ordering constraint. *)
     if t.in_order && pdu.Pdu.seq <= t.highest_delivered then begin
       Rina_util.Metrics.incr t.metrics "stale_dropped";
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_rx t pdu.Pdu.seq
           (Bytes.length pdu.Pdu.payload)
           (Flight.Pdu_dropped Flight.R_stale)
@@ -306,7 +309,7 @@ let handle_dtp t (pdu : Pdu.t) =
     else begin
       t.highest_delivered <- max t.highest_delivered pdu.Pdu.seq;
       Rina_util.Metrics.incr t.metrics "delivered";
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
       t.deliver pdu.Pdu.payload
     end
@@ -415,7 +418,7 @@ let handle_pdu t (pdu : Pdu.t) =
      | Pdu.Dtp -> handle_dtp t pdu
      | Pdu.Ack -> handle_ack t pdu
      | Pdu.Mgmt | Pdu.Hello -> Rina_util.Metrics.incr t.metrics "foreign_pdus");
-    if !Rina_util.Invariant.enabled then check_invariants t
+    if Rina_util.Invariant.enabled () then check_invariants t
   end
 
 let debug t =

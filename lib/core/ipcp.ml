@@ -279,7 +279,7 @@ let port_to_peer t peer =
     | Some _ ->
       (* Previous point of attachment died: local failover, no routing
          update needed beyond this hop. *)
-      if !Flight.enabled then
+      if Flight.enabled () then
         Flight.emit ~component:(flight_comp t) ~flow:peer ~rank:t.rank
           Flight.Handoff;
       Metrics.incr t.metrics "local_reroute";
@@ -302,14 +302,14 @@ let mgmt_pdu t ~dst msg =
 
 let send_mgmt t ~dst msg =
   Metrics.incr t.metrics "mgmt_tx";
-  if !Flight.enabled then
+  if Flight.enabled () then
     Flight.emit ~component:(flight_comp t) ~rank:t.rank
       (Flight.Custom ("riep_tx:" ^ Riep.trace_label msg));
   Rmt.send t.rmt (mgmt_pdu t ~dst msg)
 
 let send_mgmt_on_port t ~port msg =
   Metrics.incr t.metrics "mgmt_tx";
-  if !Flight.enabled then
+  if Flight.enabled () then
     Flight.emit ~component:(flight_comp t) ~rank:t.rank
       (Flight.Custom ("riep_tx:" ^ Riep.trace_label msg));
   Rmt.send_on_port t.rmt port (mgmt_pdu t ~dst:Types.no_address msg)
@@ -674,7 +674,7 @@ let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
   let on_error reason =
     Metrics.incr t.metrics "flow_errors";
     trace t ("flow_error:" ^ reason);
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:(flight_comp t) ~flow:local_cep ~rank:t.rank
         (Flight.Custom "flow_abort");
     (* Abort: tear the local endpoint down and surface the reason to
@@ -745,7 +745,7 @@ let flow_of_state t fs =
       (fun sdu ->
         (* The delimiting boundary: one event per application SDU,
            before fragmentation assigns per-PDU spans downstream. *)
-        if !Flight.enabled then
+        if Flight.enabled () then
           Flight.emit ~component:(flight_comp t) ~flow:fs.fs_local_cep
             ~rank:t.rank ~size:(Bytes.length sdu) (Flight.Custom "sdu");
         List.iter (fun frag -> Efcp.send fs.fs_efcp frag)
@@ -953,7 +953,7 @@ let declare_peer_dead t np =
   let dead = np.np_peer in
   Metrics.incr t.metrics "peer_declared_dead";
   trace t (Printf.sprintf "peer_dead:%d" dead);
-  if !Flight.enabled then
+  if Flight.enabled () then
     Flight.emit ~component:(flight_comp t) ~flow:dead ~rank:t.rank
       (Flight.Custom "peer_dead");
   np.np_peer <- 0;
@@ -991,15 +991,15 @@ let rec keepalive_tick t =
            end)
        t.nports);
   ignore
-    (Engine.schedule t.engine ~delay:(keepalive_interval t) (fun () ->
-         keepalive_tick t))
+    (Engine.schedule ~lane:Engine.Timer t.engine ~delay:(keepalive_interval t)
+       (fun () -> keepalive_tick t))
 
 let handle_mgmt t from_port (pdu : Pdu.t) =
   match Riep.decode pdu.Pdu.payload with
   | Error _ -> Metrics.incr t.metrics "bad_mgmt"
   | Ok msg -> (
     Metrics.incr t.metrics "mgmt_rx";
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:(flight_comp t) ~rank:t.rank
         (Flight.Custom ("riep_rx:" ^ Riep.trace_label msg));
     match (msg.Riep.opcode, msg.Riep.obj_class) with
@@ -1118,8 +1118,9 @@ let rec hello_tick t =
     age_lsdb t
   end;
   ignore
-    (Engine.schedule t.engine ~delay:t.policy.Policy.routing.Policy.hello_interval
-       (fun () -> hello_tick t))
+    (Engine.schedule ~lane:Engine.Timer t.engine
+       ~delay:t.policy.Policy.routing.Policy.hello_interval (fun () ->
+         hello_tick t))
 
 (* ---------- construction ---------- *)
 
@@ -1189,12 +1190,13 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
           | Some q -> min 6 q.Qos.priority
           | None -> 0)));
   ignore
-    (Engine.schedule t.engine ~delay:t.policy.Policy.routing.Policy.hello_interval
-       (fun () -> hello_tick t));
+    (Engine.schedule ~lane:Engine.Timer t.engine
+       ~delay:t.policy.Policy.routing.Policy.hello_interval (fun () ->
+         hello_tick t));
   if keepalive_interval t > 0. then
     ignore
-      (Engine.schedule t.engine ~delay:(keepalive_interval t) (fun () ->
-           keepalive_tick t));
+      (Engine.schedule ~lane:Engine.Timer t.engine
+         ~delay:(keepalive_interval t) (fun () -> keepalive_tick t));
   t
 
 let bootstrap t =
@@ -1294,7 +1296,7 @@ let crash t =
     t.up <- false;
     trace t "crash";
     Metrics.incr t.metrics "crashes";
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:(flight_comp t) ~rank:t.rank (Flight.Custom "crash");
     let flows = Hashtbl.fold (fun _ fs acc -> fs :: acc) t.flows [] in
     List.iter (fun fs -> close_flow_state t fs ~notify_peer:false) flows;
@@ -1327,7 +1329,7 @@ let restart t =
     t.up <- true;
     trace t "restart";
     Metrics.incr t.metrics "restarts";
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:(flight_comp t) ~rank:t.rank
         (Flight.Custom "restart");
     t.auto_enroll <- true;

@@ -49,66 +49,132 @@ let type_of_code = function
   | 3 -> Ok Hello
   | n -> Error (Printf.sprintf "unknown PDU type code %d" n)
 
-let encode t =
-  let module W = Rina_util.Codec.Writer in
-  let w = W.create () in
-  W.u8 w version;
-  W.u8 w (type_code t.pdu_type);
-  W.u32 w t.dst_addr;
-  W.u32 w t.src_addr;
-  W.u32 w t.dst_cep;
-  W.u32 w t.src_cep;
-  W.u16 w t.qos_id;
-  W.u32 w t.seq;
-  W.u32 w t.ack;
-  W.u32 w t.window;
-  W.u8 w t.ttl;
-  W.u8 w t.flags;
-  W.bytes w t.payload;
-  W.contents w
+(* Fixed wire offsets (big-endian, same layout the codec-based encoder
+   produced): version(0) type(1) dst_addr(2) src_addr(6) dst_cep(10)
+   src_cep(14) qos_id(18,u16) seq(20) ack(24) window(28) ttl(32,u8)
+   flags(33,u8) payload_len(34,u32) payload(38..). *)
+let off_dst_addr = 2
+
+let off_dst_cep = 10
+
+let off_qos_id = 18
+
+let off_seq = 20
+
+let ttl_offset = 32
+
+let off_payload_len = 34
 
 (* version + type + 4 addr/cep words + qos + seq + ack + window + ttl +
    flags + payload length prefix *)
 let header_size = 1 + 1 + (4 * 4) + 2 + 4 + 4 + 4 + 1 + 1 + 4
 
-let decode frame =
-  let module R = Rina_util.Codec.Reader in
-  try
-    let r = R.create frame in
-    let v = R.u8 r in
+let encoded_size t = header_size + Bytes.length t.payload
+
+let check_u8 what v =
+  if v < 0 || v > 0xFF then invalid_arg ("Pdu.encode: " ^ what ^ " out of range")
+
+let check_u16 what v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg ("Pdu.encode: " ^ what ^ " out of range")
+
+let check_u32 what v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg ("Pdu.encode: " ^ what ^ " out of range")
+
+(* Write the whole PDU into [b] starting at offset 0.  [b] may be
+   longer than [encoded_size] (room for an SDU-protection trailer). *)
+let write b t =
+  check_u32 "dst_addr" t.dst_addr;
+  check_u32 "src_addr" t.src_addr;
+  check_u32 "dst_cep" t.dst_cep;
+  check_u32 "src_cep" t.src_cep;
+  check_u16 "qos_id" t.qos_id;
+  check_u32 "seq" t.seq;
+  check_u32 "ack" t.ack;
+  check_u32 "window" t.window;
+  check_u8 "ttl" t.ttl;
+  check_u8 "flags" t.flags;
+  Bytes.set_uint8 b 0 version;
+  Bytes.set_uint8 b 1 (type_code t.pdu_type);
+  Bytes.set_int32_be b off_dst_addr (Int32.of_int t.dst_addr);
+  Bytes.set_int32_be b 6 (Int32.of_int t.src_addr);
+  Bytes.set_int32_be b off_dst_cep (Int32.of_int t.dst_cep);
+  Bytes.set_int32_be b 14 (Int32.of_int t.src_cep);
+  Bytes.set_uint16_be b off_qos_id t.qos_id;
+  Bytes.set_int32_be b off_seq (Int32.of_int t.seq);
+  Bytes.set_int32_be b 24 (Int32.of_int t.ack);
+  Bytes.set_int32_be b 28 (Int32.of_int t.window);
+  Bytes.set_uint8 b ttl_offset t.ttl;
+  Bytes.set_uint8 b 33 t.flags;
+  Bytes.set_int32_be b off_payload_len (Int32.of_int (Bytes.length t.payload));
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload)
+
+let encode t =
+  let b = Bytes.create (encoded_size t) in
+  write b t;
+  b
+
+(* Encode straight into a protected frame: one allocation for header +
+   payload + CRC trailer, where encode-then-protect costs two buffers
+   and an extra full copy. *)
+let encode_frame t =
+  let n = encoded_size t in
+  let b = Bytes.create (n + Sdu_protection.overhead) in
+  write b t;
+  Bytes.set_int32_be b n (Int32.of_int (Sdu_protection.crc32_sub b ~pos:0 ~len:n));
+  b
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(* Decode the PDU occupying [b.(0 .. len-1)] — [b] itself may be a
+   longer buffer (a protected frame whose trailer is excluded via
+   [len]).  [with_payload:false] skips the payload copy and leaves
+   [payload = Bytes.empty]: enough for every relay decision
+   (forwarding, classification, ingress filtering all read header
+   fields only), made explicit by the two wrappers below. *)
+let decode_at b ~len ~with_payload =
+  if len < 1 then Error "truncated PDU: missing version byte"
+  else
+    let v = Bytes.get_uint8 b 0 in
     if v <> version then Error (Printf.sprintf "unsupported PDU version %d" v)
+    else if len < 2 then Error "truncated PDU: missing type byte"
     else
-      match type_of_code (R.u8 r) with
+      match type_of_code (Bytes.get_uint8 b 1) with
       | Error _ as e -> e
       | Ok pdu_type ->
-        let dst_addr = R.u32 r in
-        let src_addr = R.u32 r in
-        let dst_cep = R.u32 r in
-        let src_cep = R.u32 r in
-        let qos_id = R.u16 r in
-        let seq = R.u32 r in
-        let ack = R.u32 r in
-        let window = R.u32 r in
-        let ttl = R.u8 r in
-        let flags = R.u8 r in
-        let payload = R.bytes r in
-        R.expect_end r;
-        Ok
-          {
-            pdu_type;
-            dst_addr;
-            src_addr;
-            dst_cep;
-            src_cep;
-            qos_id;
-            seq;
-            ack;
-            window;
-            ttl;
-            flags;
-            payload;
-          }
-  with R.Decode_error msg -> Error msg
+        if len < header_size then Error "truncated PDU header"
+        else
+          let plen = get_u32 b off_payload_len in
+          if header_size + plen > len then Error "truncated PDU payload"
+          else if header_size + plen < len then
+            Error
+              (Printf.sprintf "%d trailing bytes after PDU"
+                 (len - header_size - plen))
+          else
+            Ok
+              {
+                pdu_type;
+                dst_addr = get_u32 b off_dst_addr;
+                src_addr = get_u32 b 6;
+                dst_cep = get_u32 b off_dst_cep;
+                src_cep = get_u32 b 14;
+                qos_id = Bytes.get_uint16_be b off_qos_id;
+                seq = get_u32 b off_seq;
+                ack = get_u32 b 24;
+                window = get_u32 b 28;
+                ttl = Bytes.get_uint8 b ttl_offset;
+                flags = Bytes.get_uint8 b 33;
+                payload =
+                  (if with_payload then Bytes.sub b header_size plen
+                   else Bytes.empty);
+              }
+
+let decode_sub b ~len = decode_at b ~len ~with_payload:true
+
+let decode_header b ~len = decode_at b ~len ~with_payload:false
+
+let decode frame = decode_sub frame ~len:(Bytes.length frame)
 
 let pp fmt t =
   let kind =
@@ -129,3 +195,22 @@ let span t =
   match t.pdu_type with
   | Dtp -> Rina_util.Flight.span_of ~flow:(flow_key t) ~seq:t.seq
   | Ack | Mgmt | Hello -> 0
+
+(* Header-field accessors that read straight out of an encoded frame —
+   the relay data path never materialises a record just to pick a
+   queue or tag a flight event.  Callers must have verified the frame
+   first ([Sdu_protection.verify_len]), so offsets are in range. *)
+module Peek = struct
+  let dst_addr b = get_u32 b off_dst_addr
+
+  let dst_cep b = get_u32 b off_dst_cep
+
+  let seq b = get_u32 b off_seq
+
+  let span b =
+    if Bytes.get_uint8 b 1 = 0 (* Dtp *) then
+      Rina_util.Flight.span_of
+        ~flow:((dst_addr b lsl 16) lor (dst_cep b land 0xFFFF))
+        ~seq:(seq b)
+    else 0
+end

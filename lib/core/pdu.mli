@@ -55,11 +55,46 @@ val make :
 val encode : t -> bytes
 (** Wire form, including a version byte. *)
 
+val encode_frame : t -> bytes
+(** Wire form with the {!Sdu_protection} trailer already appended, in
+    a single allocation — what a sending EFCP hands to the RMT, valid
+    to put on an (N-1) channel as-is. *)
+
 val decode : bytes -> (t, string) result
 (** Parse a wire frame; [Error] describes the first malformation. *)
 
+val decode_sub : bytes -> len:int -> (t, string) result
+(** Like {!decode} but parses only the first [len] bytes of the
+    buffer, so a protected frame can be decoded in place without
+    copying the body out of it first. *)
+
+val decode_header : bytes -> len:int -> (t, string) result
+(** Like {!decode_sub} but leaves [payload = Bytes.empty] instead of
+    copying it — sufficient for relay decisions, which read header
+    fields only. *)
+
 val header_size : int
 (** Bytes of overhead [encode] adds on top of the payload. *)
+
+val encoded_size : t -> int
+(** [header_size + Bytes.length payload]. *)
+
+val ttl_offset : int
+(** Byte offset of the TTL field in the wire form — a relay decrements
+    it in place in a copied frame rather than re-encoding the PDU. *)
+
+(** Read individual header fields straight out of an encoded frame
+    (which must have passed [Sdu_protection.verify_len]). *)
+module Peek : sig
+  val dst_addr : bytes -> int
+
+  val dst_cep : bytes -> int
+
+  val seq : bytes -> int
+
+  val span : bytes -> int
+  (** Flight-recorder trace id, equal to {!span} of the decoded PDU. *)
+end
 
 val pp : Format.formatter -> t -> unit
 

@@ -26,7 +26,7 @@ let notify t event path value =
    relative, empty or slash-doubled path would silently partition the
    namespace ([children] and prefix watchers could never see it). *)
 let write t path value =
-  (if !Rina_util.Invariant.enabled then
+  (if Rina_util.Invariant.enabled () then
      let len = String.length path in
      let rec has_double i =
        i + 1 < len && ((path.[i] = '/' && path.[i + 1] = '/') || has_double (i + 1))
@@ -35,7 +35,7 @@ let write t path value =
        Rina_util.Invariant.record ~code:"SAN_RIB_PATH"
          (Printf.sprintf "malformed RIB object name %S" path));
   let event = if Hashtbl.mem t.objects path then Updated else Created in
-  if !Rina_util.Flight.enabled then
+  if Rina_util.Flight.enabled () then
     Rina_util.Flight.emit ~component:"rib" (Rina_util.Flight.Custom "rib_write");
   Hashtbl.replace t.objects path value;
   notify t event path (Some value)
@@ -50,7 +50,7 @@ let read_str t path =
 
 let delete t path =
   if Hashtbl.mem t.objects path then begin
-    if !Rina_util.Flight.enabled then
+    if Rina_util.Flight.enabled () then
       Rina_util.Flight.emit ~component:"rib"
         (Rina_util.Flight.Custom "rib_delete");
     Hashtbl.remove t.objects path;

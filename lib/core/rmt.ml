@@ -2,11 +2,17 @@ let num_classes = 8
 
 let queue_capacity = 256
 
+(* The data path carries encoded, SDU-protected frames end to end: a
+   PDU is serialised once (at [send]/[send_on_port]) and a relay hop
+   copies the frame, patches the TTL byte and re-seals the trailer —
+   it never re-encodes.  Header fields needed along the way are read
+   in place ([Pdu.decode_header], [Pdu.Peek]); the payload is copied
+   out only at the destination. *)
 type port = {
   id : Types.port_id;
   chan : Rina_sim.Chan.t;
   rate : float option;
-  queues : Pdu.t Queue.t array;  (* one per scheduling class *)
+  queues : bytes Queue.t array;  (* protected frames, one q per class *)
   deficits : float array;        (* DRR state *)
   mutable rr_class : int;        (* DRR scan position *)
   mutable busy : bool;           (* a departure is scheduled *)
@@ -53,13 +59,13 @@ let set_ingress_filter t f = t.ingress_filter <- f
 
 let metrics t = t.metrics
 
-let frame_of_pdu pdu = Sdu_protection.protect (Pdu.encode pdu)
-
 (* Flight-recorder emissions; [Flight.enabled] is checked at every call
    site so the disabled path allocates nothing.  The component names
    the relay instance ("label@address"), and the span id is recomputed
-   from the decoded PDU so relay events join the end-to-end EFCP
-   events. *)
+   from the PDU header so relay events join the end-to-end EFCP
+   events.  [flight_frame] reads the fields straight out of the frame;
+   it reports the same flow/seq/span/size as [flight_pdu] on the
+   decoded equivalent (size = encoded PDU length, trailer excluded). *)
 module Flight = Rina_util.Flight
 
 let flight_pdu t (pdu : Pdu.t) kind =
@@ -69,12 +75,19 @@ let flight_pdu t (pdu : Pdu.t) kind =
     ~size:(Pdu.header_size + Bytes.length pdu.Pdu.payload)
     ~span:(Pdu.span pdu) kind
 
-let transmit_now t port pdu =
-  Rina_util.Metrics.incr t.metrics "sent";
-  if !Flight.enabled then flight_pdu t pdu Flight.Pdu_sent;
-  port.chan.Rina_sim.Chan.send (frame_of_pdu pdu)
+let flight_frame t frame kind =
+  Flight.emit
+    ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+    ~flow:(Pdu.Peek.dst_cep frame) ~rank:t.rank ~seq:(Pdu.Peek.seq frame)
+    ~size:(Bytes.length frame - Sdu_protection.overhead)
+    ~span:(Pdu.Peek.span frame) kind
 
-(* Pick the next PDU to serve on a shaped port according to the
+let transmit_now t port frame =
+  Rina_util.Metrics.incr t.metrics "sent";
+  if Flight.enabled () then flight_frame t frame Flight.Pdu_sent;
+  port.chan.Rina_sim.Chan.send frame
+
+(* Pick the next frame to serve on a shaped port according to the
    scheduler policy; [None] when all queues are empty. *)
 let pick_next t port =
   match t.scheduler with
@@ -114,7 +127,9 @@ let pick_next t port =
           advance ()
         end
         else begin
-          let size = Bytes.length (Pdu.encode (Queue.peek q)) in
+          (* DRR accounts PDU bytes (trailer excluded), as before the
+             queues carried frames. *)
+          let size = Bytes.length (Queue.peek q) - Sdu_protection.overhead in
           if port.deficits.(cls) >= float_of_int size then begin
             port.deficits.(cls) <- port.deficits.(cls) -. float_of_int size;
             result := Some (Queue.pop q)
@@ -129,44 +144,48 @@ let rec serve t port rate =
   if not port.busy then
     match pick_next t port with
     | None -> ()
-    | Some pdu ->
-      if !Flight.enabled then flight_pdu t pdu Flight.Dequeued;
+    | Some frame ->
+      if Flight.enabled () then flight_frame t frame Flight.Dequeued;
       port.busy <- true;
-      let size = Bytes.length (frame_of_pdu pdu) in
+      let size = Bytes.length frame in
       let tx_time = float_of_int (8 * size) /. rate in
-      transmit_now t port pdu;
+      transmit_now t port frame;
       ignore
         (Rina_sim.Engine.schedule t.engine ~delay:tx_time (fun () ->
              port.busy <- false;
              serve t port rate))
 
-let enqueue t port pdu =
+(* [hdr] is the frame's decoded header — classification reads fields,
+   never the payload. *)
+let enqueue t port ~hdr frame =
   match port.rate with
-  | None -> transmit_now t port pdu
+  | None -> transmit_now t port frame
   | Some rate ->
-    let cls = max 0 (min (num_classes - 1) (t.classify pdu)) in
+    let cls = max 0 (min (num_classes - 1) (t.classify hdr)) in
     if Queue.length port.queues.(cls) >= queue_capacity then begin
-      if !Flight.enabled then
-        flight_pdu t pdu (Flight.Pdu_dropped Flight.R_queue_full);
+      if Flight.enabled () then
+        flight_frame t frame (Flight.Pdu_dropped Flight.R_queue_full);
       Rina_util.Metrics.incr t.metrics "queue_dropped"
     end
     else begin
-      if !Flight.enabled then flight_pdu t pdu Flight.Enqueued;
-      Queue.push pdu port.queues.(cls);
+      if Flight.enabled () then flight_frame t frame Flight.Enqueued;
+      Queue.push frame port.queues.(cls);
       serve t port rate
     end
 
 let deliver_up t from_port pdu =
   Rina_util.Metrics.incr t.metrics "delivered_up";
-  if !Flight.enabled then flight_pdu t pdu Flight.Pdu_recvd;
+  if Flight.enabled () then flight_pdu t pdu Flight.Pdu_recvd;
   t.deliver from_port pdu
 
+(* Locally originated PDUs ([send]): route, then encode exactly once —
+   the frame the destination verifies is the one built here. *)
 let relay_or_deliver t from_port pdu =
   let own = t.own_address () in
   if pdu.Pdu.dst_addr = own || pdu.Pdu.dst_addr = Types.no_address then
     deliver_up t from_port pdu
   else if pdu.Pdu.ttl <= 1 then begin
-    if !Flight.enabled then
+    if Flight.enabled () then
       flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ttl_expired);
     Rina_util.Metrics.incr t.metrics "ttl_expired"
   end
@@ -174,44 +193,79 @@ let relay_or_deliver t from_port pdu =
     let pdu = { pdu with Pdu.ttl = pdu.Pdu.ttl - 1 } in
     match t.forwarding pdu with
     | None ->
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
       Rina_util.Metrics.incr t.metrics "no_route"
     | Some port_id -> (
       match Hashtbl.find_opt t.ports port_id with
       | None ->
-        if !Flight.enabled then
+        if Flight.enabled () then
           flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
         Rina_util.Metrics.incr t.metrics "no_route"
       | Some port ->
         (if from_port <> None then Rina_util.Metrics.incr t.metrics "relayed");
-        enqueue t port pdu)
+        enqueue t port ~hdr:pdu (Pdu.encode_frame pdu))
   end
 
-let on_frame t port_id frame =
-  match Sdu_protection.verify frame with
+(* A transit frame: copy, decrement the TTL byte in place, re-seal the
+   trailer.  No decode/encode round trip. *)
+let relay_frame t ~hdr frame =
+  let hdr = { hdr with Pdu.ttl = hdr.Pdu.ttl - 1 } in
+  match t.forwarding hdr with
   | None ->
-    if !Flight.enabled then
+    if Flight.enabled () then
+      flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
+    Rina_util.Metrics.incr t.metrics "no_route"
+  | Some port_id -> (
+    match Hashtbl.find_opt t.ports port_id with
+    | None ->
+      if Flight.enabled () then
+        flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
+      Rina_util.Metrics.incr t.metrics "no_route"
+    | Some port ->
+      Rina_util.Metrics.incr t.metrics "relayed";
+      let frame = Bytes.copy frame in
+      Bytes.set_uint8 frame Pdu.ttl_offset hdr.Pdu.ttl;
+      Sdu_protection.seal frame;
+      enqueue t port ~hdr frame)
+
+let on_frame t port_id frame =
+  match Sdu_protection.verify_len frame with
+  | None ->
+    if Flight.enabled () then
       Flight.emit
         ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
         ~rank:t.rank ~size:(Bytes.length frame)
         (Flight.Pdu_dropped Flight.R_crc);
     Rina_util.Metrics.incr t.metrics "crc_dropped"
-  | Some body -> (
-    match Pdu.decode body with
+  | Some body_len -> (
+    match Pdu.decode_header frame ~len:body_len with
     | Error _ ->
-      if !Flight.enabled then
+      if Flight.enabled () then
         Flight.emit
           ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
-          ~rank:t.rank ~size:(Bytes.length body)
+          ~rank:t.rank ~size:body_len
           (Flight.Pdu_dropped Flight.R_decode);
       Rina_util.Metrics.incr t.metrics "decode_dropped"
-    | Ok pdu ->
-      if t.ingress_filter port_id pdu then relay_or_deliver t (Some port_id) pdu
-      else begin
-        if !Flight.enabled then
-          flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ingress_filter);
+    | Ok hdr ->
+      if not (t.ingress_filter port_id hdr) then begin
+        if Flight.enabled () then
+          flight_frame t frame (Flight.Pdu_dropped Flight.R_ingress_filter);
         Rina_util.Metrics.incr t.metrics "ingress_dropped"
+      end
+      else begin
+        let own = t.own_address () in
+        if hdr.Pdu.dst_addr = own || hdr.Pdu.dst_addr = Types.no_address then (
+          (* Destination: the one place the payload is copied out. *)
+          match Pdu.decode_sub frame ~len:body_len with
+          | Ok pdu -> deliver_up t (Some port_id) pdu
+          | Error _ -> Rina_util.Metrics.incr t.metrics "decode_dropped")
+        else if hdr.Pdu.ttl <= 1 then begin
+          if Flight.enabled () then
+            flight_frame t frame (Flight.Pdu_dropped Flight.R_ttl_expired);
+          Rina_util.Metrics.incr t.metrics "ttl_expired"
+        end
+        else relay_frame t ~hdr frame
       end)
 
 let add_port t ?rate chan =
@@ -250,7 +304,7 @@ let send t pdu = relay_or_deliver t None pdu
 let send_on_port t port_id pdu =
   match Hashtbl.find_opt t.ports port_id with
   | None -> Rina_util.Metrics.incr t.metrics "no_route"
-  | Some port -> enqueue t port pdu
+  | Some port -> enqueue t port ~hdr:pdu (Pdu.encode_frame pdu)
 
 let queue_depth t port_id =
   match Hashtbl.find_opt t.ports port_id with

@@ -64,7 +64,7 @@ let install ?(now = 0.) t (lsa : Lsa.t) =
     Hashtbl.replace t.installed_at lsa.Lsa.origin now;
     (* An accepted LSA is a routing-state change: events carry the
        origin as the flow field and the LSA sequence number. *)
-    if !Rina_util.Flight.enabled then
+    if Rina_util.Flight.enabled () then
       Rina_util.Flight.emit ~component:"routing" ~flow:lsa.Lsa.origin
         ~seq:lsa.Lsa.seq Rina_util.Flight.Route_update;
     true

@@ -1,36 +1,48 @@
+(* The table is computed eagerly: concurrent [Lazy.force] from two
+   domains can raise [Lazy.Undefined], and parallel trial runners hit
+   this module from every worker. *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
-           else c := !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+        else c := !c lsr 1
+      done;
+      !c)
 
-let crc32 data =
-  let table = Lazy.force table in
+let crc32_sub data ~pos ~len =
   let crc = ref 0xFFFFFFFF in
-  for i = 0 to Bytes.length data - 1 do
-    let byte = Char.code (Bytes.get data i) in
-    crc := table.((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get data i) in
+    crc := Array.unsafe_get table ((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
   done;
   !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let crc32 data = crc32_sub data ~pos:0 ~len:(Bytes.length data)
 
 let overhead = 4
 
 let protect data =
-  let crc = crc32 data in
-  let out = Bytes.create (Bytes.length data + overhead) in
-  Bytes.blit data 0 out 0 (Bytes.length data);
-  Bytes.set_int32_be out (Bytes.length data) (Int32.of_int crc);
+  let n = Bytes.length data in
+  let out = Bytes.create (n + overhead) in
+  Bytes.blit data 0 out 0 n;
+  Bytes.set_int32_be out n (Int32.of_int (crc32 data));
   out
 
-let verify frame =
+let seal frame =
+  let body = Bytes.length frame - overhead in
+  Bytes.set_int32_be frame body (Int32.of_int (crc32_sub frame ~pos:0 ~len:body))
+
+let verify_len frame =
   let n = Bytes.length frame in
   if n < overhead then None
   else begin
-    let body = Bytes.sub frame 0 (n - overhead) in
-    let stored = Int32.to_int (Bytes.get_int32_be frame (n - overhead)) land 0xFFFFFFFF in
-    if crc32 body = stored then Some body else None
+    let body = n - overhead in
+    let stored = Int32.to_int (Bytes.get_int32_be frame body) land 0xFFFFFFFF in
+    if crc32_sub frame ~pos:0 ~len:body = stored then Some body else None
   end
+
+let verify frame =
+  match verify_len frame with
+  | None -> None
+  | Some body -> Some (Bytes.sub frame 0 body)

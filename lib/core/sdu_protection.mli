@@ -10,11 +10,24 @@
 val crc32 : bytes -> int
 (** CRC-32 of the whole byte string (masked to 32 bits). *)
 
+val crc32_sub : bytes -> pos:int -> len:int -> int
+(** CRC-32 of a sub-range, without copying it out. *)
+
 val protect : bytes -> bytes
 (** Append the 4-byte big-endian CRC. *)
 
+val seal : bytes -> unit
+(** Recompute the CRC of a frame's body in place and store it in the
+    trailer — for frames edited after [protect] (e.g. a relay
+    decrementing the TTL in a copied frame). *)
+
 val verify : bytes -> bytes option
 (** Check and strip the trailer; [None] if too short or corrupt. *)
+
+val verify_len : bytes -> int option
+(** Check the trailer and return the body length without copying;
+    [None] if too short or corrupt.  The hot path reads header fields
+    straight out of the frame. *)
 
 val overhead : int
 (** Bytes added by [protect]. *)

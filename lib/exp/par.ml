@@ -1,0 +1,58 @@
+(* Domain-parallel trial fan-out.
+
+   Trials are embarrassingly parallel: each one builds its own engine,
+   PRNG, metrics registries and (optionally) flight-recorder buffer, so
+   the only sharing between domains is the immutable work list and the
+   result slots.  A fixed pool of [domains] workers pulls trial indexes
+   from an atomic counter (work stealing keeps the pool busy when trial
+   durations are uneven) and writes each result into its own slot;
+   results are then read back in input order, so the caller sees output
+   identical to a sequential [Array.map] — byte-identical JSON, merged
+   metrics in seed order — no matter how the trials interleaved.
+
+   Per-run recorder/sanitizer state lives in [Domain.DLS]
+   ({!Rina_util.Flight}, {!Rina_util.Invariant}), so a trial may attach
+   tracing inside a worker without seeing another domain's buffer. *)
+
+let default_domains () =
+  let n = Domain.recommended_domain_count () in
+  if n < 1 then 1 else if n > 8 then 8 else n
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let map ?domains f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (slots.(i) <-
+            Some
+              (try Value (f items.(i))
+               with e -> Raised (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let wanted = match domains with Some d -> d | None -> default_domains () in
+    let extra = min (max 0 (wanted - 1)) (n - 1) in
+    let pool = List.init extra (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join pool;
+    (* Joining every worker happens-before these reads, so the slots
+       are published; surface the first failure in input order. *)
+    Array.map
+      (function
+        | Some (Value v) -> v
+        | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      slots
+  end
+
+let run_trials ?domains ~seeds f =
+  Array.to_list (map ?domains (fun seed -> f ~seed) (Array.of_list seeds))

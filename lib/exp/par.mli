@@ -1,0 +1,23 @@
+(** Domain-parallel trial fan-out with sequential-identical results.
+
+    A fixed pool of worker domains pulls items off an atomic counter;
+    each trial must build its own {!Rina_sim.Engine},
+    {!Rina_util.Prng}, {!Rina_util.Metrics} and (if it traces) its own
+    {!Rina_util.Flight.Buf} — recorder and sanitizer state is
+    domain-local, so concurrent trials never share a buffer.  Results
+    come back in input order: parallel output is byte-identical to a
+    sequential run over the same items. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [1..8]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f items] applies [f] to every item across [domains]
+    workers (default {!default_domains}; clamped to the item count) and
+    returns results in input order.  If any application raised, the
+    first failure in {e input} order is re-raised — deterministically,
+    regardless of domain interleaving — after all workers finish. *)
+
+val run_trials : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a list
+(** Seed-list convenience wrapper over {!map}; results in seed-list
+    order. *)

@@ -4,12 +4,25 @@
     closures at absolute or relative virtual times; [run] executes
     them in timestamp order (FIFO among equal timestamps, so runs are
     deterministic).  Everything in this repository — links, EFCP
-    timers, routing hello timers, TCP RTOs — runs on one engine. *)
+    timers, routing hello timers, TCP RTOs — runs on one engine.
+
+    The event loop is allocation-lean: popping an event boxes nothing,
+    cancelled timers are reaped in bulk once they outnumber live ones,
+    and timers scheduled on the {!Timer} lane sit in a coarse wheel
+    until they come due, so the common cancel-before-fire pattern
+    (retransmission timers on a healthy flow) never pays heap
+    maintenance.  Lane choice never affects firing order — it is a
+    performance hint only. *)
 
 type t
 
 type handle
 (** A scheduled event, usable for cancellation. *)
+
+(** Scheduling lane. [Timer] marks periodic / usually-cancelled timer
+    classes (RTO, keepalive, hello) for the wheel fast lane; [Default]
+    goes straight to the heap.  Semantics are identical. *)
+type lane = Default | Timer
 
 val create : unit -> t
 (** Fresh engine with the clock at 0.0 seconds. *)
@@ -17,12 +30,12 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time in seconds. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?lane:lane -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  A negative
     delay is clamped to zero (runs "immediately", after currently
     pending same-time events). *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> handle
+val schedule_at : ?lane:lane -> t -> time:float -> (unit -> unit) -> handle
 (** Absolute-time variant; times before [now] are clamped to [now]. *)
 
 val cancel : handle -> unit
@@ -32,6 +45,10 @@ val cancel : handle -> unit
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     reaped). *)
+
+val executed : t -> int
+(** Total events popped off the queue since [create] (cancelled events
+    included) — the denominator for per-event cost accounting. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events in order.  With [until], stops once the next event

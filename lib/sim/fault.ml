@@ -63,7 +63,7 @@ let arm t engine =
     (fun s ->
       ignore
         (Engine.schedule_at engine ~time:s.at (fun () ->
-             if !Rina_util.Flight.enabled then
+             if Rina_util.Flight.enabled () then
                Rina_util.Flight.emit ~component:"fault"
                  (Rina_util.Flight.Custom s.tag);
              s.action ())))

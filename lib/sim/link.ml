@@ -72,24 +72,24 @@ let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_l
    site (a load and a branch) rather than hoisted into helper closures,
    so the disabled path allocates nothing extra per frame. *)
 let[@inline] account_admission_drop half =
-  if !Rina_util.Invariant.enabled then begin
+  if Rina_util.Invariant.enabled () then begin
     half.conserv.injected <- half.conserv.injected + 1;
     half.conserv.dropped <- half.conserv.dropped + 1
   end
 
 let[@inline] account_late_drop half =
-  if !Rina_util.Invariant.enabled then
+  if Rina_util.Invariant.enabled () then
     half.conserv.dropped <- half.conserv.dropped + 1
 
 let[@inline] account_blackhole half =
-  if !Rina_util.Invariant.enabled then
+  if Rina_util.Invariant.enabled () then
     half.conserv.blackholed <- half.conserv.blackholed + 1
 
 (* Flight-recorder emissions follow the same per-site guard discipline
    as the conservation accounting above: frames are opaque here, so
    events carry the frame size but no span id. *)
 let[@inline] flight_drop half reason size =
-  if !Rina_util.Flight.enabled then
+  if Rina_util.Flight.enabled () then
     Rina_util.Flight.emit ~component:half.comp ~size
       (Rina_util.Flight.Pdu_dropped reason)
 
@@ -106,9 +106,9 @@ let transmit t half frame =
     Rina_util.Metrics.incr m "dropped_queue"
   end
   else begin
-    if !Rina_util.Invariant.enabled then
+    if Rina_util.Invariant.enabled () then
       half.conserv.injected <- half.conserv.injected + 1;
-    if !Rina_util.Flight.enabled then
+    if Rina_util.Flight.enabled () then
       Rina_util.Flight.emit ~component:half.comp ~size:(Bytes.length frame)
         Rina_util.Flight.Pdu_sent;
     Rina_util.Metrics.incr m "tx";
@@ -133,9 +133,9 @@ let transmit t half frame =
                ignore
                  (Engine.schedule half.engine ~delay:half.delay (fun () ->
                       if epoch = half.epoch && t.up && not t.blackhole then begin
-                        if !Rina_util.Invariant.enabled then
+                        if Rina_util.Invariant.enabled () then
                           half.conserv.delivered <- half.conserv.delivered + 1;
-                        if !Rina_util.Flight.enabled then
+                        if Rina_util.Flight.enabled () then
                           Rina_util.Flight.emit ~component:half.comp
                             ~size:(Bytes.length frame)
                             Rina_util.Flight.Pdu_recvd;

@@ -73,7 +73,7 @@ let peer_of t r =
     t.radios
 
 let[@inline] flight_drop r reason size =
-  if !Rina_util.Flight.enabled then
+  if Rina_util.Flight.enabled () then
     Rina_util.Flight.emit ~component:r.comp ~size
       (Rina_util.Flight.Pdu_dropped reason)
 
@@ -84,7 +84,7 @@ let transmit t r frame =
     Rina_util.Metrics.incr m "dropped_down"
   end
   else begin
-    if !Rina_util.Flight.enabled then
+    if Rina_util.Flight.enabled () then
       Rina_util.Flight.emit ~component:r.comp ~size:(Bytes.length frame)
         Rina_util.Flight.Pdu_sent;
     Rina_util.Metrics.incr m "tx";
@@ -105,7 +105,7 @@ let transmit t r frame =
              Rina_util.Metrics.incr m "dropped_loss"
            end
            else begin
-             if !Rina_util.Flight.enabled then
+             if Rina_util.Flight.enabled () then
                Rina_util.Flight.emit ~component:r.comp
                  ~size:(Bytes.length frame) Rina_util.Flight.Pdu_recvd;
              Rina_util.Metrics.incr m "rx";

@@ -84,23 +84,23 @@ let largest_gap t ~component ~event =
 
 let attach t =
   t.attached <- true;
-  Flight.clock := (fun () -> Engine.now t.engine);
-  (Flight.sink := fun e -> Flight.Buf.add t.buf e);
-  Flight.enabled := true
+  Flight.set_clock (fun () -> Engine.now t.engine);
+  Flight.set_sink (fun e -> Flight.Buf.add t.buf e);
+  Flight.set_enabled true
 
 let detach () =
-  Flight.enabled := false;
-  (Flight.sink := fun _ -> ());
-  Flight.clock := (fun () -> 0.)
+  Flight.set_enabled false;
+  Flight.set_sink (fun _ -> ());
+  Flight.set_clock (fun () -> 0.)
 
-let is_attached t = t.attached && !Flight.enabled
+let is_attached t = t.attached && Flight.enabled ()
 
 (* ---------- periodic probes ---------- *)
 
 let probe t ~name ~period ~until sample =
   if period <= 0. then invalid_arg "Trace.probe: period must be positive";
   let rec tick () =
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:name ~size:(sample ()) (Flight.Custom "probe");
     if Engine.now t.engine +. period <= until then
       ignore (Engine.schedule t.engine ~delay:period tick)

@@ -16,10 +16,11 @@ type t
 val create : Engine.t -> t
 
 val attach : t -> unit
-(** Turn the global flight recorder on and direct it into [t]: installs
-    the engine clock as timestamp source, [t]'s buffer as the sink and
-    sets [Flight.enabled].  The recorder is process-global — attaching
-    a second trace redirects all emission. *)
+(** Turn the flight recorder on and direct it into [t]: installs the
+    engine clock as timestamp source, [t]'s buffer as the sink and sets
+    [Flight.enabled].  The recorder is domain-global — attaching a
+    second trace in the same domain redirects all emission, while each
+    parallel-runner worker domain has its own independent recorder. *)
 
 val detach : unit -> unit
 (** Turn the flight recorder off and restore the null sink/clock.

@@ -148,7 +148,9 @@ let start node ?(period = 5.0) () =
   let rec tick () =
     ignore (expire_routes t);
     advertise_all t;
-    ignore (Rina_sim.Engine.schedule (Node.engine node) ~delay:period tick)
+    ignore
+      (Rina_sim.Engine.schedule ~lane:Rina_sim.Engine.Timer (Node.engine node)
+         ~delay:period tick)
   in
   ignore (Rina_sim.Engine.schedule (Node.engine node) ~delay:0.01 tick);
   t

@@ -51,7 +51,7 @@ let home_agent node udp ~local =
             (* A (re)registration is the mobility handoff as the home
                agent sees it: the binding for [home] moves to a new
                care-of address. *)
-            if !Flight.enabled then
+            if Flight.enabled () then
               Flight.emit
                 ~component:("ha:" ^ Node.node_name node)
                 ~flow:home ~size:care_of Flight.Handoff;
@@ -70,7 +70,7 @@ let home_agent node udp ~local =
   Node.set_forward_hook node (fun pkt ~in_if:_ ->
       match Hashtbl.find_opt t.ha_bindings pkt.Packet.dst with
       | Some care_of when pkt.Packet.proto <> Packet.P_tunnel ->
-        if !Flight.enabled then
+        if Flight.enabled () then
           Flight.emit
             ~component:("ha:" ^ Node.node_name node)
             ~flow:pkt.Packet.dst ~size:(Bytes.length pkt.Packet.payload)
@@ -105,7 +105,7 @@ let mobile node udp ~home_addr =
       match Packet.decode pkt.Packet.payload with
       | Error _ -> Metrics.incr t.m_metrics "bad_tunnel"
       | Ok inner ->
-        if !Flight.enabled then
+        if Flight.enabled () then
           Flight.emit
             ~component:("mn:" ^ Node.node_name node)
             ~flow:inner.Packet.dst ~size:(Bytes.length inner.Packet.payload)
@@ -115,11 +115,12 @@ let mobile node udp ~home_addr =
         Node.inject t.m_node inner ~in_if);
   t
 
-let next_sport = ref 40000
+(* Atomic for the same reason as [Dns.next_id]: the gensym is
+   module-global and may be hit from several trial-runner domains. *)
+let next_sport = Atomic.make 40000
 
 let register_msg t ~home_agent_addr ~care_of ~registering ~on_ack =
-  let sport = !next_sport in
-  incr next_sport;
+  let sport = Atomic.fetch_and_add next_sport 1 in
   let acked = ref false in
   Udp.listen t.m_udp ~port:sport (fun ~src:_ ~sport:_ body ->
       try
@@ -128,7 +129,7 @@ let register_msg t ~home_agent_addr ~care_of ~registering ~on_ack =
           acked := true;
           (* Handoff completes for the mobile node when the home agent
              acknowledges the new care-of binding. *)
-          if !Flight.enabled then
+          if Flight.enabled () then
             Flight.emit
               ~component:("mn:" ^ Node.node_name t.m_node)
               ~flow:t.m_home ~size:care_of Flight.Handoff;

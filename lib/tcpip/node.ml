@@ -103,7 +103,7 @@ let[@inline] flight_pkt t (pkt : Packet.t) kind =
 
 let deliver t pkt ~in_if =
   Metrics.incr t.metrics "delivered";
-  if !Flight.enabled then flight_pkt t pkt Flight.Pdu_recvd;
+  if Flight.enabled () then flight_pkt t pkt Flight.Pdu_recvd;
   match Hashtbl.find_opt t.handlers (proto_key pkt.Packet.proto) with
   | Some f -> f pkt ~in_if
   | None -> Metrics.incr t.metrics "no_handler"
@@ -113,7 +113,7 @@ let transmit t if_id pkt =
   | None -> Metrics.incr t.metrics "no_route"
   | Some i ->
     Metrics.incr t.metrics "ip_tx";
-    if !Flight.enabled then flight_pkt t pkt Flight.Pdu_sent;
+    if Flight.enabled () then flight_pkt t pkt Flight.Pdu_sent;
     i.chan.Chan.send (Packet.encode pkt)
 
 let send_on_iface = transmit
@@ -121,12 +121,12 @@ let send_on_iface = transmit
 let route_and_send t pkt =
   match Lpm.lookup t.table pkt.Packet.dst with
   | None ->
-    if !Flight.enabled then
+    if Flight.enabled () then
       flight_pkt t pkt (Flight.Pdu_dropped Flight.R_no_route);
     Metrics.incr t.metrics "no_route"
   | Some r ->
     if r.rt_metric >= 16 then begin
-      if !Flight.enabled then
+      if Flight.enabled () then
         flight_pkt t pkt (Flight.Pdu_dropped Flight.R_no_route);
       Metrics.incr t.metrics "no_route"
     end
@@ -136,7 +136,7 @@ let send_ip t pkt = route_and_send t pkt
 
 let forward t pkt ~in_if =
   if pkt.Packet.ttl <= 1 then begin
-    if !Flight.enabled then
+    if Flight.enabled () then
       flight_pkt t pkt (Flight.Pdu_dropped Flight.R_ttl_expired);
     Metrics.incr t.metrics "ttl_expired"
   end
@@ -157,7 +157,7 @@ let forward t pkt ~in_if =
 let on_frame t if_id frame =
   match Packet.decode frame with
   | Error _ ->
-    if !Flight.enabled then
+    if Flight.enabled () then
       Flight.emit ~component:("ip:" ^ t.name) ~size:(Bytes.length frame)
         (Flight.Pdu_dropped Flight.R_decode);
     Metrics.incr t.metrics "decode_dropped"

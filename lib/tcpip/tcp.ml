@@ -109,7 +109,7 @@ let[@inline] flight_conn c kind =
 
 let emit c (seg : Packet.Tcp.seg) =
   Metrics.incr c.metrics "segs_tx";
-  if !Flight.enabled then flight_seg c seg Flight.Pdu_sent;
+  if Flight.enabled () then flight_seg c seg Flight.Pdu_sent;
   Node.send_ip c.stack.node
     (Packet.make ~src:c.laddr ~dst:c.raddr ~proto:Packet.P_tcp
        (Packet.Tcp.encode seg))
@@ -152,14 +152,17 @@ let rec arm_rto c =
   cancel_timer c.rto_timer;
   c.rto_timer <- None;
   if in_flight c > 0 && c.st <> Closed then begin
-    if !Flight.enabled then flight_conn c Flight.Timer_set;
-    c.rto_timer <- Some (Engine.schedule (Node.engine c.stack.node) ~delay:c.rto (fun () -> on_rto c))
+    if Flight.enabled () then flight_conn c Flight.Timer_set;
+    c.rto_timer <-
+      Some
+        (Engine.schedule ~lane:Engine.Timer (Node.engine c.stack.node)
+           ~delay:c.rto (fun () -> on_rto c))
   end
 
 and on_rto c =
   if c.st = Closed then ()
   else begin
-    if !Flight.enabled then flight_conn c Flight.Timer_fired;
+    if Flight.enabled () then flight_conn c Flight.Timer_fired;
     c.rto <- Float.min max_rto (2. *. c.rto);
     c.ssthresh <- Float.max 2. (c.cwnd /. 2.);
     c.cwnd <- 2.;
@@ -175,7 +178,7 @@ and retransmit c seq =
     else begin
       u.retries <- u.retries + 1;
       u.sent_at <- Engine.now (Node.engine c.stack.node);
-      if !Flight.enabled then flight_seg c u.seg Flight.Retransmit;
+      if Flight.enabled () then flight_seg c u.seg Flight.Retransmit;
       Metrics.incr c.metrics "segs_rtx";
       emit c { u.seg with Packet.Tcp.ack_seq = c.rcv_next }
     end
@@ -280,7 +283,7 @@ let deliver_in_order c =
         continue := false
       end
       else begin
-        if !Flight.enabled then flight_seg c seg Flight.Pdu_recvd;
+        if Flight.enabled () then flight_seg c seg Flight.Pdu_recvd;
         Metrics.incr c.metrics "delivered";
         c.on_receive seg.Packet.Tcp.body
       end
@@ -289,7 +292,7 @@ let deliver_in_order c =
 
 let handle_data c (seg : Packet.Tcp.seg) =
   if seg.Packet.Tcp.seq < c.rcv_next || Hashtbl.mem c.ooo seg.Packet.Tcp.seq then begin
-    if !Flight.enabled then
+    if Flight.enabled () then
       flight_seg c seg (Flight.Pdu_dropped Flight.R_duplicate);
     Metrics.incr c.metrics "dup_rcvd";
     send_ack c

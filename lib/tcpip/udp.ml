@@ -19,7 +19,7 @@ let attach node =
              recovery experiments key on (component "udp:<node>", like
              "efcp" on the RINA side), distinct from ip:<node> which
              also counts routing-protocol chatter. *)
-          if !Rina_util.Flight.enabled then
+          if Rina_util.Flight.enabled () then
             Rina_util.Flight.emit
               ~component:("udp:" ^ Node.node_name t.node)
               ~flow:d.Packet.Udp.dport

@@ -1,12 +1,16 @@
-(* Flight recorder: the process-global typed event stream every layer
+(* Flight recorder: the domain-global typed event stream every layer
    emits into.  Lives at the bottom of the library stack (engine, links,
    EFCP, RMT and the TCP/IP baseline all depend on rina_util) so one
    schema serves the whole simulator.
 
    The hot-path contract mirrors Invariant: emission sites are guarded
-   by [if !enabled then emit ...] at the call site — when tracing is off
-   the cost is one load and one branch, and no closure or string is
-   allocated.  [emit] itself does not re-check the flag. *)
+   by [if enabled () then emit ...] at the call site — when tracing is
+   off the cost is a domain-local load and a branch, and no closure or
+   string is allocated.  [emit] itself does not re-check the flag.
+
+   The recorder state lives in domain-local storage so parallel trial
+   runners ([Rina_exp.Par]) can attach one recorder per domain without
+   the workers stomping on each other's clock and sink. *)
 
 type reason =
   | R_queue_full
@@ -46,15 +50,30 @@ type event = {
   span : int;  (* PDU trace id joining events across layers; 0 = none *)
 }
 
-let enabled = ref false
+type ctx = {
+  mutable on : bool;
+  mutable clock : unit -> float;
+  mutable sink : event -> unit;
+}
 
-let clock : (unit -> float) ref = ref (fun () -> 0.)
+let key =
+  Domain.DLS.new_key (fun () ->
+      { on = false; clock = (fun () -> 0.); sink = (fun _ -> ()) })
 
-let sink : (event -> unit) ref = ref (fun _ -> ())
+let ctx () = Domain.DLS.get key
+
+let enabled () = (ctx ()).on
+
+let set_enabled b = (ctx ()).on <- b
+
+let set_clock f = (ctx ()).clock <- f
+
+let set_sink f = (ctx ()).sink <- f
 
 let emit ~component ?(flow = 0) ?(rank = 0) ?(seq = 0) ?(size = 0) ?(span = 0)
     kind =
-  !sink { time = !clock (); component; kind; flow; rank; seq; size; span }
+  let c = ctx () in
+  c.sink { time = c.clock (); component; kind; flow; rank; seq; size; span }
 
 (* A PDU's trace id is a deterministic mix of its flow key and sequence
    number, so the sender, every relay that decodes the PDU and the

@@ -1,4 +1,4 @@
-(** Flight recorder: a process-global stream of typed simulation events.
+(** Flight recorder: a domain-global stream of typed simulation events.
 
     Every layer of the stack — engine timers, links, the wireless
     medium, EFCP, the RMT, RIB/RIEP management, routing and the TCP/IP
@@ -6,13 +6,17 @@
     follow a PDU down the DIF recursion, across relays and back up.
 
     Tracing is off by default.  Emission sites follow the {!Invariant}
-    pattern: each is guarded by [if !enabled then emit ...], so the
-    disabled cost is one load and one branch with no allocation.
-    {!emit} itself does not re-check the flag.
+    pattern: each is guarded by [if enabled () then emit ...], so the
+    disabled cost is a domain-local load and a branch with no
+    allocation.  {!emit} itself does not re-check the flag.
 
-    [Rina_sim.Trace] installs the {!clock} and {!sink} hooks when a
-    trace is attached; this module stays free of engine and file
-    dependencies so it can sit at the bottom of the library stack. *)
+    The switch, clock and sink live in domain-local storage: each
+    domain of a parallel trial sweep ([Rina_exp.Par]) has its own
+    recorder, so workers never observe each other's tracing state.
+
+    [Rina_sim.Trace] installs the clock and sink hooks when a trace is
+    attached; this module stays free of engine and file dependencies so
+    it can sit at the bottom of the library stack. *)
 
 (** Why a PDU (or frame) was dropped. *)
 type reason =
@@ -55,15 +59,17 @@ type event = {
   span : int;  (** trace id joining one PDU's events across layers *)
 }
 
-val enabled : bool ref
-(** Global tracing switch, [false] by default.  Guard every emission
-    site with [if !enabled then ...]. *)
+val enabled : unit -> bool
+(** This domain's tracing switch, [false] by default.  Guard every
+    emission site with [if enabled () then ...]. *)
 
-val clock : (unit -> float) ref
+val set_enabled : bool -> unit
+
+val set_clock : (unit -> float) -> unit
 (** Source of event timestamps; installed by [Trace.attach] to read the
     engine's virtual clock.  Defaults to a constant [0.]. *)
 
-val sink : (event -> unit) ref
+val set_sink : (event -> unit) -> unit
 (** Where emitted events go; installed by [Trace.attach].  Defaults to
     dropping events. *)
 
@@ -76,9 +82,9 @@ val emit :
   ?span:int ->
   kind ->
   unit
-(** Stamp an event with the current {!clock} time and pass it to the
-    {!sink}.  Only call under [!enabled] (the guard lives at the call
-    site so the disabled path allocates nothing). *)
+(** Stamp an event with the current clock time and pass it to this
+    domain's sink.  Only call under [enabled ()] (the guard lives at
+    the call site so the disabled path allocates nothing). *)
 
 val span_of : flow:int -> seq:int -> int
 (** Deterministic trace id for a PDU, mixed from its flow key and

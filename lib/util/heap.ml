@@ -1,82 +1,171 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Parallel-array layout: keys in an unboxed float array, sequence
+   numbers and payloads alongside.  A push allocates nothing beyond
+   amortised array growth (the classic record-of-entries layout costs a
+   record plus a boxed float per insert), and the hot comparisons read
+   unboxed floats. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : floatarray;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () =
+  {
+    keys = Float.Array.create 0;
+    seqs = [||];
+    vals = [||];
+    size = 0;
+    next_seq = 0;
+  }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-(* [a] sorts before [b] if its key is smaller, or on equal keys if it
+(* [i] sorts before [j] if its key is smaller, or on equal keys if it
    was inserted earlier — this gives FIFO semantics for simultaneous
    events, which keeps simulations deterministic. *)
-let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let before h i j =
+  let ki = Float.Array.get h.keys i and kj = Float.Array.get h.keys j in
+  ki < kj || (ki = kj && h.seqs.(i) < h.seqs.(j))
 
-let grow h =
-  let cap = Array.length h.data in
-  let new_cap = if cap = 0 then 16 else cap * 2 in
-  let dummy = h.data.(0) in
-  let data = Array.make new_cap dummy in
-  Array.blit h.data 0 data 0 h.size;
-  h.data <- data
+let swap h i j =
+  let k = Float.Array.get h.keys i in
+  Float.Array.set h.keys i (Float.Array.get h.keys j);
+  Float.Array.set h.keys j k;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
 
-let push h key value =
-  let entry = { key; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 entry;
-  if h.size = Array.length h.data then grow h;
-  h.data.(h.size) <- entry;
-  h.size <- h.size + 1;
-  (* Sift up. *)
-  let i = ref (h.size - 1) in
+(* Single growth path: the value being inserted doubles as the fill
+   element, so growing from empty needs no reachable dummy and there is
+   no [vals.(0)] access to go out of bounds. *)
+let ensure_room h value =
+  let cap = Array.length h.vals in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let keys = Float.Array.create ncap in
+    Float.Array.blit h.keys 0 keys 0 h.size;
+    let seqs = Array.make ncap 0 in
+    Array.blit h.seqs 0 seqs 0 h.size;
+    let vals = Array.make ncap value in
+    Array.blit h.vals 0 vals 0 h.size;
+    h.keys <- keys;
+    h.seqs <- seqs;
+    h.vals <- vals
+  end
+
+let sift_up h start =
+  let i = ref start in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before h.data.(!i) h.data.(parent) then begin
-      let tmp = h.data.(parent) in
-      h.data.(parent) <- h.data.(!i);
-      h.data.(!i) <- tmp;
+    if before h !i parent then begin
+      swap h !i parent;
       i := parent
     end
     else continue := false
   done
 
-let sift_down h =
-  let i = ref 0 in
+let push_raw h key seq value =
+  ensure_room h value;
+  Float.Array.set h.keys h.size key;
+  h.seqs.(h.size) <- seq;
+  h.vals.(h.size) <- value;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let push h key value =
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  push_raw h key seq value
+
+let reserve_seq h =
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  seq
+
+let push_with_seq h ~key ~seq value =
+  if seq >= h.next_seq then h.next_seq <- seq + 1;
+  push_raw h key seq value
+
+let sift_down_from h start =
+  let i = ref start in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
-    if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+    if l < h.size && before h l !smallest then smallest := l;
+    if r < h.size && before h r !smallest then smallest := r;
     if !smallest <> !i then begin
-      let tmp = h.data.(!smallest) in
-      h.data.(!smallest) <- h.data.(!i);
-      h.data.(!i) <- tmp;
+      swap h !smallest !i;
       i := !smallest
     end
     else continue := false
   done
 
+(* Unboxed access: the engine's event loop reads the top fields and
+   drops the minimum without materialising an option or a tuple. *)
+
+let top_key h =
+  if h.size = 0 then invalid_arg "Heap.top_key: empty heap";
+  Float.Array.get h.keys 0
+
+let top_value h =
+  if h.size = 0 then invalid_arg "Heap.top_value: empty heap";
+  h.vals.(0)
+
+let drop_min h =
+  if h.size = 0 then invalid_arg "Heap.drop_min: empty heap";
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    Float.Array.set h.keys 0 (Float.Array.get h.keys h.size);
+    h.seqs.(0) <- h.seqs.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    sift_down_from h 0
+  end
+
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h
-    end;
-    Some (top.key, top.value)
+    let key = Float.Array.get h.keys 0 and value = h.vals.(0) in
+    drop_min h;
+    Some (key, value)
   end
 
-let peek h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+let peek h =
+  if h.size = 0 then None else Some (Float.Array.get h.keys 0, h.vals.(0))
+
+(* Drop every entry whose value fails [keep], then rebuild the heap
+   property bottom-up (Floyd, O(n)).  Seq numbers are untouched, so
+   FIFO ordering among surviving equal-key entries is preserved. *)
+let compact h ~keep =
+  let kept = ref 0 in
+  for i = 0 to h.size - 1 do
+    if keep h.vals.(i) then begin
+      if !kept <> i then begin
+        Float.Array.set h.keys !kept (Float.Array.get h.keys i);
+        h.seqs.(!kept) <- h.seqs.(i);
+        h.vals.(!kept) <- h.vals.(i)
+      end;
+      incr kept
+    end
+  done;
+  let removed = h.size - !kept in
+  h.size <- !kept;
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down_from h i
+  done;
+  removed
 
 let clear h =
   h.size <- 0;
-  h.data <- [||]
+  h.keys <- Float.Array.create 0;
+  h.seqs <- [||];
+  h.vals <- [||]

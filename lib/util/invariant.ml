@@ -1,23 +1,37 @@
-let enabled = ref false
-
-let set_enabled b = enabled := b
-
 type violation = { code : string; detail : string; mutable count : int }
 
-let store : (string, violation) Hashtbl.t = Hashtbl.create 16
+(* Domain-local: each worker of a parallel trial sweep gets its own
+   switch, store and hook, so one trial's sanitizer findings never
+   bleed into another's. *)
+type ctx = {
+  mutable on : bool;
+  store : (string, violation) Hashtbl.t;
+  mutable on_violation : (code:string -> detail:string -> unit) option;
+}
 
-let on_violation : (code:string -> detail:string -> unit) option ref = ref None
+let key =
+  Domain.DLS.new_key (fun () ->
+      { on = false; store = Hashtbl.create 16; on_violation = None })
+
+let ctx () = Domain.DLS.get key
+
+let enabled () = (ctx ()).on
+
+let set_enabled b = (ctx ()).on <- b
+
+let set_on_violation hook = (ctx ()).on_violation <- hook
 
 let record ~code detail =
-  (match Hashtbl.find_opt store code with
+  let c = ctx () in
+  (match Hashtbl.find_opt c.store code with
    | Some v -> v.count <- v.count + 1
-   | None -> Hashtbl.replace store code { code; detail; count = 1 });
-  match !on_violation with None -> () | Some f -> f ~code ~detail
+   | None -> Hashtbl.replace c.store code { code; detail; count = 1 });
+  match c.on_violation with None -> () | Some f -> f ~code ~detail
 
 let violations () =
-  Hashtbl.fold (fun _ v acc -> v :: acc) store []
+  Hashtbl.fold (fun _ v acc -> v :: acc) (ctx ()).store []
   |> List.sort (fun a b -> String.compare a.code b.code)
 
-let total () = Hashtbl.fold (fun _ v acc -> acc + v.count) store 0
+let total () = Hashtbl.fold (fun _ v acc -> acc + v.count) (ctx ()).store 0
 
-let clear () = Hashtbl.reset store
+let clear () = Hashtbl.reset (ctx ()).store

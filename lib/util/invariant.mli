@@ -7,19 +7,22 @@
 
     The discipline at a call site is
 
-    {[ if !Invariant.enabled then
+    {[ if Invariant.enabled () then
          if bad then Invariant.record ~code:"SAN_..." detail ]}
 
-    so a disabled sanitizer costs one load and one branch per check.
-    Checking is off by default; experiments and CI tests opt in.
+    so a disabled sanitizer costs a domain-local load and a branch per
+    check.  Checking is off by default; experiments and CI tests opt
+    in.
+
+    State is domain-local: each worker domain of a parallel trial
+    sweep ([Rina_exp.Par]) has its own switch, store and hook.
 
     This module holds no simulator state and lives in [Rina_util] so
     that both [Rina_sim] and [Rina_core] can report into it; the
     structured-diagnostic view lives in [Rina_check.Sanitizer]. *)
 
-val enabled : bool ref
-(** Master switch, [false] by default.  Read it directly ([!enabled])
-    in hot paths. *)
+val enabled : unit -> bool
+(** Master switch for this domain, [false] by default. *)
 
 val set_enabled : bool -> unit
 
@@ -42,6 +45,6 @@ val total : unit -> int
 
 val clear : unit -> unit
 
-val on_violation : (code:string -> detail:string -> unit) option ref
+val set_on_violation : (code:string -> detail:string -> unit) option -> unit
 (** Optional hook, e.g. [Some (fun ~code ~detail -> failwith ...)] to
     fail fast in tests.  [None] (collect only) by default. *)

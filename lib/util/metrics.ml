@@ -11,10 +11,13 @@ let create () =
     hists = Hashtbl.create 4;
   }
 
+(* Exception-style lookup: [find_opt] allocates a [Some] per hit and
+   [incr] runs on every PDU, so the hot path keeps the hit case
+   allocation-free. *)
 let find t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.counters name with
+  | r -> r
+  | exception Not_found ->
     let r = ref 0 in
     Hashtbl.add t.counters name r;
     r

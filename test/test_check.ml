@@ -170,6 +170,17 @@ let test_l113_zero_retry_enrollment () =
   Alcotest.(check bool) "L113 is a warning" true
     (severity_of "L113" "[enrollment]\nenroll_retries = 0\n" = Diag.Warning)
 
+let test_l114_timer_pressure () =
+  (* 10 µs hellos alone = 100k timer events per simulated second. *)
+  fires "L114" "[routing]\nhello_interval = 0.00001\n";
+  (* periods sum: 5 kHz keepalives + 6 kHz acks crosses the 10k line *)
+  fires "L114" "[routing]\nkeepalive_interval = 0.0002\n[efcp]\nack_delay = 0.00016\n";
+  silent "L114" "[routing]\nhello_interval = 1.0\nkeepalive_interval = 1.0\n";
+  silent "L114" "";
+  (* a warning (gated to failing by --strict), not an error *)
+  Alcotest.(check bool) "L114 is a warning" true
+    (severity_of "L114" "[routing]\nhello_interval = 0.00001\n" = Diag.Warning)
+
 (* ---------- topology-aware rules ---------- *)
 
 let topo = { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1 }
@@ -526,6 +537,7 @@ let () =
           Alcotest.test_case "L111 stop-and-wait delayed acks" `Quick test_l111_stop_and_wait_delayed_acks;
           Alcotest.test_case "L112 keepalive vs dead peer" `Quick test_l112_keepalive_vs_dead_peer;
           Alcotest.test_case "L113 zero-retry enrollment" `Quick test_l113_zero_retry_enrollment;
+          Alcotest.test_case "L114 timer pressure" `Quick test_l114_timer_pressure;
         ] );
       ( "lint-topology",
         [

@@ -352,7 +352,7 @@ let test_trace_duplicate_gap () =
 let test_trace_attach_timer_events () =
   let e = Engine.create () in
   let tr = Trace.create e in
-  check Alcotest.bool "off by default" false !Flight.enabled;
+  check Alcotest.bool "off by default" false (Flight.enabled ());
   Trace.attach tr;
   check Alcotest.bool "attached" true (Trace.is_attached tr);
   ignore (Engine.schedule e ~delay:1. (fun () -> ()));

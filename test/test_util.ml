@@ -161,6 +161,75 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare keys)
 
+(* The heap against a reference model under random interleavings of
+   push, pop and cancellation-compaction.  Every entry's value is its
+   own sequence number (obtained via [reserve_seq]), so agreeing with
+   the model's lexicographic (key, seq) minimum at every pop proves
+   the drain order is nondecreasing in (key, seq) — i.e. compaction
+   preserves heap order and FIFO tie-breaking, and reserved sequence
+   numbers pushed out of order (the timer wheel's flush protocol)
+   still land in reservation order on equal keys. *)
+let prop_heap_interleaved_compaction =
+  QCheck.Test.make ~name:"heap matches model under push/pop/cancel-compaction"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let h = Heap.create () in
+      let model = ref [] in
+      (* live (key, seq) pairs *)
+      let ok = ref true in
+      let model_min () =
+        List.fold_left
+          (fun acc kv ->
+            match acc with
+            | None -> Some kv
+            | Some best -> if kv < best then Some kv else acc)
+          None !model
+      in
+      let pop_check () =
+        match (Heap.pop h, model_min ()) with
+        | None, None -> ()
+        | Some kv, Some mkv when kv = mkv ->
+          model := List.filter (fun x -> x <> mkv) !model
+        | _ -> ok := false
+      in
+      let push_seq k seq =
+        Heap.push_with_seq h ~key:k ~seq seq;
+        model := (k, seq) :: !model
+      in
+      for _ = 1 to 300 do
+        match Prng.int rng 8 with
+        | 0 | 1 | 2 ->
+          let seq = Heap.reserve_seq h in
+          push_seq (Prng.float rng 50.) seq
+        | 3 | 4 -> pop_check ()
+        | 5 ->
+          (* cancel a random subset wholesale, as the engine's reap
+             does for cancelled timers *)
+          let doomed =
+            List.filter_map
+              (fun (_, s) -> if Prng.bernoulli rng 0.5 then Some s else None)
+              !model
+          in
+          ignore (Heap.compact h ~keep:(fun s -> not (List.mem s doomed)));
+          model := List.filter (fun (_, s) -> not (List.mem s doomed)) !model
+        | _ ->
+          (* two wheel-parked entries flushed in reverse reservation
+             order, sometimes with equal keys: the FIFO tie must follow
+             the reservation, not the push *)
+          let seq1 = Heap.reserve_seq h in
+          let seq2 = Heap.reserve_seq h in
+          let k1 = Prng.float rng 50. in
+          let k2 = if Prng.bernoulli rng 0.5 then k1 else Prng.float rng 50. in
+          push_seq k2 seq2;
+          push_seq k1 seq1
+      done;
+      while (not (Heap.is_empty h)) && !ok do
+        pop_check ()
+      done;
+      !ok && !model = [])
+
 (* ---------- Stats ---------- *)
 
 let test_stats_empty () =
@@ -332,6 +401,23 @@ let test_metrics () =
 (* ---------- Flight recorder ---------- *)
 
 module Flight = Rina_util.Flight
+
+(* Exports must not leak hash order: whatever the insertion order,
+   counter and gauge listings come back alphabetical. *)
+let test_metrics_sorted_export () =
+  let m = Metrics.create () in
+  let names = [ "zeta"; "alpha"; "mu"; "beta"; "omega"; "kappa"; "a"; "z" ] in
+  List.iteri (fun i n -> Metrics.add m n (i + 1)) names;
+  List.iter (fun n -> Metrics.set_gauge m n 1.) names;
+  let sorted = List.sort compare names in
+  check
+    Alcotest.(list string)
+    "counters sorted" sorted
+    (List.map fst (Metrics.to_list m));
+  check
+    Alcotest.(list string)
+    "gauges sorted" sorted
+    (List.map fst (Metrics.gauges m))
 
 let test_metrics_clamp () =
   let m = Metrics.create () in
@@ -561,6 +647,7 @@ let () =
           Alcotest.test_case "peek nondestructive" `Quick test_heap_peek_nondestructive;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_interleaved_compaction;
         ] );
       ( "stats",
         [
@@ -600,6 +687,7 @@ let () =
       ( "flight",
         [
           Alcotest.test_case "metrics clamp" `Quick test_metrics_clamp;
+          Alcotest.test_case "metrics sorted export" `Quick test_metrics_sorted_export;
           Alcotest.test_case "metrics pp golden" `Quick test_metrics_pp_golden;
           Alcotest.test_case "span_of" `Quick test_span_of;
           Alcotest.test_case "reason strings" `Quick test_reason_strings;
