@@ -21,6 +21,9 @@ let schema =
         ("ack_delay", Nonneg_float);
         ("rtx", Enum [ "selective"; "gbn"; "none" ]);
         ("cc", Enum [ "on"; "off" ]);
+        ("sack_blocks", Nonneg_int);
+        ("reorder_window", Pos_int);
+        ("max_dup_cache", Nonneg_int);
       ] );
     ("scheduler", [ ("kind", Enum [ "fifo"; "priority"; "drr" ]); ("quantum", Pos_int) ]);
     ( "routing",
@@ -32,6 +35,7 @@ let schema =
         ("keepalive_interval", Nonneg_float);
         ("dead_peer_timeout", Nonneg_float);
         ("lsa_max_age", Nonneg_float);
+        ("anti_entropy_interval", Nonneg_float);
       ] );
     ( "enrollment",
       [
@@ -328,6 +332,38 @@ let consistency sc (base : Policy.t) topo =
          ~hint:
            "raise the shortest period(s); sub-millisecond timers dominate the \
             event loop (use --strict to make this failing)");
+  (* L115: a reorder buffer smaller than the advertised sack-block
+     budget is self-defeating — the receiver can never hold enough
+     out-of-order ranges to fill its own sack advertisement, so the
+     extra blocks are dead wire weight and the buffer sheds
+     (R_reorder_overflow) exactly the PDUs sack was meant to save. *)
+  let sack, ln_sack =
+    geti sc "efcp" "sack_blocks" base.Policy.efcp.Policy.sack_blocks
+  in
+  let reorder_w, ln_rw =
+    geti sc "efcp" "reorder_window" base.Policy.efcp.Policy.reorder_window
+  in
+  if sack > 0 && reorder_w < sack then
+    emit sc
+      (Diag.error ~line:(at [ ln_rw; ln_sack ]) "L115"
+         (Printf.sprintf "reorder_window (%d) is below sack_blocks (%d)"
+            reorder_w sack)
+         ~hint:"use reorder_window >= sack_blocks (each sack block needs at \
+                least one buffered PDU)");
+  (* L116: anti-entropy sweeping faster than the hello clock churns
+     full-database syncs against adjacencies that have not even been
+     re-confirmed since the last sweep. *)
+  let ae, ln_ae =
+    getf sc "routing" "anti_entropy_interval" r.Policy.anti_entropy_interval
+  in
+  if ae > 0. && ae < hello then
+    emit sc
+      (Diag.warning ~line:(at [ ln_ae; ln_hello ]) "L116"
+         (Printf.sprintf
+            "anti_entropy_interval (%g s) is below hello_interval (%g s): full \
+             RIB syncs outpace adjacency confirmation"
+            ae hello)
+         ~hint:"use anti_entropy_interval >= hello_interval");
   match topo with
   | None -> ()
   | Some { diameter; bottleneck_bit_rate; rtt } ->

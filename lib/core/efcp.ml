@@ -1,4 +1,11 @@
-type unacked = { payload : bytes; mutable sent_at : float; mutable retries : int }
+type unacked = {
+  payload : bytes;
+  mutable sent_at : float;
+  mutable retries : int;
+  mutable sacked : bool;
+      (* selectively acknowledged: held by the receiver's reorder
+         buffer, so retransmitting it would only waste the channel *)
+}
 
 type t = {
   engine : Rina_sim.Engine.t;
@@ -35,6 +42,17 @@ type t = {
   ooo : (int, bytes) Hashtbl.t;
   mutable highest_delivered : int;  (* for unreliable in-order flows *)
   mutable ack_timer : Rina_sim.Engine.handle option;
+  (* duplicate-suppression cache for unreliable unordered flows: a ring
+     of the last [max_dup_cache] delivered seqs (0 = empty slot) with a
+     hashtable for O(1) membership.  Reliable / in-order flows are
+     already exactly-once via rcv_next / highest_delivered. *)
+  dup_cache : (int, unit) Hashtbl.t;
+  dup_ring : int array;
+  mutable dup_ring_pos : int;
+  (* sanitizer shadow state for the exactly-once invariants; only
+     populated while [Rina_util.Invariant.enabled] *)
+  san_delivered : (int, unit) Hashtbl.t;
+  mutable san_last_seq : int;
   mutable closed : bool;
   mutable errored : bool;
 }
@@ -77,6 +95,11 @@ let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ?span_keys
     ooo = Hashtbl.create 64;
     highest_delivered = 0;
     ack_timer = None;
+    dup_cache = Hashtbl.create (max 1 (min 64 config.Policy.max_dup_cache));
+    dup_ring = Array.make (max 1 config.Policy.max_dup_cache) 0;
+    dup_ring_pos = 0;
+    san_delivered = Hashtbl.create 16;
+    san_last_seq = 0;
     closed = false;
     errored = false;
   }
@@ -152,7 +175,12 @@ and on_rto t =
       t.cwnd <- 2.
     end;
     (match t.config.Policy.rtx_strategy with
-     | Policy.Selective_repeat -> retransmit_seq t t.snd_una
+     | Policy.Selective_repeat ->
+       (* Everything outstanding is suspect: enter recovery so each
+          partial ack repairs the next hole immediately instead of
+          waiting out a full RTO per lost PDU. *)
+       t.recover_until <- t.next_seq;
+       retransmit_seq t t.snd_una
      | Policy.Go_back_n ->
        (* Resend the whole outstanding window, lowest first. *)
        for seq = t.snd_una to t.next_seq - 1 do
@@ -182,7 +210,8 @@ let transmit t payload =
   t.next_seq <- t.next_seq + 1;
   if reliable t then
     Hashtbl.replace t.retx seq
-      { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0 };
+      { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0;
+        sacked = false };
   Rina_util.Metrics.incr t.metrics "pdus_sent";
   if Flight.enabled () then flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
   t.send_pdu (dtp_pdu t seq payload);
@@ -222,6 +251,40 @@ let recv_credit t =
   let used = Hashtbl.length t.ooo in
   max 1 (t.config.Policy.window - used)
 
+(* Selective-ack blocks: the reorder buffer's contents, coalesced into
+   at most [sack_blocks] [start, stop) ranges (lowest first — those are
+   the holes the sender should repair soonest) and carried in the Ack
+   PDU's otherwise-empty payload.  With [sack_blocks = 0] the payload
+   stays empty, which is the pre-adversarial wire format. *)
+let sack_payload t =
+  if t.config.Policy.sack_blocks = 0 || Hashtbl.length t.ooo = 0 then
+    Bytes.empty
+  else begin
+    let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.ooo [] in
+    let seqs = List.sort compare seqs in
+    let blocks =
+      List.fold_left
+        (fun acc seq ->
+          match acc with
+          | (start, stop) :: rest when seq = stop -> (start, stop + 1) :: rest
+          | _ -> (seq, seq + 1) :: acc)
+        [] seqs
+    in
+    let blocks = List.rev blocks in
+    let blocks =
+      List.filteri (fun i _ -> i < t.config.Policy.sack_blocks) blocks
+    in
+    let module W = Rina_util.Codec.Writer in
+    let w = W.create () in
+    W.u8 w (List.length blocks);
+    List.iter
+      (fun (start, stop) ->
+        W.u32 w start;
+        W.u32 w stop)
+      blocks;
+    W.contents w
+  end
+
 let send_ack_now t =
   cancel_timer t.ack_timer;
   t.ack_timer <- None;
@@ -229,7 +292,8 @@ let send_ack_now t =
   t.send_pdu
     (Pdu.make ~pdu_type:Pdu.Ack ~dst_addr:Types.no_address
        ~src_addr:Types.no_address ~dst_cep:t.remote_cep ~src_cep:t.local_cep
-       ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t) Bytes.empty)
+       ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t)
+       (sack_payload t))
 
 let schedule_ack t =
   if t.config.Policy.ack_delay <= 0. then send_ack_now t
@@ -245,6 +309,25 @@ let schedule_ack t =
                t.ack_timer <- None;
                if not t.closed then send_ack_now t))
 
+(* Sanitizer: the exactly-once-delivery contract, checked at every
+   point an SDU crosses into the application.  A seq handed up twice is
+   SAN_dup_delivery; a seq handed up below an earlier one on an ordered
+   flow is SAN_seq_regression.  Shadow state is only maintained while
+   the sanitizer is enabled, so the production path pays one load and a
+   branch. *)
+let[@inline] san_delivery t seq =
+  if Rina_util.Invariant.enabled () then begin
+    if Hashtbl.mem t.san_delivered seq then
+      Rina_util.Invariant.record ~code:"SAN_dup_delivery"
+        (Printf.sprintf "cep %d: SDU seq %d delivered twice" t.local_cep seq)
+    else Hashtbl.replace t.san_delivered seq ();
+    if (reliable t || t.in_order) && seq < t.san_last_seq then
+      Rina_util.Invariant.record ~code:"SAN_seq_regression"
+        (Printf.sprintf "cep %d: SDU seq %d delivered after seq %d" t.local_cep
+           seq t.san_last_seq);
+    if seq > t.san_last_seq then t.san_last_seq <- seq
+  end
+
 let deliver_in_sequence t =
   let continue = ref true in
   while !continue do
@@ -256,9 +339,26 @@ let deliver_in_sequence t =
       Rina_util.Metrics.incr t.metrics "delivered";
       if Flight.enabled () then
         flight_rx t seq (Bytes.length payload) Flight.Pdu_recvd;
+      san_delivery t seq;
       t.deliver payload
     | None -> continue := false
   done
+
+(* Duplicate suppression for unreliable unordered flows: remember the
+   last [max_dup_cache] delivered seqs in a ring + membership table.
+   Returns [true] when [seq] was already delivered. *)
+let dup_cache_hit t seq =
+  t.config.Policy.max_dup_cache > 0
+  &&
+  if Hashtbl.mem t.dup_cache seq then true
+  else begin
+    let evicted = t.dup_ring.(t.dup_ring_pos) in
+    if evicted <> 0 then Hashtbl.remove t.dup_cache evicted;
+    t.dup_ring.(t.dup_ring_pos) <- seq;
+    t.dup_ring_pos <- (t.dup_ring_pos + 1) mod Array.length t.dup_ring;
+    Hashtbl.replace t.dup_cache seq ();
+    false
+  end
 
 let handle_dtp t (pdu : Pdu.t) =
   if reliable t then begin
@@ -267,13 +367,14 @@ let handle_dtp t (pdu : Pdu.t) =
       if Flight.enabled () then
         flight_rx t pdu.Pdu.seq
           (Bytes.length pdu.Pdu.payload)
-          (Flight.Pdu_dropped Flight.R_duplicate)
+          (Flight.Pdu_dropped Flight.R_dup)
     end
     else if pdu.Pdu.seq = t.rcv_next then begin
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
       if Flight.enabled () then
         flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
+      san_delivery t pdu.Pdu.seq;
       t.deliver pdu.Pdu.payload;
       deliver_in_sequence t
     end
@@ -281,11 +382,19 @@ let handle_dtp t (pdu : Pdu.t) =
       (* Out of order. *)
       match t.config.Policy.rtx_strategy with
       | Policy.Selective_repeat ->
-        if Hashtbl.length t.ooo < t.config.Policy.window then begin
+        if Hashtbl.length t.ooo < t.config.Policy.reorder_window then begin
           Hashtbl.replace t.ooo pdu.Pdu.seq pdu.Pdu.payload;
           Rina_util.Metrics.incr t.metrics "ooo_buffered"
         end
-        else Rina_util.Metrics.incr t.metrics "ooo_overflow"
+        else begin
+          (* Reorder buffer full: shed the arrival; retransmission will
+             repair it once the buffer drains. *)
+          Rina_util.Metrics.incr t.metrics "ooo_overflow";
+          if Flight.enabled () then
+            flight_rx t pdu.Pdu.seq
+              (Bytes.length pdu.Pdu.payload)
+              (Flight.Pdu_dropped Flight.R_reorder_overflow)
+        end
       | Policy.Go_back_n | Policy.No_rtx ->
         Rina_util.Metrics.incr t.metrics "gbn_discards";
         if Flight.enabled () then
@@ -306,11 +415,21 @@ let handle_dtp t (pdu : Pdu.t) =
           (Bytes.length pdu.Pdu.payload)
           (Flight.Pdu_dropped Flight.R_stale)
     end
+    else if (not t.in_order) && dup_cache_hit t pdu.Pdu.seq then begin
+      (* A duplicated channel replays the same datagram; the cache is
+         the only dedup an unordered unreliable flow has. *)
+      Rina_util.Metrics.incr t.metrics "dup_suppressed";
+      if Flight.enabled () then
+        flight_rx t pdu.Pdu.seq
+          (Bytes.length pdu.Pdu.payload)
+          (Flight.Pdu_dropped Flight.R_dup)
+    end
     else begin
       t.highest_delivered <- max t.highest_delivered pdu.Pdu.seq;
       Rina_util.Metrics.incr t.metrics "delivered";
       if Flight.enabled () then
         flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
+      san_delivery t pdu.Pdu.seq;
       t.deliver pdu.Pdu.payload
     end
   end
@@ -331,9 +450,57 @@ let rtt_sample t sample =
     Float.min max_rto
       (Float.max t.config.Policy.min_rto (t.srtt +. (4. *. t.rttvar)))
 
+(* Decode the Ack payload's sack blocks (if any) and mark the covered
+   retransmission entries: the receiver already holds them, so neither
+   fast retransmit nor a Go-Back-N sweep should resend them.  Sack
+   information is monotone truth (the reorder buffer only empties by
+   delivering), so marks from stale acks are still correct. *)
+let apply_sack t (pdu : Pdu.t) =
+  let payload = pdu.Pdu.payload in
+  if t.config.Policy.sack_blocks > 0 && Bytes.length payload > 0 then begin
+    let module R = Rina_util.Codec.Reader in
+    match
+      (let r = R.create payload in
+       let n = R.u8 r in
+       let blocks = List.init n (fun _ ->
+           let start = R.u32 r in
+           let stop = R.u32 r in
+           (start, stop))
+       in
+       R.expect_end r;
+       blocks)
+    with
+    | blocks ->
+      let highest = ref 0 in
+      List.iter
+        (fun (start, stop) ->
+          if stop > !highest then highest := stop;
+          for seq = start to stop - 1 do
+            match Hashtbl.find_opt t.retx seq with
+            | Some u -> u.sacked <- true
+            | None -> ()
+          done)
+        blocks;
+      !highest
+    | exception R.Decode_error _ ->
+      Rina_util.Metrics.incr t.metrics "sack_decode_errors";
+      0
+  end
+  else 0
+
+(* Repair every unsacked hole below the highest sacked seq, oldest
+   first — the sack-driven generalisation of retransmit-snd_una. *)
+let retransmit_holes t highest_sacked =
+  for seq = t.snd_una to highest_sacked - 1 do
+    match Hashtbl.find_opt t.retx seq with
+    | Some u when not u.sacked -> retransmit_seq t seq
+    | Some _ | None -> ()
+  done
+
 let handle_ack t (pdu : Pdu.t) =
   Rina_util.Metrics.incr t.metrics "acks_rcvd";
   let ack = pdu.Pdu.ack in
+  let highest_sacked = apply_sack t pdu in
   if ack > t.snd_una then begin
     t.dup_acks <- 0;
     let newly_acked = ack - t.snd_una in
@@ -361,11 +528,23 @@ let handle_ack t (pdu : Pdu.t) =
           (t.cwnd +. (per_ack *. float_of_int newly_acked))
     end;
     (* Progress: shed any RTO backoff so one loss burst does not tax
-       the rest of the transfer. *)
+       the rest of the transfer.  Capped like the backoff path — a
+       lower layer repairing its own outage can feed this flow a
+       multi-second RTT sample, and an uncapped estimate would leave
+       the next real loss undetected for tens of seconds. *)
     if t.have_rtt then
       t.rto <-
-        Float.max t.config.Policy.min_rto (t.srtt +. (4. *. t.rttvar))
+        Float.min max_rto
+          (Float.max t.config.Policy.min_rto (t.srtt +. (4. *. t.rttvar)))
     else t.rto <- t.config.Policy.init_rto;
+    (* NewReno partial ack: still inside a recovery episode, so the
+       ack's predecessor was repaired but the next hole is already
+       known lost — retransmit it now rather than after another RTO. *)
+    if
+      ack < t.recover_until
+      && in_flight t > 0
+      && t.config.Policy.rtx_strategy = Policy.Selective_repeat
+    then retransmit_seq t t.snd_una;
     arm_rto_timer t
   end
   else if ack = t.last_ack_seen && in_flight t > 0 then begin
@@ -384,7 +563,8 @@ let handle_ack t (pdu : Pdu.t) =
         t.cwnd <- t.ssthresh
       end;
       t.recover_until <- t.next_seq;
-      retransmit_seq t t.snd_una;
+      if highest_sacked > t.snd_una then retransmit_holes t highest_sacked
+      else retransmit_seq t t.snd_una;
       t.dup_acks <- 0
     end
   end;
@@ -406,10 +586,11 @@ let check_invariants t =
     Rina_util.Invariant.record ~code:"SAN_EFCP_WINDOW"
       (Printf.sprintf "cep %d: %d PDUs in flight exceeds window %d" t.local_cep
          (in_flight t) t.config.Policy.window);
-  if Hashtbl.length t.ooo > t.config.Policy.window then
+  if Hashtbl.length t.ooo > t.config.Policy.reorder_window then
     Rina_util.Invariant.record ~code:"SAN_EFCP_RCVBUF"
-      (Printf.sprintf "cep %d: %d PDUs buffered out-of-order exceeds window %d"
-         t.local_cep (Hashtbl.length t.ooo) t.config.Policy.window)
+      (Printf.sprintf
+         "cep %d: %d PDUs buffered out-of-order exceeds reorder_window %d"
+         t.local_cep (Hashtbl.length t.ooo) t.config.Policy.reorder_window)
 
 let handle_pdu t (pdu : Pdu.t) =
   if t.closed then ()
@@ -439,5 +620,7 @@ let close t =
     t.ack_timer <- None;
     Hashtbl.reset t.retx;
     Hashtbl.reset t.ooo;
+    Hashtbl.reset t.dup_cache;
+    Hashtbl.reset t.san_delivered;
     Queue.clear t.backlog
   end

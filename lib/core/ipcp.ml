@@ -99,6 +99,9 @@ type t = {
   mutable recompute_scheduled : bool;
   mutable enrolled_hooks : (unit -> unit) list;
   mutable hello_ticks : int;
+  mutable ae_round : int;
+      (* round-robin cursor of the anti-entropy sweep over adjacent
+         ports *)
   mutable auto_enroll : bool;
       (* join automatically when a member's hello is seen; cleared by
          [leave] so a deliberate departure sticks *)
@@ -199,11 +202,13 @@ let decode_flow_req data =
 let encode_snapshot t ~granted =
   let w = W.create () in
   W.u32 w granted;
+  (* Prefix scan, not [Rib.children]: directory paths are
+     /dir/<name>/<instance> — two levels below /dir — so a one-level
+     listing would miss every entry. *)
   let entries =
-    List.filter_map
-      (fun path ->
-        match Rib.read t.rib path with Some v -> Some (path, v) | None -> None)
-      (Rib.children t.rib "/dir")
+    List.filter
+      (fun (path, _) -> String.starts_with ~prefix:"/dir/" path)
+      (Rib.dump t.rib)
   in
   W.u16 w (List.length entries);
   List.iter
@@ -334,15 +339,25 @@ let flood_lsa t ?except_port lsa =
       end)
     (adjacent_ports t)
 
+(* Versioned RIB updates: floods are stamped with the (origin, version)
+   pair the local store holds for the path, so replicas can reject
+   stale and duplicate copies.  Paths never written through the
+   versioned API carry (0, 0), which receivers treat with the legacy
+   accept-if-value-differs rule. *)
+let rib_write_msg t path value =
+  let origin, version =
+    match Rib.version_of t.rib path with Some ov -> ov | None -> (0, 0)
+  in
+  Riep.make ~opcode:Riep.M_write ~obj_class:"rib" ~obj_name:path
+    ~obj_value:value ~version ~origin ()
+
 let flood_rib_write t ?except_port path value =
   List.iter
     (fun np ->
       if Some np.np_id <> except_port then begin
         if String.starts_with ~prefix:"/dir/" path then
           Metrics.incr t.metrics "dir_tx";
-        send_mgmt_on_port t ~port:np.np_id
-          (Riep.make ~opcode:Riep.M_write ~obj_class:"rib" ~obj_name:path
-             ~obj_value:value ())
+        send_mgmt_on_port t ~port:np.np_id (rib_write_msg t path value)
       end)
     (adjacent_ports t)
 
@@ -428,15 +443,14 @@ let sync_peer t np =
              ()))
       (Routing.all t.lsdb);
     List.iter
-      (fun path ->
-        match Rib.read t.rib path with
-        | Some v ->
+      (fun (path, v) ->
+        (* Prefix scan: /dir/<name>/<instance> is two levels deep, so
+           [Rib.children t.rib "/dir"] would list nothing. *)
+        if String.starts_with ~prefix:"/dir/" path then begin
           Metrics.incr t.metrics "dir_tx";
-          send_mgmt_on_port t ~port:np.np_id
-            (Riep.make ~opcode:Riep.M_write ~obj_class:"rib" ~obj_name:path
-               ~obj_value:v ())
-        | None -> ())
-      (Rib.children t.rib "/dir")
+          send_mgmt_on_port t ~port:np.np_id (rib_write_msg t path v)
+        end)
+      (Rib.dump t.rib)
   end
 
 (* One M_connect attempt plus its timeout; on expiry, back off
@@ -875,15 +889,39 @@ let handle_rib_write t from_port (msg : Riep.t) =
   match msg.Riep.obj_value with
   | None -> ()
   | Some value ->
-    let accept =
-      match Rib.read t.rib msg.Riep.obj_name with
-      | Some existing -> not (Rib.value_equal existing value)
-      | None -> true
-    in
-    if accept then begin
-      Rib.write t.rib msg.Riep.obj_name value;
-      flood_rib_write t ?except_port:from_port msg.Riep.obj_name value
+    if msg.Riep.version = 0 && msg.Riep.origin = 0 then begin
+      (* Unversioned (legacy) update: accept iff the value differs. *)
+      let accept =
+        match Rib.read t.rib msg.Riep.obj_name with
+        | Some existing -> not (Rib.value_equal existing value)
+        | None -> true
+      in
+      if accept then begin
+        Rib.write t.rib msg.Riep.obj_name value;
+        flood_rib_write t ?except_port:from_port msg.Riep.obj_name value
+      end
     end
+    else
+      match
+        Rib.accept_remote t.rib msg.Riep.obj_name value ~origin:msg.Riep.origin
+          ~ver:msg.Riep.version
+      with
+      | Rib.Accepted { value_changed } ->
+        (* Version-only installs (a refresh re-flood of a value we
+           already hold) are absorbed silently — re-flooding them would
+           turn every periodic refresh into a DIF-wide storm. *)
+        if value_changed then
+          flood_rib_write t ?except_port:from_port msg.Riep.obj_name value
+      | Rib.Duplicate -> Metrics.incr t.metrics "rib_dup_rejected"
+      | Rib.Stale -> (
+        Metrics.incr t.metrics "rib_stale_rejected";
+        (* Rumor correction: the sender is behind — push our newer
+           state straight back so a corrupted or partitioned flood
+           cannot leave it divergent until the next full sync. *)
+        match (from_port, Rib.read t.rib msg.Riep.obj_name) with
+        | Some port, Some v ->
+          send_mgmt_on_port t ~port (rib_write_msg t msg.Riep.obj_name v)
+        | _, _ -> ())
 
 let handle_rib_delete t from_port (msg : Riep.t) =
   if Rib.delete t.rib msg.Riep.obj_name then
@@ -993,6 +1031,32 @@ let rec keepalive_tick t =
   ignore
     (Engine.schedule ~lane:Engine.Timer t.engine ~delay:(keepalive_interval t)
        (fun () -> keepalive_tick t))
+
+(* Periodic anti-entropy: every tick, push the full versioned LSDB and
+   directory to one adjacent peer, round-robin over ports sorted by id
+   (deterministic).  Flood repair is epidemic — rumor correction plus
+   this sweep guarantee reconvergence even when the heal-time flood was
+   itself corrupted, because versioned state always flows from the
+   newer replica to the older one eventually. *)
+let rec anti_entropy_tick t =
+  let interval = t.policy.Policy.routing.Policy.anti_entropy_interval in
+  if interval > 0. then begin
+    (if t.up && t.enrolled then
+       let ports =
+         List.sort (fun a b -> compare a.np_id b.np_id) (adjacent_ports t)
+       in
+       match ports with
+       | [] -> ()
+       | _ :: _ ->
+         let np = List.nth ports (t.ae_round mod List.length ports) in
+         t.ae_round <- t.ae_round + 1;
+         Metrics.incr t.metrics "anti_entropy_runs";
+         trace t (Printf.sprintf "anti_entropy:port%d" np.np_id);
+         sync_peer t np);
+    ignore
+      (Engine.schedule ~lane:Engine.Timer t.engine ~delay:interval (fun () ->
+           anti_entropy_tick t))
+  end
 
 let handle_mgmt t from_port (pdu : Pdu.t) =
   match Riep.decode pdu.Pdu.payload with
@@ -1162,6 +1226,7 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
         recompute_scheduled = false;
         enrolled_hooks = [];
         hello_ticks = 0;
+        ae_round = 0;
         auto_enroll = true;
         isolation_watchers = [];
         was_attached = false;
@@ -1197,6 +1262,11 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
     ignore
       (Engine.schedule ~lane:Engine.Timer t.engine
          ~delay:(keepalive_interval t) (fun () -> keepalive_tick t));
+  (let ae = t.policy.Policy.routing.Policy.anti_entropy_interval in
+   if ae > 0. then
+     ignore
+       (Engine.schedule ~lane:Engine.Timer t.engine ~delay:ae (fun () ->
+            anti_entropy_tick t)));
   t
 
 let bootstrap t =
@@ -1282,8 +1352,9 @@ let leave t =
   end
 
 let publish_app t apn =
-  Rib.write t.rib ("/dir/" ^ Types.apn_to_string apn) (Rib.V_int t.address);
-  flood_rib_write t ("/dir/" ^ Types.apn_to_string apn) (Rib.V_int t.address)
+  let path = "/dir/" ^ Types.apn_to_string apn in
+  ignore (Rib.write_owned t.rib path (Rib.V_int t.address) ~origin:t.address);
+  flood_rib_write t path (Rib.V_int t.address)
 
 (* ---------- crash / restart ---------- *)
 

@@ -9,6 +9,9 @@ type efcp = {
   ack_delay : float;
   rtx_strategy : rtx_strategy;
   congestion_control : bool;
+  sack_blocks : int;
+  reorder_window : int;
+  max_dup_cache : int;
 }
 
 type scheduler = Fifo | Priority_queueing | Drr of int
@@ -21,6 +24,7 @@ type routing = {
   keepalive_interval : float;
   dead_peer_timeout : float;
   lsa_max_age : float;
+  anti_entropy_interval : float;
 }
 
 type enrollment = {
@@ -53,6 +57,9 @@ let default_efcp =
     ack_delay = 0.;
     rtx_strategy = Selective_repeat;
     congestion_control = true;
+    sack_blocks = 0;
+    reorder_window = 64;
+    max_dup_cache = 0;
   }
 
 let default_routing =
@@ -64,6 +71,7 @@ let default_routing =
     keepalive_interval = 1.0;
     dead_peer_timeout = 3.5;
     lsa_max_age = 30.;
+    anti_entropy_interval = 0.;
   }
 
 let default_enrollment =

@@ -23,6 +23,17 @@ type efcp = {
   congestion_control : bool;
       (** AIMD window adaptation (slow start / additive increase,
           multiplicative decrease) on top of the credit window *)
+  sack_blocks : int;
+      (** max selective-ack ranges advertised per Ack PDU; 0 disables
+          SACK (cumulative acks only, the pre-adversarial behaviour) *)
+  reorder_window : int;
+      (** receiver out-of-order buffer bound in PDUs; arrivals beyond it
+          are dropped ([R_reorder_overflow]) and recovered by
+          retransmission *)
+  max_dup_cache : int;
+      (** duplicate-suppression cache entries for unreliable unordered
+          flows (reliable and in-order flows are already exactly-once by
+          sequence state); 0 disables the cache *)
 }
 
 type scheduler =
@@ -49,6 +60,11 @@ type routing = {
       (** age out LSAs not refreshed for this long (s); 0 disables
           aging.  Only meaningful when [refresh_ticks > 0], otherwise
           live members would be aged out too. *)
+  anti_entropy_interval : float;
+      (** period (s) of the round-robin anti-entropy sweep: each tick
+          pushes the full versioned LSDB + directory to one adjacent
+          peer, repairing divergence that survived the flood (e.g. a
+          heal-flood that was itself corrupted); 0 disables *)
 }
 
 type enrollment = {

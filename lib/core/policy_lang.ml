@@ -84,6 +84,17 @@ let apply_kv st line key v =
       Ok
         { p with Policy.efcp = { p.Policy.efcp with Policy.congestion_control = false } }
     | other -> err line (Printf.sprintf "cc must be on|off, got %S" other))
+  | S_efcp, "sack_blocks" ->
+    parse_nat line key v (fun n ->
+        Ok { p with Policy.efcp = { p.Policy.efcp with Policy.sack_blocks = n } })
+  | S_efcp, "reorder_window" ->
+    parse_int line key v (fun n ->
+        Ok
+          { p with Policy.efcp = { p.Policy.efcp with Policy.reorder_window = n } })
+  | S_efcp, "max_dup_cache" ->
+    parse_nat line key v (fun n ->
+        Ok
+          { p with Policy.efcp = { p.Policy.efcp with Policy.max_dup_cache = n } })
   | S_scheduler, "kind" ->
     st.sched_kind <- v;
     Ok p
@@ -125,6 +136,13 @@ let apply_kv st line key v =
   | S_routing, "lsa_max_age" ->
     parse_float line key v (fun f ->
         Ok { p with Policy.routing = { p.Policy.routing with Policy.lsa_max_age = f } })
+  | S_routing, "anti_entropy_interval" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.routing = { p.Policy.routing with Policy.anti_entropy_interval = f };
+          })
   | S_enrollment, "enroll_timeout" ->
     parse_float line key v (fun f ->
         Ok
@@ -300,6 +318,9 @@ let to_string (p : Policy.t) =
       Printf.sprintf "ack_delay = %g" e.Policy.ack_delay;
       Printf.sprintf "rtx = %s" rtx;
       Printf.sprintf "cc = %s" (if e.Policy.congestion_control then "on" else "off");
+      Printf.sprintf "sack_blocks = %d" e.Policy.sack_blocks;
+      Printf.sprintf "reorder_window = %d" e.Policy.reorder_window;
+      Printf.sprintf "max_dup_cache = %d" e.Policy.max_dup_cache;
       "[scheduler]";
       sched_lines;
       "[routing]";
@@ -310,6 +331,7 @@ let to_string (p : Policy.t) =
       Printf.sprintf "keepalive_interval = %g" r.Policy.keepalive_interval;
       Printf.sprintf "dead_peer_timeout = %g" r.Policy.dead_peer_timeout;
       Printf.sprintf "lsa_max_age = %g" r.Policy.lsa_max_age;
+      Printf.sprintf "anti_entropy_interval = %g" r.Policy.anti_entropy_interval;
       "[enrollment]";
       Printf.sprintf "enroll_timeout = %g" en.Policy.enroll_timeout;
       Printf.sprintf "enroll_retries = %d" en.Policy.enroll_retries;

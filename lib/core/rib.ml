@@ -11,10 +11,23 @@ type watcher = { prefix : string; callback : event -> string -> value option -> 
 
 type t = {
   objects : (string, value) Hashtbl.t;
+  versions : (string, int * int) Hashtbl.t;
+      (* path -> (origin address, version); only paths written through
+         the versioned API have entries *)
   mutable watchers : watcher list;
 }
 
-let create () = { objects = Hashtbl.create 64; watchers = [] }
+let create () =
+  { objects = Hashtbl.create 64; versions = Hashtbl.create 64; watchers = [] }
+
+let value_equal a b =
+  match (a, b) with
+  | V_str x, V_str y -> String.equal x y
+  | V_int x, V_int y -> x = y
+  | V_float x, V_float y -> x = y
+  | V_bool x, V_bool y -> x = y
+  | V_bytes x, V_bytes y -> Bytes.equal x y
+  | (V_str _ | V_int _ | V_float _ | V_bool _ | V_bytes _), _ -> false
 
 let notify t event path value =
   List.iter
@@ -40,6 +53,47 @@ let write t path value =
   Hashtbl.replace t.objects path value;
   notify t event path (Some value)
 
+(* ---------- versioned writes (stale/duplicate rejection) ----------
+
+   Each versioned object carries an (origin address, version) pair.
+   Ordering is origin-first lexicographic: a higher origin address
+   dominates, then a higher version.  Origin-first is deliberate — a
+   crashed owner re-enrolls with a fresh, strictly higher address (the
+   namespace manager allocates monotonically), so its version-1
+   re-publication still beats the stale state its old incarnation
+   flooded before dying. *)
+
+let version_of t path = Hashtbl.find_opt t.versions path
+
+let version_newer (o1, v1) (o2, v2) = o1 > o2 || (o1 = o2 && v1 > v2)
+
+type remote_result = Accepted of { value_changed : bool } | Duplicate | Stale
+
+let write_owned t path value ~origin =
+  let ver =
+    match Hashtbl.find_opt t.versions path with
+    | Some (_, v) -> v + 1
+    | None -> 1
+  in
+  Hashtbl.replace t.versions path (origin, ver);
+  write t path value;
+  (origin, ver)
+
+let accept_remote t path value ~origin ~ver =
+  let incoming = (origin, ver) in
+  match Hashtbl.find_opt t.versions path with
+  | Some current when current = incoming -> Duplicate
+  | Some current when not (version_newer incoming current) -> Stale
+  | Some _ | None ->
+    let value_changed =
+      match Hashtbl.find_opt t.objects path with
+      | Some existing -> not (value_equal existing value)
+      | None -> true
+    in
+    Hashtbl.replace t.versions path incoming;
+    if value_changed then write t path value;
+    Accepted { value_changed }
+
 let read t path = Hashtbl.find_opt t.objects path
 
 let read_int t path =
@@ -54,6 +108,7 @@ let delete t path =
       Rina_util.Flight.emit ~component:"rib"
         (Rina_util.Flight.Custom "rib_delete");
     Hashtbl.remove t.objects path;
+    Hashtbl.remove t.versions path;
     notify t Deleted path None;
     true
   end
@@ -79,7 +134,9 @@ let children t prefix =
 
 let subscribe t ~prefix callback = t.watchers <- { prefix; callback } :: t.watchers
 
-let clear t = Hashtbl.reset t.objects
+let clear t =
+  Hashtbl.reset t.objects;
+  Hashtbl.reset t.versions
 
 let size t = Hashtbl.length t.objects
 
@@ -115,15 +172,6 @@ let decode_value r =
   | 3 -> V_bool (R.bool r)
   | 4 -> V_bytes (R.bytes r)
   | n -> raise (R.Decode_error (Printf.sprintf "unknown RIB value tag %d" n))
-
-let value_equal a b =
-  match (a, b) with
-  | V_str x, V_str y -> String.equal x y
-  | V_int x, V_int y -> x = y
-  | V_float x, V_float y -> x = y
-  | V_bool x, V_bool y -> x = y
-  | V_bytes x, V_bytes y -> Bytes.equal x y
-  | (V_str _ | V_int _ | V_float _ | V_bool _ | V_bytes _), _ -> false
 
 let pp_value fmt = function
   | V_str s -> Format.fprintf fmt "%S" s

@@ -21,7 +21,41 @@ type t
 val create : unit -> t
 
 val write : t -> string -> value -> unit
-(** Create or overwrite the object at a path. *)
+(** Create or overwrite the object at a path (unversioned: leaves any
+    version entry for the path untouched). *)
+
+(** {2 Versioned writes}
+
+    Versioned objects carry an (origin address, version) pair so
+    replicas can reject stale or duplicate RIEP updates.  Ordering is
+    origin-first lexicographic — a higher origin address dominates,
+    then a higher version — because a crashed owner re-enrolls with a
+    fresh, strictly higher address, so its version-1 re-publication
+    still beats whatever its old incarnation flooded. *)
+
+val version_of : t -> string -> (int * int) option
+(** The (origin, version) pair of a versioned object, if any. *)
+
+val version_newer : int * int -> int * int -> bool
+(** [version_newer a b] is [true] when [a] dominates [b]. *)
+
+type remote_result =
+  | Accepted of { value_changed : bool }
+      (** installed; [value_changed] says whether the stored value
+          actually differed (re-flood only when it did) *)
+  | Duplicate  (** exactly the version we already hold *)
+  | Stale  (** dominated by what we already hold *)
+
+val write_owned : t -> string -> value -> origin:int -> int * int
+(** Local authoritative write: bumps the path's version (starting at 1)
+    under the given origin and returns the new (origin, version) to
+    stamp on the flood. *)
+
+val accept_remote :
+  t -> string -> value -> origin:int -> ver:int -> remote_result
+(** Apply a versioned update received from a peer: installs it iff it
+    dominates the current version (watchers fire only when the value
+    changed). *)
 
 val read : t -> string -> value option
 

@@ -20,11 +20,23 @@ type t = {
   invoke_id : int;
   result : int;
   result_reason : string;
+  version : int;
+  origin : int;
 }
 
 let make ~opcode ?(obj_class = "") ?(obj_name = "") ?obj_value ?(invoke_id = 0)
-    ?(result = 0) ?(result_reason = "") () =
-  { opcode; obj_class; obj_name; obj_value; invoke_id; result; result_reason }
+    ?(result = 0) ?(result_reason = "") ?(version = 0) ?(origin = 0) () =
+  {
+    opcode;
+    obj_class;
+    obj_name;
+    obj_value;
+    invoke_id;
+    result;
+    result_reason;
+    version;
+    origin;
+  }
 
 let opcode_code = function
   | M_connect -> 0
@@ -69,6 +81,8 @@ let encode t =
   W.u32 w t.invoke_id;
   W.u16 w t.result;
   W.string w t.result_reason;
+  W.u32 w t.version;
+  W.u32 w t.origin;
   W.contents w
 
 let decode data =
@@ -84,8 +98,21 @@ let decode data =
       let invoke_id = R.u32 r in
       let result = R.u16 r in
       let result_reason = R.string r in
+      let version = R.u32 r in
+      let origin = R.u32 r in
       R.expect_end r;
-      Ok { opcode; obj_class; obj_name; obj_value; invoke_id; result; result_reason }
+      Ok
+        {
+          opcode;
+          obj_class;
+          obj_name;
+          obj_value;
+          invoke_id;
+          result;
+          result_reason;
+          version;
+          origin;
+        }
   with R.Decode_error msg -> Error msg
 
 let is_response t =

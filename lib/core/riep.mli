@@ -29,6 +29,10 @@ type t = {
   invoke_id : int;     (** correlates a response with its request *)
   result : int;        (** 0 = success in [*_r] messages *)
   result_reason : string;
+  version : int;
+      (** object version for [M_write] RIB updates; [0] = unversioned
+          (legacy accept-if-different semantics) *)
+  origin : int;  (** address of the object's owner; [0] = unversioned *)
 }
 
 val make :
@@ -39,6 +43,8 @@ val make :
   ?invoke_id:int ->
   ?result:int ->
   ?result_reason:string ->
+  ?version:int ->
+  ?origin:int ->
   unit ->
   t
 

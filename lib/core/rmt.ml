@@ -236,7 +236,7 @@ let on_frame t port_id frame =
       Flight.emit
         ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
         ~rank:t.rank ~size:(Bytes.length frame)
-        (Flight.Pdu_dropped Flight.R_crc);
+        (Flight.Pdu_dropped Flight.R_corrupt);
     Rina_util.Metrics.incr t.metrics "crc_dropped"
   | Some body_len -> (
     match Pdu.decode_header frame ~len:body_len with

@@ -11,6 +11,17 @@ val stamp : now:float -> seq:int -> size:int -> bytes
 val read_stamp : bytes -> (float * int) option
 (** Recover (send time, seq); [None] if the SDU is too short. *)
 
+val stamp_sealed : now:float -> seq:int -> size:int -> bytes
+(** [stamp] plus a CRC-32 trailer over the whole SDU, so the receiver
+    can detect payload corruption that escaped every lower-layer
+    integrity check (the adversarial benchmark's "corrupt-escaped"
+    count).  Minimum size is 20 bytes. *)
+
+type sealed = Sealed_ok of float * int | Sealed_corrupt
+
+val read_sealed : bytes -> sealed
+(** Verify the trailer and recover (send time, seq). *)
+
 (** Aggregated receiver-side accounting. *)
 type sink = {
   received : Rina_util.Stats.t;  (** one-way latencies (s) *)

@@ -15,11 +15,24 @@ let create () = { steps = [] }
 
 let add t ~at tag action = t.steps <- { at; tag; action } :: t.steps
 
-let inject t ~at ~label action = add t ~at ("fault:" ^ label) action
+(* A NaN or infinite timestamp would silently wedge the plan (NaN
+   compares false with everything, so sorting and the engine's
+   past-clamp both misbehave): reject it at construction. *)
+let check_finite fn at =
+  if not (Float.is_finite at) then
+    invalid_arg (fn ^ ": time must be finite")
 
-let heal_at t ~at ~label action = add t ~at ("heal:" ^ label) action
+let inject t ~at ~label action =
+  check_finite "Fault.inject" at;
+  add t ~at ("fault:" ^ label) action
+
+let heal_at t ~at ~label action =
+  check_finite "Fault.heal_at" at;
+  add t ~at ("heal:" ^ label) action
 
 let window t ~at ~until ~label ~apply ~heal =
+  check_finite "Fault.window" at;
+  check_finite "Fault.window" until;
   if until <= at then invalid_arg "Fault.window: until must be after at";
   inject t ~at ~label apply;
   heal_at t ~at:until ~label heal
@@ -48,6 +61,27 @@ let link_degrade t ~at ~until ?(label = "degrade") ?(rate_factor = 0.1) ?loss
     ~heal:(fun () ->
       Link.set_bit_rate link rate0;
       Link.set_loss link loss0)
+
+(* The mangle windows share one shape: capture the link's healthy
+   mangle spec at plan-build time, overlay the adversarial spec at
+   [at], restore the captured one at [until] — same discipline as
+   [link_degrade]'s rate/loss capture. *)
+let mangle_window t ~at ~until ~label link spec =
+  let mangle0 = Link.mangle link in
+  window t ~at ~until ~label
+    ~apply:(fun () -> Link.set_mangle link spec)
+    ~heal:(fun () -> Link.set_mangle link mangle0)
+
+let link_corrupt t ~at ~until ?(label = "corrupt") ?(corrupt = 0.05) link =
+  mangle_window t ~at ~until ~label link (Mangle.make ~corrupt ())
+
+let link_reorder t ~at ~until ?(label = "reorder") ?(reorder = 0.2)
+    ?(max_displacement = 4) link =
+  mangle_window t ~at ~until ~label link
+    (Mangle.make ~reorder ~max_displacement ())
+
+let link_duplicate t ~at ~until ?(label = "duplicate") ?(duplicate = 0.1) link =
+  mangle_window t ~at ~until ~label link (Mangle.make ~duplicate ())
 
 let ordered t =
   (* steps is newest-first; a stable sort on the reversed list keeps

@@ -24,16 +24,19 @@ type t
 val create : unit -> t
 
 val inject : t -> at:float -> label:string -> (unit -> unit) -> unit
-(** One-shot fault step at absolute virtual time [at]. *)
+(** One-shot fault step at absolute virtual time [at].
+    @raise Invalid_argument if [at] is NaN or infinite. *)
 
 val heal_at : t -> at:float -> label:string -> (unit -> unit) -> unit
-(** One-shot heal step (recorded as ["heal:<label>"]). *)
+(** One-shot heal step (recorded as ["heal:<label>"]).
+    @raise Invalid_argument if [at] is NaN or infinite. *)
 
 val window :
   t -> at:float -> until:float -> label:string ->
   apply:(unit -> unit) -> heal:(unit -> unit) -> unit
 (** Fault active on \[[at], [until]): [apply] fires at [at], [heal] at
-    [until].  @raise Invalid_argument if [until <= at]. *)
+    [until].  @raise Invalid_argument if [until <= at] or either bound
+    is NaN or infinite. *)
 
 val link_down : t -> at:float -> until:float -> ?label:string -> Link.t -> unit
 (** Carrier flap: the link is down for the window (watchers fire). *)
@@ -49,6 +52,26 @@ val link_degrade :
     [rate_factor * bit_rate] (default [0.1]) and/or under [loss];
     healing restores the original rate and loss model.
     @raise Invalid_argument if [rate_factor] is not in (0, 1\]. *)
+
+val link_corrupt :
+  t -> at:float -> until:float -> ?label:string -> ?corrupt:float ->
+  Link.t -> unit
+(** Adversarial window: each frame suffers a single-bit flip with
+    probability [corrupt] (default [0.05]).  Healing restores the mangle
+    model captured at plan-build time. *)
+
+val link_reorder :
+  t -> at:float -> until:float -> ?label:string -> ?reorder:float ->
+  ?max_displacement:int -> Link.t -> unit
+(** Adversarial window: frames are held back with probability [reorder]
+    (default [0.2]) until up to [max_displacement] (default [4]) later
+    frames overtake them. *)
+
+val link_duplicate :
+  t -> at:float -> until:float -> ?label:string -> ?duplicate:float ->
+  Link.t -> unit
+(** Adversarial window: frames are duplicated with probability
+    [duplicate] (default [0.1]). *)
 
 val events : t -> (float * string) list
 (** The compiled schedule as [(time, "fault:<label>" | "heal:<label>")]

@@ -5,6 +5,16 @@ type conservation = {
   mutable blackholed : int;
 }
 
+(* A frame held back by the mangler's reorder model: it re-enters the
+   delivery stream after [remaining] later frames have overtaken it, or
+   when the max-hold flush fires on an idle link, whichever is first. *)
+type held = {
+  hframe : bytes;
+  h_epoch : int;
+  mutable remaining : int;
+  mutable released : bool;
+}
+
 type half = {
   engine : Engine.t;
   rng : Rina_util.Prng.t;
@@ -12,6 +22,8 @@ type half = {
   delay : float;
   queue_capacity : int;
   mutable loss : Loss.state;
+  mutable mangle : Mangle.state;
+  mutable held : held list;  (* oldest first; short (bounded by holds in flight) *)
   comp : string;  (* flight-recorder component name for this direction *)
   stats : Rina_util.Metrics.t;
   mutable busy_until : float;
@@ -32,7 +44,7 @@ type t = {
   mutable watchers : (bool -> unit) list;
 }
 
-let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~comp =
+let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~mangle ~comp =
   {
     engine;
     rng;
@@ -40,6 +52,8 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~comp =
     delay;
     queue_capacity;
     loss = Loss.make_state loss;
+    mangle = Mangle.make_state mangle;
+    held = [];
     comp;
     stats = Rina_util.Metrics.create ();
     busy_until = 0.;
@@ -50,7 +64,7 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~comp =
   }
 
 let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_loss)
-    ?(label = "link") () =
+    ?(mangle = Mangle.none) ?(label = "link") () =
   if bit_rate <= 0. then invalid_arg "Link.create: bit_rate must be positive";
   if delay < 0. then invalid_arg "Link.create: delay must be non-negative";
   if queue_capacity <= 0 then
@@ -58,10 +72,10 @@ let create engine rng ~bit_rate ~delay ?(queue_capacity = 64) ?(loss = Loss.No_l
   let rng_f = Rina_util.Prng.split rng and rng_b = Rina_util.Prng.split rng in
   {
     forward =
-      make_half engine rng_f ~bit_rate ~delay ~queue_capacity ~loss
+      make_half engine rng_f ~bit_rate ~delay ~queue_capacity ~loss ~mangle
         ~comp:(label ^ ".ab");
     backward =
-      make_half engine rng_b ~bit_rate ~delay ~queue_capacity ~loss
+      make_half engine rng_b ~bit_rate ~delay ~queue_capacity ~loss ~mangle
         ~comp:(label ^ ".ba");
     up = true;
     blackhole = false;
@@ -92,6 +106,114 @@ let[@inline] flight_drop half reason size =
   if Rina_util.Flight.enabled () then
     Rina_util.Flight.emit ~component:half.comp ~size
       (Rina_util.Flight.Pdu_dropped reason)
+
+(* ---------- delivery (post-propagation) ----------
+
+   With no mangler the path is exactly the pre-mangle one: account,
+   emit, hand the frame to the receiver.  The mangler adds three detours
+   — a duplicate copy re-entering after dup_delay, a spiked frame
+   re-entering late, and a held frame waiting for [remaining] later
+   frames to overtake it — and each detour re-checks epoch / carrier /
+   blackhole on re-entry with the same drop accounting as a first
+   arrival, so conservation holds for every copy. *)
+
+let rec deliver_frame t half frame =
+  if Rina_util.Invariant.enabled () then
+    half.conserv.delivered <- half.conserv.delivered + 1;
+  if Rina_util.Flight.enabled () then
+    Rina_util.Flight.emit ~component:half.comp ~size:(Bytes.length frame)
+      Rina_util.Flight.Pdu_recvd;
+  Rina_util.Metrics.incr half.stats "rx";
+  Rina_util.Metrics.add half.stats "rx_bytes" (Bytes.length frame);
+  half.receiver frame;
+  if half.held <> [] then release_overtaken t half
+
+and release_overtaken t half =
+  (* One frame has passed every live hold; release the ones whose
+     displacement is exhausted, oldest first.  Stale-epoch holds are
+     dropped from the list here but accounted by their flush event. *)
+  let ready = ref [] in
+  half.held <-
+    List.filter
+      (fun h ->
+        if h.released || h.h_epoch <> half.epoch then false
+        else begin
+          h.remaining <- h.remaining - 1;
+          if h.remaining <= 0 then begin
+            h.released <- true;
+            ready := h :: !ready;
+            false
+          end
+          else true
+        end)
+      half.held;
+  List.iter (fun h -> redeliver t half h.h_epoch h.hframe) (List.rev !ready)
+
+and redeliver t half epoch frame =
+  if epoch = half.epoch && t.up && not t.blackhole then
+    deliver_frame t half frame
+  else if epoch = half.epoch && t.up then begin
+    account_blackhole half;
+    flight_drop half Rina_util.Flight.R_blackhole (Bytes.length frame);
+    Rina_util.Metrics.incr half.stats "dropped_blackhole"
+  end
+  else begin
+    account_late_drop half;
+    flight_drop half Rina_util.Flight.R_link_down (Bytes.length frame);
+    Rina_util.Metrics.incr half.stats "dropped_down"
+  end
+
+let hold_back t half epoch frame displacement =
+  Rina_util.Metrics.incr half.stats "mangle_reorder";
+  let h = { hframe = frame; h_epoch = epoch; remaining = displacement; released = false } in
+  half.held <- half.held @ [ h ];
+  let max_hold = (Mangle.model half.mangle).Mangle.max_hold in
+  ignore
+    (Engine.schedule half.engine ~delay:max_hold (fun () ->
+         if not h.released then begin
+           (* idle-link (or flapped-link) flush: nothing overtook it *)
+           h.released <- true;
+           half.held <- List.filter (fun x -> x != h) half.held;
+           redeliver t half epoch h.hframe
+         end))
+
+let mangled_arrival t half epoch frame =
+  let d =
+    Mangle.decide half.mangle half.rng ~frame_bits:(8 * Bytes.length frame)
+  in
+  let frame =
+    if d.Mangle.corrupt_bit >= 0 then begin
+      Rina_util.Metrics.incr half.stats "mangle_corrupt";
+      Mangle.flip_bit frame d.Mangle.corrupt_bit
+    end
+    else frame
+  in
+  if d.Mangle.dup then begin
+    (* The copy is a new frame entering the channel: it counts as
+       injected so conservation still balances, and it bypasses the
+       mangler so one decision covers one original frame. *)
+    Rina_util.Metrics.incr half.stats "mangle_dup";
+    if Rina_util.Invariant.enabled () then
+      half.conserv.injected <- half.conserv.injected + 1;
+    let copy = Bytes.copy frame in
+    let dup_delay = (Mangle.model half.mangle).Mangle.dup_delay in
+    ignore
+      (Engine.schedule half.engine ~delay:dup_delay (fun () ->
+           redeliver t half epoch copy))
+  end;
+  if d.Mangle.spike_by > 0. then begin
+    Rina_util.Metrics.incr half.stats "mangle_spike";
+    ignore
+      (Engine.schedule half.engine ~delay:d.Mangle.spike_by (fun () ->
+           if epoch = half.epoch && t.up && not t.blackhole then
+             if d.Mangle.displacement > 0 then
+               hold_back t half epoch frame d.Mangle.displacement
+             else deliver_frame t half frame
+           else redeliver t half epoch frame))
+  end
+  else if d.Mangle.displacement > 0 then
+    hold_back t half epoch frame d.Mangle.displacement
+  else deliver_frame t half frame
 
 let transmit t half frame =
   let m = half.stats in
@@ -133,15 +255,9 @@ let transmit t half frame =
                ignore
                  (Engine.schedule half.engine ~delay:half.delay (fun () ->
                       if epoch = half.epoch && t.up && not t.blackhole then begin
-                        if Rina_util.Invariant.enabled () then
-                          half.conserv.delivered <- half.conserv.delivered + 1;
-                        if Rina_util.Flight.enabled () then
-                          Rina_util.Flight.emit ~component:half.comp
-                            ~size:(Bytes.length frame)
-                            Rina_util.Flight.Pdu_recvd;
-                        Rina_util.Metrics.incr m "rx";
-                        Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
-                        half.receiver frame
+                        if Mangle.is_none (Mangle.model half.mangle) then
+                          deliver_frame t half frame
+                        else mangled_arrival t half epoch frame
                       end
                       else if epoch = half.epoch && t.up then begin
                         (* carrier still up: the blackhole ate it *)
@@ -189,6 +305,8 @@ let bit_rate t = t.forward.bit_rate
 
 let loss t = Loss.model t.forward.loss
 
+let mangle t = Mangle.model t.forward.mangle
+
 let set_bit_rate t bit_rate =
   if bit_rate <= 0. then invalid_arg "Link.set_bit_rate: must be positive";
   t.forward.bit_rate <- bit_rate;
@@ -197,6 +315,10 @@ let set_bit_rate t bit_rate =
 let set_loss t loss =
   t.forward.loss <- Loss.make_state loss;
   t.backward.loss <- Loss.make_state loss
+
+let set_mangle t mangle =
+  t.forward.mangle <- Mangle.make_state mangle;
+  t.backward.mangle <- Mangle.make_state mangle
 
 let set_up t up =
   if t.up <> up then begin

@@ -16,14 +16,16 @@ val create :
   delay:float ->
   ?queue_capacity:int ->
   ?loss:Loss.t ->
+  ?mangle:Mangle.t ->
   ?label:string ->
   unit ->
   t
 (** [bit_rate] in bits/second, [delay] one-way propagation in seconds,
     [queue_capacity] in frames (default 64), [loss] per-direction
-    (default [No_loss]).  [label] (default ["link"]) names the link in
-    flight-recorder events: the two directions emit as [label^".ab"]
-    and [label^".ba"].
+    (default [No_loss]), [mangle] per-direction adversarial model
+    (default {!Mangle.none}).  [label] (default ["link"]) names the
+    link in flight-recorder events: the two directions emit as
+    [label^".ab"] and [label^".ba"].
     @raise Invalid_argument on non-positive rate/negative delay. *)
 
 val endpoint_a : t -> Chan.t
@@ -47,6 +49,10 @@ val bit_rate : t -> float
 val loss : t -> Loss.t
 (** Current loss model specification. *)
 
+val mangle : t -> Mangle.t
+(** Current adversarial-mangling specification ({!Mangle.none} when the
+    link is clean). *)
+
 val set_bit_rate : t -> float -> unit
 (** Change the serialisation rate of both halves — degradation faults
     ramp this down and back up.  Frames already serialising keep their
@@ -55,6 +61,15 @@ val set_bit_rate : t -> float -> unit
 val set_loss : t -> Loss.t -> unit
 (** Swap the loss model on both halves (fresh model state, so a
     Gilbert–Elliott burst does not leak across the swap). *)
+
+val set_mangle : t -> Mangle.t -> unit
+(** Swap the adversarial model on both halves (fresh state).  Frames
+    already held back by a previous reorder model are still released by
+    their own flush timers.  A corrupted frame is {e delivered} at the
+    link layer (conservation counts it delivered) and discarded later by
+    SDU-protection verification; a duplicated copy counts as one extra
+    [injected] frame so the conservation identity
+    [injected = delivered + dropped + blackholed] is preserved. *)
 
 val is_up : t -> bool
 

@@ -1,0 +1,126 @@
+(* Adversarial frame mangling: the in-channel counterpart of Loss.
+   Where Loss only removes frames, Mangle perturbs them — a bit flip,
+   a duplicate copy, a latency spike, or a bounded reordering — while
+   keeping the schedule fully deterministic: every draw comes from the
+   link half's seeded Prng, in a fixed order per frame, so a replayed
+   run mangles the same frames the same way. *)
+
+type t = {
+  corrupt : float;
+  duplicate : float;
+  dup_delay : float;
+  reorder : float;
+  max_displacement : int;
+  delay_spike : float;
+  spike : float;
+  max_hold : float;
+}
+
+let none =
+  {
+    corrupt = 0.;
+    duplicate = 0.;
+    dup_delay = 0.001;
+    reorder = 0.;
+    max_displacement = 4;
+    delay_spike = 0.;
+    spike = 0.01;
+    max_hold = 0.05;
+  }
+
+let make ?(corrupt = 0.) ?(duplicate = 0.) ?(dup_delay = 0.001) ?(reorder = 0.)
+    ?(max_displacement = 4) ?(delay_spike = 0.) ?(spike = 0.01)
+    ?(max_hold = 0.05) () =
+  let check_p name p =
+    if not (Float.is_finite p) || p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Mangle.make: %s must be in [0, 1]" name)
+  in
+  let check_pos name v =
+    if not (Float.is_finite v) || v <= 0. then
+      invalid_arg (Printf.sprintf "Mangle.make: %s must be positive" name)
+  in
+  check_p "corrupt" corrupt;
+  check_p "duplicate" duplicate;
+  check_p "reorder" reorder;
+  check_p "delay_spike" delay_spike;
+  check_pos "dup_delay" dup_delay;
+  check_pos "spike" spike;
+  check_pos "max_hold" max_hold;
+  if max_displacement <= 0 then
+    invalid_arg "Mangle.make: max_displacement must be positive";
+  {
+    corrupt;
+    duplicate;
+    dup_delay;
+    reorder;
+    max_displacement;
+    delay_spike;
+    spike;
+    max_hold;
+  }
+
+let is_none m =
+  m.corrupt = 0. && m.duplicate = 0. && m.reorder = 0. && m.delay_spike = 0.
+
+(* Spec/state split mirrors Loss: today the mangler is memoryless, but
+   the state record gives burst models somewhere to live without
+   another Link surgery. *)
+type state = { spec : t }
+
+let make_state spec = { spec }
+
+let model s = s.spec
+
+type decision = {
+  corrupt_bit : int;  (* -1 = leave the frame alone *)
+  dup : bool;
+  spike_by : float;  (* 0. = no spike *)
+  displacement : int;  (* 0 = deliver in order *)
+}
+
+let clean = { corrupt_bit = -1; dup = false; spike_by = 0.; displacement = 0 }
+
+let decide s rng ~frame_bits =
+  let m = s.spec in
+  if is_none m then clean
+  else begin
+    (* Fixed draw order — corrupt, duplicate, spike, reorder — so the
+       stream of Prng values consumed per frame is schedule-independent
+       and replays are exact. *)
+    let corrupt_bit =
+      if m.corrupt > 0. && Rina_util.Prng.bernoulli rng m.corrupt then
+        Rina_util.Prng.int rng (max 1 frame_bits)
+      else -1
+    in
+    let dup = m.duplicate > 0. && Rina_util.Prng.bernoulli rng m.duplicate in
+    let spike_by =
+      if m.delay_spike > 0. && Rina_util.Prng.bernoulli rng m.delay_spike then
+        m.spike
+      else 0.
+    in
+    let displacement =
+      if m.reorder > 0. && Rina_util.Prng.bernoulli rng m.reorder then
+        1 + Rina_util.Prng.int rng m.max_displacement
+      else 0
+    in
+    { corrupt_bit; dup; spike_by; displacement }
+  end
+
+let flip_bit frame bit =
+  let len = Bytes.length frame in
+  if len = 0 then frame
+  else begin
+    let copy = Bytes.copy frame in
+    let bit = bit mod (8 * len) in
+    let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+    Bytes.unsafe_set copy byte
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get copy byte) lxor mask));
+    copy
+  end
+
+let pp fmt m =
+  if is_none m then Format.fprintf fmt "no-mangle"
+  else
+    Format.fprintf fmt
+      "mangle(corrupt=%.3f dup=%.3f reorder=%.3f disp<=%d spike=%.3f@%.3fs)"
+      m.corrupt m.duplicate m.reorder m.max_displacement m.delay_spike m.spike

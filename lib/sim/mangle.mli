@@ -1,0 +1,79 @@
+(** Adversarial frame-mangling models for links.
+
+    Where {!Loss} removes frames, the mangler perturbs them: a single
+    bit flip (to be caught — or not — by SDU protection), a duplicate
+    copy injected shortly after the original, a one-off latency spike,
+    or a bounded reordering (the frame is held back until a few later
+    frames have passed it).  All draws come from the link half's seeded
+    {!Rina_util.Prng} in a fixed per-frame order, so two runs with the
+    same seed mangle identically — the same replay-determinism story as
+    {!Loss} and {!Fault}. *)
+
+type t = {
+  corrupt : float;  (** per-frame bit-flip probability *)
+  duplicate : float;  (** per-frame duplication probability *)
+  dup_delay : float;  (** copy delivered this long after the original *)
+  reorder : float;  (** per-frame holdback probability *)
+  max_displacement : int;
+      (** a held frame is released after at most this many later frames
+          overtake it *)
+  delay_spike : float;  (** per-frame latency-spike probability *)
+  spike : float;  (** extra delay added by a spike, seconds *)
+  max_hold : float;
+      (** upper bound on holdback time: a displaced frame on an idle
+          link is force-released after this long, seconds *)
+}
+
+val none : t
+(** All probabilities zero: mangles nothing. *)
+
+val make :
+  ?corrupt:float ->
+  ?duplicate:float ->
+  ?dup_delay:float ->
+  ?reorder:float ->
+  ?max_displacement:int ->
+  ?delay_spike:float ->
+  ?spike:float ->
+  ?max_hold:float ->
+  unit ->
+  t
+(** Validated constructor (defaults: all probabilities 0,
+    [dup_delay = 1ms], [max_displacement = 4], [spike = 10ms],
+    [max_hold = 50ms]).  @raise Invalid_argument on probabilities
+    outside \[0, 1\], non-positive delays, or non-finite values. *)
+
+val is_none : t -> bool
+(** True when every perturbation probability is zero. *)
+
+type state
+(** Per-link-half mangling state (currently memoryless; the spec/state
+    split matches {!Loss} so burst manglers can be added without
+    changing {!Link}). *)
+
+val make_state : t -> state
+
+val model : state -> t
+
+type decision = {
+  corrupt_bit : int;  (** bit index to flip, or [-1] for none *)
+  dup : bool;
+  spike_by : float;  (** extra delay in seconds, [0.] for none *)
+  displacement : int;  (** frames that must overtake, [0] for in-order *)
+}
+
+val clean : decision
+(** The no-op decision. *)
+
+val decide : state -> Rina_util.Prng.t -> frame_bits:int -> decision
+(** Advance the model one frame and report how to perturb it.  Draws
+    consume the Prng in a fixed order regardless of outcome, so the
+    random stream stays aligned across replays. *)
+
+val flip_bit : bytes -> int -> bytes
+(** [flip_bit frame bit] is a copy of [frame] with bit
+    [bit mod (8 * length)] inverted (the original is not modified;
+    relays may still hold references to it).  Empty frames are returned
+    unchanged. *)
+
+val pp : Format.formatter -> t -> unit

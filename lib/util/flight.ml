@@ -24,6 +24,9 @@ type reason =
   | R_ingress_filter
   | R_stale
   | R_duplicate
+  | R_corrupt
+  | R_dup
+  | R_reorder_overflow
   | R_other of string
 
 type kind =
@@ -99,6 +102,9 @@ let reason_to_string = function
   | R_ingress_filter -> "ingress_filter"
   | R_stale -> "stale"
   | R_duplicate -> "duplicate"
+  | R_corrupt -> "corrupt"
+  | R_dup -> "dup"
+  | R_reorder_overflow -> "reorder_overflow"
   | R_other s -> s
 
 let reason_of_string = function
@@ -113,6 +119,9 @@ let reason_of_string = function
   | "ingress_filter" -> R_ingress_filter
   | "stale" -> R_stale
   | "duplicate" -> R_duplicate
+  | "corrupt" -> R_corrupt
+  | "dup" -> R_dup
+  | "reorder_overflow" -> R_reorder_overflow
   | s -> R_other s
 
 let kind_to_string = function
@@ -190,6 +199,11 @@ let reason_tag = function
   | R_duplicate -> 9
   | R_other _ -> 10
   | R_blackhole -> 11
+  (* append-only: new reasons take the next tag so old binary traces
+     keep decoding *)
+  | R_corrupt -> 12
+  | R_dup -> 13
+  | R_reorder_overflow -> 14
 
 let kind_tag = function
   | Pdu_sent -> 0
@@ -244,6 +258,9 @@ let read_event r =
          | 9 -> R_duplicate
          | 10 -> R_other (R.string r)
          | 11 -> R_blackhole
+         | 12 -> R_corrupt
+         | 13 -> R_dup
+         | 14 -> R_reorder_overflow
          | n -> raise (R.Decode_error (Printf.sprintf "unknown reason tag %d" n)))
     | 3 -> Enqueued
     | 4 -> Dequeued

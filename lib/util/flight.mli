@@ -31,6 +31,9 @@ type reason =
   | R_ingress_filter
   | R_stale
   | R_duplicate
+  | R_corrupt  (** SDU-protection verification failed (mangled frame) *)
+  | R_dup  (** duplicate suppressed by EFCP (cache or window) *)
+  | R_reorder_overflow  (** EFCP reorder buffer full *)
   | R_other of string
 
 type kind =

@@ -181,6 +181,28 @@ let test_l114_timer_pressure () =
   Alcotest.(check bool) "L114 is a warning" true
     (severity_of "L114" "[routing]\nhello_interval = 0.00001\n" = Diag.Warning)
 
+let test_l115_reorder_window_vs_sack () =
+  fires "L115" "[efcp]\nsack_blocks = 8\nreorder_window = 4\n";
+  (* default reorder_window (64) against an oversized sack budget *)
+  fires "L115" "[efcp]\nsack_blocks = 100\n";
+  silent "L115" "[efcp]\nsack_blocks = 4\nreorder_window = 64\n";
+  silent "L115" "[efcp]\nsack_blocks = 0\nreorder_window = 1\n";
+  silent "L115" "";
+  Alcotest.(check bool) "L115 is an error" true
+    (severity_of "L115" "[efcp]\nsack_blocks = 8\nreorder_window = 4\n"
+     = Diag.Error)
+
+let test_l116_anti_entropy_vs_hello () =
+  fires "L116" "[routing]\nanti_entropy_interval = 0.5\nhello_interval = 1.0\n";
+  silent "L116" "[routing]\nanti_entropy_interval = 5.0\nhello_interval = 1.0\n";
+  (* 0 disables anti-entropy entirely: nothing to warn about *)
+  silent "L116" "[routing]\nanti_entropy_interval = 0\nhello_interval = 1.0\n";
+  silent "L116" "";
+  Alcotest.(check bool) "L116 is a warning" true
+    (severity_of "L116"
+       "[routing]\nanti_entropy_interval = 0.5\nhello_interval = 1.0\n"
+     = Diag.Warning)
+
 (* ---------- topology-aware rules ---------- *)
 
 let topo = { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1 }
@@ -250,6 +272,9 @@ let random_policy rng =
            | 1 -> Policy.Go_back_n
            | _ -> Policy.No_rtx);
         congestion_control = Prng.bool rng;
+        sack_blocks = Prng.int rng 9;
+        reorder_window = 1 + Prng.int rng 512;
+        max_dup_cache = Prng.int rng 1025;
       };
     scheduler =
       (match Prng.int rng 3 with
@@ -265,6 +290,7 @@ let random_policy rng =
         keepalive_interval = (if Prng.bool rng then 0. else milli rng 100 9999);
         dead_peer_timeout = milli rng 100 19999;
         lsa_max_age = (if Prng.bool rng then 0. else milli rng 1000 99999);
+        anti_entropy_interval = (if Prng.bool rng then 0. else milli rng 100 9999);
       };
     enrollment =
       {
@@ -538,6 +564,10 @@ let () =
           Alcotest.test_case "L112 keepalive vs dead peer" `Quick test_l112_keepalive_vs_dead_peer;
           Alcotest.test_case "L113 zero-retry enrollment" `Quick test_l113_zero_retry_enrollment;
           Alcotest.test_case "L114 timer pressure" `Quick test_l114_timer_pressure;
+          Alcotest.test_case "L115 reorder window vs sack" `Quick
+            test_l115_reorder_window_vs_sack;
+          Alcotest.test_case "L116 anti-entropy vs hello" `Quick
+            test_l116_anti_entropy_vs_hello;
         ] );
       ( "lint-topology",
         [

@@ -212,6 +212,95 @@ let test_efcp_debug_string () =
   send_all h (payloads 2);
   Alcotest.(check bool) "debug non-empty" true (String.length (Efcp.debug h.sender) > 0)
 
+let test_efcp_sack_repairs_before_rto () =
+  (* With sack_blocks > 0 the receiver advertises its reorder buffer and
+     the sender repairs the hole from the ack alone — an RTO big enough
+     to dominate the run proves the fast path did the work. *)
+  let cfg =
+    { base_cfg with Policy.sack_blocks = 4; init_rto = 30.; min_rto = 30. }
+  in
+  let h = make_harness ~cfg ~rcv_cfg:cfg ~drop_data:(fun n -> n = 3) () in
+  let msgs = payloads 8 in
+  send_all h msgs;
+  run h 5.;
+  check Alcotest.(list string) "hole repaired without an RTO" msgs
+    (List.rev !(h.delivered));
+  Alcotest.(check bool) "repair was a retransmission" true
+    (Metrics.get (Efcp.metrics h.sender) "pdus_rtx" > 0);
+  check Alcotest.int "no rto fired" 0
+    (Metrics.get (Efcp.metrics h.sender) "rto_fired");
+  check Alcotest.int "sack payloads decoded cleanly" 0
+    (Metrics.get (Efcp.metrics h.sender) "sack_decode_errors")
+
+let test_efcp_reorder_window_overflow () =
+  (* A tiny reorder window: once the hole at seq 0 has 2 successors
+     buffered, further out-of-order PDUs are shed (counted, not
+     delivered out of order) and recovered by retransmission. *)
+  let cfg = { base_cfg with Policy.congestion_control = false } in
+  let rcv_cfg = { cfg with Policy.reorder_window = 2 } in
+  let h = make_harness ~cfg ~rcv_cfg ~drop_data:(fun n -> n = 1) () in
+  let msgs = payloads 8 in
+  send_all h msgs;
+  run h 30.;
+  check Alcotest.(list string) "still exactly-once in order" msgs
+    (List.rev !(h.delivered));
+  Alcotest.(check bool) "overflow shed some PDUs" true
+    (Metrics.get (Efcp.metrics h.receiver) "ooo_overflow" > 0)
+
+let test_efcp_dup_cache_suppression () =
+  (* Unreliable unordered flows have no sequencing state to catch
+     link-level duplicates; the dup ring does.  Every PDU is delivered
+     twice by the "link" — with max_dup_cache the copies are suppressed,
+     without it they reach the application. *)
+  let deliver_twice ~max_dup_cache =
+    let cfg =
+      {
+        base_cfg with
+        Policy.rtx_strategy = Policy.No_rtx;
+        max_dup_cache;
+      }
+    in
+    let engine = Engine.create () in
+    let delivered = ref [] in
+    let receiver_ref = ref None in
+    let to_receiver (pdu : Pdu.t) =
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule engine ~delay:d (fun () ->
+                 match !receiver_ref with
+                 | Some r -> Efcp.handle_pdu r pdu
+                 | None -> ())))
+        [ 0.001; 0.002 ]
+    in
+    let sender =
+      Efcp.create engine ~config:cfg ~in_order:false ~local_cep:1 ~remote_cep:2
+        ~qos_id:0 ~send_pdu:to_receiver
+        ~deliver:(fun _ -> ())
+        ~on_error:(fun _ -> ())
+        ()
+    in
+    let receiver =
+      Efcp.create engine ~config:cfg ~in_order:false ~local_cep:2 ~remote_cep:1
+        ~qos_id:0
+        ~send_pdu:(fun _ -> ())
+        ~deliver:(fun b -> delivered := Bytes.to_string b :: !delivered)
+        ~on_error:(fun _ -> ())
+        ()
+    in
+    receiver_ref := Some receiver;
+    List.iter (fun m -> Efcp.send sender (Bytes.of_string m)) (payloads 6);
+    Engine.run engine;
+    (List.rev !delivered, Metrics.get (Efcp.metrics receiver) "dup_suppressed")
+  in
+  let with_cache, suppressed = deliver_twice ~max_dup_cache:16 in
+  check Alcotest.(list string) "cache: exactly once" (payloads 6) with_cache;
+  check Alcotest.int "every copy suppressed" 6 suppressed;
+  let without_cache, suppressed0 = deliver_twice ~max_dup_cache:0 in
+  check Alcotest.int "no cache: copies reach the app" 12
+    (List.length without_cache);
+  check Alcotest.int "nothing suppressed" 0 suppressed0
+
 let prop_efcp_reliable_under_random_loss =
   (* Whatever independent loss pattern hits data and acks (capped so
      the flow is not declared dead), a reliable flow must deliver every
@@ -420,6 +509,12 @@ let () =
           Alcotest.test_case "delayed acks aggregate" `Quick test_efcp_delayed_acks_aggregate;
           Alcotest.test_case "close idempotent" `Quick test_efcp_close_stops_everything;
           Alcotest.test_case "debug string" `Quick test_efcp_debug_string;
+          Alcotest.test_case "sack repairs before rto" `Quick
+            test_efcp_sack_repairs_before_rto;
+          Alcotest.test_case "reorder window overflow" `Quick
+            test_efcp_reorder_window_overflow;
+          Alcotest.test_case "dup cache suppression" `Quick
+            test_efcp_dup_cache_suppression;
           QCheck_alcotest.to_alcotest prop_efcp_reliable_under_random_loss;
         ] );
       ( "rmt",

@@ -574,6 +574,7 @@ let chaos_policy =
         keepalive_interval = 0.25;
         dead_peer_timeout = 0.8;
         lsa_max_age = 3.0;
+        anti_entropy_interval = 0.;
       };
   }
 
@@ -694,6 +695,47 @@ let test_efcp_abort_surfaces_to_owner () =
     Alcotest.(check bool) "flow_errors metric counted" true
       (Metrics.get (Ipcp.metrics net.Topo.nodes.(0)) "flow_errors" > 0)
 
+(* ---------- RIB anti-entropy ---------- *)
+
+(* A directory flood lost to a partition leaves the far node divergent
+   forever unless something re-offers the state: with
+   [anti_entropy_interval > 0] periodic peer syncs repair it (even
+   through a corrupting channel after the heal); with it disabled, the
+   divergence is permanent — the control run. *)
+let run_partitioned_registration ~ae =
+  let p = Policy.default in
+  let policy =
+    { p with Policy.routing = { p.Policy.routing with Policy.anti_entropy_interval = ae } }
+  in
+  let net = Topo.line ~seed:11 ~policy ~n:3 () in
+  let engine = net.Topo.engine in
+  let far_link = net.Topo.links.(1) in
+  (* Silent partition of b–c: short of dead_peer_timeout, so the
+     adjacency survives and nothing re-enrolls (re-enrollment would sync
+     the RIB on its own and mask what we are testing). *)
+  Link.set_blackhole far_link true;
+  Ipcp.register_app net.Topo.nodes.(0) (Types.apn "late") ~on_flow:(fun _ -> ());
+  wait engine 2.0;
+  let path = "/dir/" ^ Types.apn_to_string (Types.apn "late") in
+  let far_rib = Ipcp.rib net.Topo.nodes.(2) in
+  let divergent = not (Rina_core.Rib.exists far_rib path) in
+  (* Heal the partition but leave the channel hostile: 30% of frames
+     are corrupted, so one-shot repairs can be damaged in flight and
+     only a periodic mechanism is guaranteed to get through. *)
+  Link.set_blackhole far_link false;
+  Link.set_mangle far_link (Rina_sim.Mangle.make ~corrupt:0.3 ());
+  wait engine 20.0;
+  (divergent, Rina_core.Rib.exists far_rib path)
+
+let test_rib_anti_entropy_reconverges () =
+  let divergent, converged = run_partitioned_registration ~ae:2.0 in
+  Alcotest.(check bool) "partition caused divergence" true divergent;
+  Alcotest.(check bool) "anti-entropy repaired the far RIB" true converged;
+  let divergent0, converged0 = run_partitioned_registration ~ae:0. in
+  Alcotest.(check bool) "control run also diverged" true divergent0;
+  Alcotest.(check bool) "without anti-entropy it stays divergent" false
+    converged0
+
 let () =
   Alcotest.run "integration"
     [
@@ -734,6 +776,8 @@ let () =
             test_dead_peer_fires_only_after_timeout;
           Alcotest.test_case "efcp abort surfaces" `Quick
             test_efcp_abort_surfaces_to_owner;
+          Alcotest.test_case "rib anti-entropy reconverges" `Quick
+            test_rib_anti_entropy_reconverges;
         ] );
       ( "lifecycle",
         [

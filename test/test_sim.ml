@@ -10,6 +10,7 @@ module Prng = Rina_util.Prng
 module Flight = Rina_util.Flight
 module Trace_report = Rina_check.Trace_report
 module Fault = Rina_sim.Fault
+module Mangle = Rina_sim.Mangle
 module Sanitizer = Rina_check.Sanitizer
 module Dif = Rina_core.Dif
 module Ipcp = Rina_core.Ipcp
@@ -681,6 +682,237 @@ let test_fault_blackhole_conservation () =
   check Alcotest.int "R_blackhole drops traced" c.Link.blackholed
     (List.length bh_drops)
 
+let test_fault_rejects_non_finite () =
+  let p = Fault.create () in
+  Alcotest.check_raises "inject nan"
+    (Invalid_argument "Fault.inject: time must be finite") (fun () ->
+      Fault.inject p ~at:Float.nan ~label:"x" (fun () -> ()));
+  Alcotest.check_raises "heal_at infinite"
+    (Invalid_argument "Fault.heal_at: time must be finite") (fun () ->
+      Fault.heal_at p ~at:Float.infinity ~label:"x" (fun () -> ()));
+  Alcotest.check_raises "window nan start"
+    (Invalid_argument "Fault.window: time must be finite") (fun () ->
+      Fault.window p ~at:Float.nan ~until:2. ~label:"x"
+        ~apply:(fun () -> ())
+        ~heal:(fun () -> ()));
+  Alcotest.check_raises "window infinite end"
+    (Invalid_argument "Fault.window: time must be finite") (fun () ->
+      Fault.window p ~at:1. ~until:Float.neg_infinity ~label:"x"
+        ~apply:(fun () -> ())
+        ~heal:(fun () -> ()));
+  check Alcotest.(list (pair (float 1e-9) string)) "plan untouched" []
+    (Fault.events p)
+
+(* ---------- Mangle ---------- *)
+
+let test_mangle_make_validation () =
+  Alcotest.check_raises "corrupt out of range"
+    (Invalid_argument "Mangle.make: corrupt must be in [0, 1]") (fun () ->
+      ignore (Mangle.make ~corrupt:1.5 ()));
+  Alcotest.check_raises "duplicate nan"
+    (Invalid_argument "Mangle.make: duplicate must be in [0, 1]") (fun () ->
+      ignore (Mangle.make ~duplicate:Float.nan ()));
+  Alcotest.check_raises "dup_delay zero"
+    (Invalid_argument "Mangle.make: dup_delay must be positive") (fun () ->
+      ignore (Mangle.make ~dup_delay:0. ()));
+  Alcotest.check_raises "max_displacement zero"
+    (Invalid_argument "Mangle.make: max_displacement must be positive")
+    (fun () -> ignore (Mangle.make ~max_displacement:0 ()));
+  Alcotest.(check bool) "none is none" true (Mangle.is_none Mangle.none);
+  Alcotest.(check bool) "corrupting spec is not none" false
+    (Mangle.is_none (Mangle.make ~corrupt:0.1 ()))
+
+let test_mangle_flip_bit () =
+  let zeros = Bytes.make 8 '\x00' in
+  let flipped = Mangle.flip_bit zeros 13 in
+  Alcotest.(check bool) "copy, not in place" true
+    (Bytes.equal zeros (Bytes.make 8 '\x00'));
+  let popcount b =
+    let n = ref 0 in
+    Bytes.iter
+      (fun c ->
+        let v = ref (Char.code c) in
+        while !v <> 0 do
+          n := !n + (!v land 1);
+          v := !v lsr 1
+        done)
+      b;
+    !n
+  in
+  check Alcotest.int "exactly one bit differs" 1 (popcount flipped);
+  Alcotest.(check bool) "double flip restores" true
+    (Bytes.equal zeros (Mangle.flip_bit flipped 13));
+  Alcotest.(check bool) "bit index wraps" true
+    (Bytes.equal (Mangle.flip_bit zeros 64) (Mangle.flip_bit zeros 0));
+  let empty = Bytes.create 0 in
+  Alcotest.(check bool) "empty frame unchanged" true
+    (Bytes.equal empty (Mangle.flip_bit empty 3))
+
+let test_mangle_decide_deterministic () =
+  let spec =
+    Mangle.make ~corrupt:0.3 ~duplicate:0.2 ~reorder:0.4 ~max_displacement:6
+      ~delay_spike:0.1 ()
+  in
+  let run seed =
+    let st = Mangle.make_state spec in
+    let rng = Prng.create seed in
+    List.init 200 (fun _ ->
+        let d = Mangle.decide st rng ~frame_bits:512 in
+        ( d.Mangle.corrupt_bit,
+          d.Mangle.dup,
+          d.Mangle.spike_by,
+          d.Mangle.displacement ))
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (run 42 = run 42);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (run 42 <> run 43);
+  Alcotest.(check bool) "displacement bounded by max" true
+    (List.for_all (fun (_, _, _, disp) -> disp >= 0 && disp <= 6) (run 42));
+  Alcotest.(check bool) "something actually mangled" true
+    (List.exists (fun (bit, _, _, _) -> bit >= 0) (run 42))
+
+(* Conservation under each mangle mode: corruption perturbs payloads but
+   never frame counts; duplication adds one injected per copy so the
+   identity still balances; reordering holds frames back but releases
+   every one of them. *)
+let mangle_pump spec n =
+  Sanitizer.enable ();
+  let e = Engine.create () in
+  let rng = Prng.create 7 in
+  let l =
+    Link.create e rng ~bit_rate:1_000_000. ~delay:0.001 ~label:"mangled"
+      ~mangle:spec ()
+  in
+  let received = ref [] in
+  (Link.endpoint_b l).Chan.set_receiver (fun frame ->
+      received := frame :: !received);
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.schedule_at e
+         ~time:(0.002 *. float_of_int i)
+         (fun () ->
+           let frame = Bytes.make 64 '\x00' in
+           Bytes.set_int32_be frame 0 (Int32.of_int i);
+           (Link.endpoint_a l).Chan.send frame))
+  done;
+  Engine.run e;
+  Sanitizer.disable ();
+  (l, List.rev !received)
+
+let test_link_mangle_corrupt_conservation () =
+  let l, received = mangle_pump (Mangle.make ~corrupt:1.0 ()) 50 in
+  let c = Link.conservation_a l in
+  check Alcotest.int "all frames delivered" 50 (List.length received);
+  check Alcotest.int "conservation holds" c.Link.injected
+    (c.Link.delivered + c.Link.dropped + c.Link.blackholed);
+  check Alcotest.int "every frame counted corrupt" 50
+    (Rina_util.Metrics.get (Link.stats_a l) "mangle_corrupt");
+  (* Reconstruct each original and require exactly one flipped bit. *)
+  let one_bit_off frame =
+    let seq = Int32.to_int (Bytes.get_int32_be frame 0) in
+    let original = Bytes.make 64 '\x00' in
+    Bytes.set_int32_be original 0 (Int32.of_int seq);
+    let diff = ref 0 in
+    Bytes.iteri
+      (fun i c ->
+        let v = ref (Char.code c lxor Char.code (Bytes.get original i)) in
+        while !v <> 0 do
+          diff := !diff + (!v land 1);
+          v := !v lsr 1
+        done)
+      frame;
+    !diff <= 1
+  in
+  (* A flip inside the seq field yields 0 visible diffs (the original is
+     reconstructed from the corrupted seq); anywhere else exactly 1. *)
+  Alcotest.(check bool) "frames differ from originals by at most one bit" true
+    (List.for_all one_bit_off received)
+
+let test_link_mangle_duplicate_conservation () =
+  let l, received = mangle_pump (Mangle.make ~duplicate:1.0 ()) 40 in
+  let c = Link.conservation_a l in
+  check Alcotest.int "each frame arrives twice" 80 (List.length received);
+  check Alcotest.int "copies counted as injected" 80 c.Link.injected;
+  check Alcotest.int "conservation holds" c.Link.injected
+    (c.Link.delivered + c.Link.dropped + c.Link.blackholed);
+  check Alcotest.int "dup metric" 40
+    (Rina_util.Metrics.get (Link.stats_a l) "mangle_dup")
+
+let test_link_mangle_reorder_conservation () =
+  let l, received =
+    mangle_pump (Mangle.make ~reorder:0.5 ~max_displacement:4 ()) 200
+  in
+  let c = Link.conservation_a l in
+  check Alcotest.int "nothing lost to holdback" 200 (List.length received);
+  check Alcotest.int "conservation holds" c.Link.injected
+    (c.Link.delivered + c.Link.dropped + c.Link.blackholed);
+  Alcotest.(check bool) "some frames held back" true
+    (Rina_util.Metrics.get (Link.stats_a l) "mangle_reorder" > 0);
+  let seqs =
+    List.map (fun frame -> Int32.to_int (Bytes.get_int32_be frame 0)) received
+  in
+  Alcotest.(check bool) "delivery order actually perturbed" true
+    (seqs <> List.init 200 Fun.id);
+  Alcotest.(check bool) "every frame delivered exactly once" true
+    (List.sort compare seqs = List.init 200 Fun.id)
+
+(* End-to-end property: whatever seeded mangle schedule the link runs
+   (corruption + duplication + reordering + delay spikes), a reliable
+   flow through a DIF still delivers each SDU exactly once, in order —
+   and a same-seed replay produces a byte-identical flight trace. *)
+let run_mangled_transfer seed n =
+  let srng = Prng.create ((seed * 7) + 1) in
+  let spec =
+    Mangle.make
+      ~corrupt:(0.005 +. Prng.float srng 0.03)
+      ~duplicate:(0.005 +. Prng.float srng 0.03)
+      ~reorder:(0.01 +. Prng.float srng 0.08)
+      ~max_displacement:(1 + Prng.int srng 8)
+      ~delay_spike:(Prng.float srng 0.04)
+      ()
+  in
+  let e = Engine.create () in
+  let rng = Prng.create seed in
+  let dif = Dif.create e "adv" in
+  let a = Dif.add_member dif ~name:"a" () in
+  let b = Dif.add_member dif ~name:"b" () in
+  let l = Link.create e rng ~bit_rate:10_000_000. ~delay:0.001 () in
+  Dif.connect dif a b (Link.endpoint_a l, Link.endpoint_b l);
+  Dif.run_until_converged dif ();
+  let tr = Trace.create e in
+  Trace.attach tr;
+  let delivered = ref [] in
+  Ipcp.register_app b (Types.apn "sink") ~on_flow:(fun fl ->
+      fl.Ipcp.set_on_receive (fun sdu ->
+          delivered := Int32.to_int (Bytes.get_int32_be sdu 0) :: !delivered));
+  Ipcp.allocate_flow a ~src:(Types.apn "src") ~dst:(Types.apn "sink") ~qos_id:1
+    ~on_result:(fun r ->
+      match r with
+      | Ok fl ->
+        (* The control plane is up; now turn the channel hostile and
+           push the transfer through it. *)
+        Link.set_mangle l spec;
+        for i = 0 to n - 1 do
+          let sdu = Bytes.make 32 'q' in
+          Bytes.set_int32_be sdu 0 (Int32.of_int i);
+          fl.Ipcp.send sdu
+        done
+      | Error msg -> Alcotest.failf "allocate failed: %s" msg);
+  Engine.run ~until:(Engine.now e +. 60.) e;
+  Trace.detach ();
+  (List.rev !delivered, Flight.encode_events (Trace.typed_events tr))
+
+let prop_mangled_exactly_once_and_replayable =
+  QCheck.Test.make ~name:"mangled link: exactly-once delivery + exact replay"
+    ~count:12
+    QCheck.(pair (int_range 0 100_000) (int_range 20 60))
+    (fun (seed, n) ->
+      let delivered, trace = run_mangled_transfer seed n in
+      let delivered', trace' = run_mangled_transfer seed n in
+      delivered = List.init n Fun.id
+      && delivered' = delivered
+      && Bytes.equal trace trace')
+
 let () =
   Alcotest.run "rina_sim"
     [
@@ -737,5 +969,22 @@ let () =
             test_fault_arm_fires_on_schedule;
           Alcotest.test_case "blackhole conservation" `Quick
             test_fault_blackhole_conservation;
+          Alcotest.test_case "non-finite times rejected" `Quick
+            test_fault_rejects_non_finite;
+        ] );
+      ( "mangle",
+        [
+          Alcotest.test_case "make validation" `Quick
+            test_mangle_make_validation;
+          Alcotest.test_case "flip_bit" `Quick test_mangle_flip_bit;
+          Alcotest.test_case "decide deterministic" `Quick
+            test_mangle_decide_deterministic;
+          Alcotest.test_case "corrupt conservation" `Quick
+            test_link_mangle_corrupt_conservation;
+          Alcotest.test_case "duplicate conservation" `Quick
+            test_link_mangle_duplicate_conservation;
+          Alcotest.test_case "reorder conservation" `Quick
+            test_link_mangle_reorder_conservation;
+          QCheck_alcotest.to_alcotest prop_mangled_exactly_once_and_replayable;
         ] );
     ]

@@ -456,7 +456,8 @@ let test_reason_strings () =
     [ Flight.R_queue_full; Flight.R_link_down; Flight.R_loss; Flight.R_crc;
       Flight.R_decode; Flight.R_ttl_expired; Flight.R_no_route;
       Flight.R_ingress_filter; Flight.R_stale; Flight.R_duplicate;
-      Flight.R_other "because" ]
+      Flight.R_blackhole; Flight.R_corrupt; Flight.R_dup;
+      Flight.R_reorder_overflow; Flight.R_other "because" ]
   in
   List.iter
     (fun r ->
@@ -496,7 +497,8 @@ let event_gen =
           [ Flight.R_queue_full; Flight.R_link_down; Flight.R_loss;
             Flight.R_crc; Flight.R_decode; Flight.R_ttl_expired;
             Flight.R_no_route; Flight.R_ingress_filter; Flight.R_stale;
-            Flight.R_duplicate ];
+            Flight.R_duplicate; Flight.R_blackhole; Flight.R_corrupt;
+            Flight.R_dup; Flight.R_reorder_overflow ];
         (* must not collide with a built-in reason name, or
            reason_of_string canonicalises it *)
         map (fun s -> Flight.R_other ("x-" ^ s)) (string_size ~gen:printable (return 4));
