@@ -1,0 +1,222 @@
+(* rina_verify — whole-topology static verification.
+
+   Runs every Rina_check.Verify analysis over named scenario models
+   (the registry in Rina_exp.Topo mirroring the shipped examples), and
+   optionally lints policy spec files into the same finding stream.
+
+     rina_verify                          # verify every scenario
+     rina_verify recursive-internet       # just one
+     rina_verify --list                   # what's in the registry
+     rina_verify --policy examples/policies/reliable.ini
+     rina_verify --race-sweep             # domain-race sanitizer pass
+
+   Exit status: 0 clean (warnings allowed), 1 at least one
+   error-severity finding (or any finding under --strict), 2 an
+   unknown scenario or unreadable policy file. *)
+
+open Cmdliner
+module Diag = Rina_check.Diag
+module Verify = Rina_check.Verify
+module Topo = Rina_exp.Topo
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let diag_json (d : Diag.t) =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"line\":%d,\"message\":\"%s\"%s}"
+    (json_escape d.code)
+    (Diag.severity_to_string d.severity)
+    d.line (json_escape d.message)
+    (match d.hint with
+     | None -> ""
+     | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (json_escape h))
+
+let summary_json (s : Verify.summary) =
+  Printf.sprintf
+    "{\"difs\":%d,\"members\":%d,\"adjacencies\":%d,\"intents\":%d,\
+     \"support_depth\":%d,\"cross_shard_edges\":%d%s}"
+    s.n_difs s.n_members s.n_adjacencies s.n_intents s.support_depth
+    s.cross_shard_edges
+    (match s.lookahead with
+     | None -> ""
+     | Some l -> Printf.sprintf ",\"lookahead\":%g" l)
+
+let print_diag d = Printf.printf "  %s\n" (Diag.to_string d)
+
+let print_summary (s : Verify.summary) =
+  Printf.printf
+    "  %d DIF(s), %d member(s), %d adjacenc%s, %d intent(s), support depth %d\n"
+    s.n_difs s.n_members s.n_adjacencies
+    (if s.n_adjacencies = 1 then "y" else "ies")
+    s.n_intents s.support_depth;
+  if s.cross_shard_edges > 0 then
+    Printf.printf "  %d cross-shard edge(s), conservative lookahead %s\n"
+      s.cross_shard_edges
+      (match s.lookahead with
+       | Some l -> Printf.sprintf "%g s" l
+       | None -> "n/a")
+
+let race_sweep () =
+  (* A small domain-parallel sweep with every Par annotation armed:
+     the fork/join structure, the atomic work counter and the result
+     slots are all checked for happens-before races. *)
+  Rina_check.Sanitizer.Race.arm ();
+  let items = Array.init 64 (fun i -> i) in
+  let out = Rina_exp.Par.map ~domains:4 (fun i -> (i * 2654435761) land 0xffff) items in
+  let diags = Rina_check.Sanitizer.Race.diags () in
+  Rina_check.Sanitizer.Race.disarm ();
+  (Array.length out, diags)
+
+let run names list_only policies json strict quiet sweep max_depth =
+  let registry = Topo.scenarios () in
+  if list_only then begin
+    List.iter (fun (n, _) -> print_endline n) registry;
+    0
+  end
+  else begin
+    let unknown =
+      List.filter (fun n -> not (List.mem_assoc n registry)) names
+    in
+    List.iter (Printf.eprintf "unknown scenario %S (try --list)\n") unknown;
+    if unknown <> [] then 2
+    else begin
+      let chosen =
+        match names with
+        | [] -> registry
+        | ns -> List.map (fun n -> (n, List.assoc n registry)) ns
+      in
+      let scenario_results =
+        List.map
+          (fun (name, model) ->
+            let r = Verify.verify ~max_depth model in
+            if not (quiet || json) then begin
+              Printf.printf "scenario %s:\n" name;
+              print_summary r.summary;
+              List.iter print_diag r.diags
+            end;
+            (name, r))
+          chosen
+      in
+      let policy_results =
+        List.map
+          (fun path ->
+            match In_channel.with_open_text path In_channel.input_all with
+            | exception Sys_error e ->
+              Printf.eprintf "%s\n" e;
+              (path, None)
+            | text ->
+              let diags = Rina_check.Lint.lint text in
+              if not (quiet || json) then begin
+                Printf.printf "policy %s:\n" path;
+                List.iter print_diag diags
+              end;
+              (path, Some diags))
+          policies
+      in
+      let race_diags =
+        if sweep then begin
+          let n, diags = race_sweep () in
+          if not (quiet || json) then begin
+            Printf.printf "race sweep (%d items across 4 domains):\n" n;
+            List.iter print_diag diags;
+            if diags = [] then Printf.printf "  no races\n"
+          end;
+          Some diags
+        end
+        else None
+      in
+      if json then begin
+        let scen =
+          List.map
+            (fun (name, (r : Verify.report)) ->
+              Printf.sprintf "{\"name\":\"%s\",\"summary\":%s,\"diags\":[%s]}"
+                (json_escape name) (summary_json r.summary)
+                (String.concat "," (List.map diag_json r.diags)))
+            scenario_results
+        in
+        let pols =
+          List.map
+            (fun (path, diags) ->
+              Printf.sprintf "{\"file\":\"%s\",\"diags\":[%s]}" (json_escape path)
+                (String.concat ","
+                   (List.map diag_json (Option.value ~default:[] diags))))
+            policy_results
+        in
+        Printf.printf "{\"scenarios\":[%s],\"policies\":[%s]%s}\n"
+          (String.concat "," scen) (String.concat "," pols)
+          (match race_diags with
+           | None -> ""
+           | Some ds ->
+             Printf.sprintf ",\"races\":[%s]" (String.concat "," (List.map diag_json ds)))
+      end;
+      let all_diags =
+        List.concat_map (fun (_, (r : Verify.report)) -> r.diags) scenario_results
+        @ List.concat_map (fun (_, d) -> Option.value ~default:[] d) policy_results
+        @ Option.value ~default:[] race_diags
+      in
+      let io_failed = List.exists (fun (_, d) -> d = None) policy_results in
+      let errors = List.length (Diag.errors all_diags) in
+      let warnings = List.length (Diag.warnings all_diags) in
+      if not (quiet || json) then
+        Printf.printf "%d scenario(s), %d policy file(s): %d error(s), %d warning(s)\n"
+          (List.length scenario_results)
+          (List.length policy_results)
+          errors warnings;
+      if io_failed then 2
+      else if errors > 0 || (strict && all_diags <> []) then 1
+      else 0
+    end
+  end
+
+let cmd =
+  let names =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SCENARIO"
+             ~doc:"Scenario name(s) from the registry (default: all).")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List known scenarios and exit.")
+  in
+  let policies =
+    Arg.(value & opt_all string []
+         & info [ "policy" ] ~docv:"SPEC"
+             ~doc:"Also lint a policy spec file into the same finding stream \
+                   (repeatable).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output.") in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print nothing; exit status only.")
+  in
+  let sweep =
+    Arg.(value & flag
+         & info [ "race-sweep" ]
+             ~doc:"Run a small domain-parallel sweep with the race sanitizer \
+                   armed and report any SAN_RACE_* finding.")
+  in
+  let max_depth =
+    Arg.(value & opt int 16
+         & info [ "max-depth" ] ~docv:"N"
+             ~doc:"Bound on the DIF recursion depth (rule V210).")
+  in
+  Cmd.v
+    (Cmd.info "rina_verify" ~version:"1.0.0"
+       ~doc:"Statically verify whole RINA topologies before they run")
+    Term.(
+      const run $ names $ list_only $ policies $ json $ strict $ quiet $ sweep
+      $ max_depth)
+
+let () = exit (Cmd.eval' cmd)

@@ -40,3 +40,10 @@ let to_string d =
     d.message hint
 
 let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+type rule = { r_code : string; r_severity : severity; r_summary : string }
+
+let rule ~code ~severity summary =
+  { r_code = code; r_severity = severity; r_summary = summary }
+
+let compare_rules a b = String.compare a.r_code b.r_code

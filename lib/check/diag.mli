@@ -45,3 +45,15 @@ val to_string : t -> string
     used by [rina_lint]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** One row of the stable rule table ([rina_lint --list-rules]): the
+    code a diagnostic can carry, the severity it fires at, and a
+    one-line summary.  Each analysis module exports its own table
+    ({!Lint.rules}, {!Verify.rules}, {!Sanitizer.rules}); the CLI
+    concatenates them. *)
+type rule = { r_code : string; r_severity : severity; r_summary : string }
+
+val rule : code:string -> severity:severity -> string -> rule
+
+val compare_rules : rule -> rule -> int
+(** Order by code. *)

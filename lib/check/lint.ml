@@ -393,3 +393,39 @@ let lint ?(base = Policy.default) ?topo text =
   List.sort Diag.compare sc.diags
 
 let clean ?base ?topo text = not (Diag.has_errors (lint ?base ?topo text))
+
+let rules =
+  let e = Diag.Error and w = Diag.Warning in
+  [
+    Diag.rule ~code:"L001" ~severity:e "unknown [section] in the spec";
+    Diag.rule ~code:"L002" ~severity:e "unknown key for its section";
+    Diag.rule ~code:"L003" ~severity:e "duplicate key (later assignment wins silently)";
+    Diag.rule ~code:"L004" ~severity:e "line is neither a [section] header nor key = value";
+    Diag.rule ~code:"L005" ~severity:e "value has the wrong type for its key";
+    Diag.rule ~code:"L101" ~severity:e "min_rto exceeds init_rto";
+    Diag.rule ~code:"L102" ~severity:w "init_rto above the RTO ceiling (clamped)";
+    Diag.rule ~code:"L103" ~severity:w
+      "ack_delay at or above init_rto: spurious retransmits until an RTT sample";
+    Diag.rule ~code:"L104" ~severity:w "quantum set but scheduler is not drr";
+    Diag.rule ~code:"L105" ~severity:w "drr quantum below the MTU starves large flows";
+    Diag.rule ~code:"L106" ~severity:e "auth kind = password without a secret";
+    Diag.rule ~code:"L107" ~severity:w "secret set but auth kind is not password";
+    Diag.rule ~code:"L108" ~severity:e "dead_interval not above hello_interval";
+    Diag.rule ~code:"L109" ~severity:w
+      "dead_interval within 2x hello_interval: one lost hello drops the adjacency";
+    Diag.rule ~code:"L110" ~severity:w
+      "lsa_min_interval not below hello_interval: updates damped behind the hello clock";
+    Diag.rule ~code:"L111" ~severity:w
+      "window = 1 with delayed acks adds the ack delay to every PDU's RTT";
+    Diag.rule ~code:"L112" ~severity:e "keepalive_interval not below dead_peer_timeout";
+    Diag.rule ~code:"L113" ~severity:w
+      "enroll_retries = 0 stalls joining on a single lost exchange";
+    Diag.rule ~code:"L114" ~severity:w
+      "timer periods schedule more than ~10k events per simulated second";
+    Diag.rule ~code:"L115" ~severity:e "reorder_window below sack_blocks";
+    Diag.rule ~code:"L116" ~severity:w
+      "anti_entropy_interval below hello_interval churns full RIB syncs";
+    Diag.rule ~code:"L201" ~severity:e "max_ttl below the topology diameter";
+    Diag.rule ~code:"L202" ~severity:w
+      "window x mtu below the bandwidth-delay product: cannot saturate the path";
+  ]

@@ -38,3 +38,6 @@ val lint : ?base:Rina_core.Policy.t -> ?topo:topo -> string -> Diag.t list
 val clean : ?base:Rina_core.Policy.t -> ?topo:topo -> string -> bool
 (** [clean spec] iff {!lint} reports no [Error]-severity finding
     (warnings allowed). *)
+
+val rules : Diag.rule list
+(** The stable [L]-code table for [rina_lint --list-rules]. *)

@@ -18,6 +18,8 @@ let policy t = t.policy
 
 let engine t = t.engine
 
+let rank t = t.rank
+
 let add_member t ?credentials ~name () =
   let ipcp =
     Ipcp.create t.engine ?trace:t.trace ?credentials ~qos_cubes:t.qos_cubes

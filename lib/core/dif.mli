@@ -32,6 +32,9 @@ val name : t -> Types.dif_name
 val policy : t -> Policy.t
 val engine : t -> Rina_sim.Engine.t
 
+val rank : t -> int
+(** The depth given at {!create} — 0 for the lowest layer. *)
+
 val add_member : t -> ?credentials:string -> name:string -> unit -> Ipcp.t
 (** Create an IPC process for this DIF.  The first one bootstraps the
     DIF (address 1); later ones remain unenrolled until [connect]ed to

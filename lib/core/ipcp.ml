@@ -1441,6 +1441,10 @@ let unregister_app t apn =
 
 let resolve_name t apn = Rib.read_int t.rib ("/dir/" ^ Types.apn_to_string apn)
 
+let registered_apps t =
+  Hashtbl.fold (fun _ reg acc -> reg.ar_name :: acc) t.apps []
+  |> List.sort Types.apn_compare
+
 let allocate_flow t ~src ~dst ~qos_id ~on_result =
   if not t.enrolled then on_result (Error "IPC process not enrolled in any DIF")
   else begin

@@ -163,5 +163,9 @@ val lsdb_size : t -> int
 val resolve_name : t -> Types.apn -> Types.address option
 (** Directory lookup, exposed for tests. *)
 
+val registered_apps : t -> Types.apn list
+(** Application names registered at this process (sorted) — the
+    registration metadata the whole-topology verifier reads. *)
+
 val debug_flows : t -> string list
 (** One line of EFCP internal state per live flow endpoint. *)

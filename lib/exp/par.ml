@@ -12,7 +12,16 @@
 
    Per-run recorder/sanitizer state lives in [Domain.DLS]
    ({!Rina_util.Flight}, {!Rina_util.Invariant}), so a trial may attach
-   tracing inside a worker without seeing another domain's buffer. *)
+   tracing inside a worker without seeing another domain's buffer.
+
+   The fan-out is annotated for {!Rina_util.Race}: the spawn/join
+   structure, the atomic work counter (a synchronisation object — its
+   fetch-and-add is an acquire/release pair) and one cell per result
+   slot.  All no-ops unless the sanitizer is armed; with it armed, a
+   run of [map] must come back race-free — each slot is written by
+   exactly one worker and read by the parent only after every join. *)
+
+module Race = Rina_util.Race
 
 let default_domains () =
   let n = Domain.recommended_domain_count () in
@@ -26,10 +35,27 @@ let map ?domains f items =
   else begin
     let slots = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let armed = Race.armed () in
+    let counter = if armed then Some (Race.sync "Par.next") else None in
+    let cells =
+      if armed then
+        Some (Array.init n (fun i -> Race.cell (Printf.sprintf "Par.slots[%d]" i)))
+      else None
+    in
+    let worker handle () =
+      (match handle with Some h -> Race.child_begin h | None -> ());
       let rec loop () =
+        (* The fetch-and-add is both halves of a synchronisation: it
+           reads the last increment (acquire) and publishes its own
+           (release). *)
+        (match counter with
+         | Some s ->
+           Race.acquire s;
+           Race.release s
+         | None -> ());
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          (match cells with Some cs -> Race.write cs.(i) | None -> ());
           (slots.(i) <-
             Some
               (try Value (f items.(i))
@@ -37,17 +63,28 @@ let map ?domains f items =
           loop ()
         end
       in
-      loop ()
+      loop ();
+      match handle with Some h -> Race.child_end h | None -> ()
     in
     let wanted = match domains with Some d -> d | None -> default_domains () in
     let extra = min (max 0 (wanted - 1)) (n - 1) in
-    let pool = List.init extra (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join pool;
+    let pool =
+      List.init extra (fun _ ->
+          let h = if armed then Some (Race.fork ()) else None in
+          (h, Domain.spawn (worker h)))
+    in
+    worker None ();
+    List.iter
+      (fun (h, d) ->
+        Domain.join d;
+        match h with Some h -> Race.join h | None -> ())
+      pool;
     (* Joining every worker happens-before these reads, so the slots
        are published; surface the first failure in input order. *)
-    Array.map
-      (function
+    Array.mapi
+      (fun i slot ->
+        (match cells with Some cs -> Race.read cs.(i) | None -> ());
+        match slot with
         | Some (Value v) -> v
         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
         | None -> assert false)

@@ -6,7 +6,14 @@
     {!Rina_util.Flight.Buf} — recorder and sanitizer state is
     domain-local, so concurrent trials never share a buffer.  Results
     come back in input order: parallel output is byte-identical to a
-    sequential run over the same items. *)
+    sequential run over the same items.
+
+    The fan-out is annotated for the domain-race sanitizer: arm
+    {!Rina_check.Sanitizer.Race} (or {!Rina_util.Race} directly)
+    before calling {!map} and the spawn/join edges, the atomic work
+    counter and every result slot are tracked; a clean run reports no
+    races.  Disarmed (the default), the annotations are one atomic
+    load each. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] clamped to [1..8]. *)

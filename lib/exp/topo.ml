@@ -129,3 +129,321 @@ let ip_line ?(seed = 7) ?(bit_rate = 10_000_000.) ?(delay = 0.002)
   (* Let DV converge: a handful of periods covers k hops. *)
   Engine.run ~until:(Engine.now engine +. (dv_period *. float_of_int (k + 3))) engine;
   { ip_engine = engine; ip_rng = rng; hosts = [| host_a; host_b |]; routers; ip_links = links }
+
+(* ---------- static-verification bridge ---------- *)
+
+module Verify = Rina_check.Verify
+module Types = Rina_core.Types
+module Policy = Rina_core.Policy
+
+let member_name net i = Types.apn_to_string (Ipcp.name net.nodes.(i))
+
+let model_of_net ?name ?(intents = []) ?shards net =
+  let dif_name = match name with Some n -> n | None -> Dif.name net.dif in
+  let members =
+    Array.to_list
+      (Array.map
+         (fun ip ->
+           {
+             Verify.m_name = Types.apn_to_string (Ipcp.name ip);
+             m_address = Ipcp.address ip;
+             m_apps = List.map Types.apn_to_string (Ipcp.registered_apps ip);
+           })
+         net.nodes)
+  in
+  let adjacencies =
+    Array.to_list
+      (Array.mapi
+         (fun i (a, b) ->
+           let l = net.links.(i) in
+           {
+             Verify.adj_a = member_name net a;
+             adj_b = member_name net b;
+             att =
+               Verify.Direct
+                 {
+                   delay = Link.delay l;
+                   bit_rate = Link.bit_rate l;
+                   queue_frames = Link.queue_capacity l;
+                 };
+           })
+         net.edges)
+  in
+  let difs =
+    [
+      {
+        Verify.d_name = dif_name;
+        d_policy = Dif.policy net.dif;
+        d_members = members;
+        d_adjacencies = adjacencies;
+      };
+    ]
+  in
+  let intents =
+    List.map
+      (fun (i, app) ->
+        { Verify.it_dif = dif_name; it_src = member_name net i; it_dst_app = app })
+      intents
+  in
+  let shards =
+    match shards with
+    | None -> None
+    | Some count ->
+      let n = Array.length net.nodes in
+      Some
+        {
+          Verify.shard_count = count;
+          shard_of =
+            List.init n (fun i ->
+                (dif_name, member_name net i, min (count - 1) (i * count / n)));
+        }
+  in
+  { Verify.difs; intents; shards }
+
+(* ---------- pure-data scenario registry ----------
+
+   Hand-written models mirroring the shipped examples (same DIF names,
+   member names, registrations and link characteristics), so
+   [rina_verify] and [rina_lint --topology] can analyse a scenario
+   without building and converging a live net.  Kept in sync by eye;
+   the CI verify-smoke job runs every entry and must stay error-free. *)
+
+let mk_member ?(addr = 0) ?(apps = []) name =
+  { Verify.m_name = name; m_address = addr; m_apps = apps }
+
+let wire a b ~delay ~bit_rate =
+  { Verify.adj_a = a; adj_b = b; att = Verify.Direct { delay; bit_rate; queue_frames = 64 } }
+
+let over lower via_a via_b a b =
+  { Verify.adj_a = a; adj_b = b; att = Verify.Stacked { lower_dif = lower; via_a; via_b } }
+
+let quickstart_model () =
+  {
+    Verify.difs =
+      [
+        {
+          d_name = "quicknet";
+          d_policy = Policy.default;
+          d_members =
+            [
+              mk_member ~addr:1 ~apps:[ "client/1" ] "host-a";
+              mk_member ~addr:2 ~apps:[ "echo-server/1" ] "host-b";
+            ];
+          d_adjacencies = [ wire "host-a" "host-b" ~delay:0.005 ~bit_rate:10_000_000. ];
+        };
+      ];
+    intents = [ { it_dif = "quicknet"; it_src = "host-a"; it_dst_app = "echo-server/1" } ];
+    shards = None;
+  }
+
+let mail_relay_model () =
+  {
+    Verify.difs =
+      [
+        {
+          d_name = "mailnet";
+          d_policy = Policy.default;
+          d_members =
+            [
+              mk_member ~addr:1 ~apps:[ "mua-alice/1" ] "alice-host";
+              mk_member ~addr:2 ~apps:[ "mta-relay/1" ] "relay-host";
+              mk_member ~addr:3 ~apps:[ "mta-bob/1" ] "bob-host";
+            ];
+          d_adjacencies =
+            [
+              wire "alice-host" "relay-host" ~delay:0.004 ~bit_rate:10_000_000.;
+              wire "relay-host" "bob-host" ~delay:0.004 ~bit_rate:10_000_000.;
+            ];
+        };
+      ];
+    intents =
+      [
+        { it_dif = "mailnet"; it_src = "alice-host"; it_dst_app = "mta-relay/1" };
+        { it_dif = "mailnet"; it_src = "relay-host"; it_dst_app = "mta-bob/1" };
+      ];
+    shards = None;
+  }
+
+let marketplace_model () =
+  let premium_policy =
+    {
+      Policy.default with
+      Policy.scheduler = Policy.Priority_queueing;
+      Policy.auth = Policy.Auth_password "gold-card";
+      Policy.acl =
+        Policy.Allow_pairs
+          [ ("paying-customer", "video-service"); ("bg-src", "bg-sink") ];
+    }
+  in
+  let provider name policy east_apps west_apps =
+    {
+      Verify.d_name = name;
+      d_policy = policy;
+      d_members =
+        [
+          mk_member ~addr:1 ~apps:west_apps (name ^ "-west");
+          mk_member ~addr:2 ~apps:east_apps (name ^ "-east");
+        ];
+      d_adjacencies =
+        [ wire (name ^ "-west") (name ^ "-east") ~delay:0.01 ~bit_rate:10_000_000. ];
+    }
+  in
+  {
+    Verify.difs =
+      [
+        provider "budget-net" Policy.default
+          [ "video-service/1"; "bg-sink/1" ]
+          [ "bg-src/1"; "free-rider/1" ];
+        provider "premium-net" premium_policy
+          [ "video-service/1"; "bg-sink/1" ]
+          [ "bg-src/1"; "paying-customer/1" ];
+      ];
+    intents =
+      [
+        { it_dif = "budget-net"; it_src = "budget-net-west"; it_dst_app = "video-service/1" };
+        { it_dif = "premium-net"; it_src = "premium-net-west"; it_dst_app = "video-service/1" };
+      ];
+    shards = None;
+  }
+
+let mobile_video_model () =
+  let wired a b = wire a b ~delay:0.002 ~bit_rate:100_000_000. in
+  {
+    Verify.difs =
+      [
+        {
+          d_name = "metro";
+          d_policy = Policy.default;
+          d_members =
+            [
+              mk_member ~addr:1 ~apps:[ "video/1" ] "video-server";
+              mk_member ~addr:2 "hub";
+              mk_member ~addr:3 "bs1";
+              mk_member ~addr:4 "bs2";
+              mk_member ~addr:5 "bs3";
+              mk_member ~addr:6 ~apps:[ "player/1" ] "mobile";
+            ];
+          d_adjacencies =
+            [
+              wired "video-server" "hub";
+              wired "hub" "bs1";
+              wired "hub" "bs2";
+              wired "hub" "bs3";
+              (* the radio attachment the mobile starts on *)
+              wire "bs1" "mobile" ~delay:0.001 ~bit_rate:20_000_000.;
+            ];
+        };
+      ];
+    intents = [ { it_dif = "metro"; it_src = "mobile"; it_dst_app = "video/1" } ];
+    shards = None;
+  }
+
+let recursive_internet_model () =
+  let link_dif name =
+    {
+      Verify.d_name = name;
+      d_policy = Policy.default;
+      d_members = [ mk_member ~addr:1 (name ^ ".a"); mk_member ~addr:2 (name ^ ".b") ];
+      d_adjacencies =
+        [ wire (name ^ ".a") (name ^ ".b") ~delay:0.002 ~bit_rate:50_000_000. ];
+    }
+  in
+  {
+    Verify.difs =
+      [
+        link_dif "wire1";
+        link_dif "wire2";
+        link_dif "wire3";
+        link_dif "wire4";
+        link_dif "wire5";
+        {
+          d_name = "access-isp";
+          d_policy = Policy.default;
+          d_members =
+            [
+              mk_member ~addr:1 "acc.host1";
+              mk_member ~addr:2 "acc.r1";
+              mk_member ~addr:3 "acc.r2";
+            ];
+          d_adjacencies =
+            [
+              over "wire1" "wire1.a" "wire1.b" "acc.host1" "acc.r1";
+              over "wire2" "wire2.a" "wire2.b" "acc.r1" "acc.r2";
+            ];
+        };
+        {
+          d_name = "transit-isp";
+          d_policy = Policy.default;
+          d_members =
+            [
+              mk_member ~addr:1 "tr.r2";
+              mk_member ~addr:2 "tr.r3";
+              mk_member ~addr:3 "tr.r4";
+              mk_member ~addr:4 "tr.host2";
+            ];
+          d_adjacencies =
+            [
+              over "wire3" "wire3.a" "wire3.b" "tr.r2" "tr.r3";
+              over "wire4" "wire4.a" "wire4.b" "tr.r3" "tr.r4";
+              over "wire5" "wire5.a" "wire5.b" "tr.r4" "tr.host2";
+            ];
+        };
+        {
+          d_name = "internet";
+          d_policy = Policy.default;
+          d_members =
+            [
+              mk_member ~addr:1 ~apps:[ "near-app/1" ] "inet.host1";
+              mk_member ~addr:2 "inet.border";
+              mk_member ~addr:3 ~apps:[ "far-app/1" ] "inet.host2";
+            ];
+          d_adjacencies =
+            [
+              over "access-isp" "acc.host1" "acc.r2" "inet.host1" "inet.border";
+              over "transit-isp" "tr.r2" "tr.host2" "inet.border" "inet.host2";
+            ];
+        };
+      ];
+    intents = [ { it_dif = "internet"; it_src = "inet.host1"; it_dst_app = "far-app/1" } ];
+    shards = None;
+  }
+
+let sharded_line_model () =
+  let n = 8 in
+  let name i = Printf.sprintf "n%d" i in
+  {
+    Verify.difs =
+      [
+        {
+          d_name = "line";
+          d_policy = Policy.default;
+          d_members =
+            List.init n (fun i ->
+                mk_member ~addr:(i + 1)
+                  ~apps:(if i = n - 1 then [ "sink/1" ] else [])
+                  (name i));
+          d_adjacencies =
+            List.init (n - 1) (fun i ->
+                wire (name i) (name (i + 1)) ~delay:0.002 ~bit_rate:10_000_000.);
+        };
+      ];
+    intents = [ { it_dif = "line"; it_src = "n0"; it_dst_app = "sink/1" } ];
+    shards =
+      Some
+        {
+          Verify.shard_count = 2;
+          shard_of = List.init n (fun i -> ("line", name i, if i < n / 2 then 0 else 1));
+        };
+  }
+
+let scenarios () =
+  [
+    ("quickstart", quickstart_model ());
+    ("mail-relay", mail_relay_model ());
+    ("marketplace", marketplace_model ());
+    ("mobile-video", mobile_video_model ());
+    ("recursive-internet", recursive_internet_model ());
+    ("sharded-line", sharded_line_model ());
+  ]
+
+let scenario name = List.assoc_opt name (scenarios ())

@@ -75,3 +75,30 @@ val ip_line :
 
 val wait : Rina_sim.Engine.t -> float -> unit
 (** Advance virtual time by a duration. *)
+
+(** {2 Static-verification bridge} *)
+
+val model_of_net :
+  ?name:string ->
+  ?intents:(int * string) list ->
+  ?shards:int ->
+  rina_net ->
+  Rina_check.Verify.model
+(** Extract a {!Rina_check.Verify.model} from a live net: one DIF
+    (named [name], default the net's DIF name) whose members carry the
+    enrolled addresses and actual app registrations, and one [Direct]
+    adjacency per link with its real delay/rate/queue bound.
+    [intents] plans flows as [(allocator node index, destination app
+    name)].  [shards] asks for a block decomposition into that many
+    shards over node order — the spec the sharded engine would be
+    handed for this net. *)
+
+val scenarios : unit -> (string * Rina_check.Verify.model) list
+(** The named scenario registry: pure-data models mirroring the
+    shipped examples ([quickstart], [mail-relay], [marketplace],
+    [mobile-video], [recursive-internet]) plus [sharded-line] (a line
+    with a 2-shard decomposition, exercising the V4xx analyses).  This
+    is what [rina_verify] runs over and [rina_lint --topology] reads
+    its topology summaries from; all entries must verify error-free. *)
+
+val scenario : string -> Rina_check.Verify.model option

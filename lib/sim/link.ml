@@ -303,6 +303,10 @@ let set_blackhole t b = t.blackhole <- b
 
 let bit_rate t = t.forward.bit_rate
 
+let delay t = t.forward.delay
+
+let queue_capacity t = t.forward.queue_capacity
+
 let loss t = Loss.model t.forward.loss
 
 let mangle t = Mangle.model t.forward.mangle

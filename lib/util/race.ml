@@ -1,0 +1,198 @@
+(* Vector-clock happens-before detection.
+
+   Clocks are maps from domain id to epoch.  Each domain's own entry
+   is its epoch; an access by domain [u] at epoch [e] happens-before
+   domain [t]'s present iff [t]'s clock has [u]'s entry >= [e].  Cells
+   store the last write and the reads since it as (domain, epoch)
+   pairs — enough to decide happens-before against any later access
+   without keeping whole clock snapshots per access.
+
+   All mutable cross-domain state (cells, sync objects, the race log)
+   sits behind one mutex; per-domain clocks live in domain-local
+   storage and are only exported through fork/join handles and sync
+   objects, both under the mutex.  The detector observes annotated
+   accesses only — scale is dozens of cells and <= 8 domains, so the
+   O(domains) map operations are irrelevant next to the accesses they
+   describe. *)
+
+module IM = Map.Make (Int)
+
+type clock = int IM.t
+
+let epoch_of id (c : clock) = match IM.find_opt id c with Some e -> e | None -> 0
+
+let join_clock (a : clock) (b : clock) : clock =
+  IM.union (fun _ x y -> Some (max x y)) a b
+
+(* ---------- global switch and store ---------- *)
+
+let switch = Atomic.make false
+
+let armed () = Atomic.get switch
+
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+type race = {
+  site : string;
+  kind : [ `Write_write | `Read_write | `Write_read ];
+  first_domain : int;
+  second_domain : int;
+}
+
+type cell = {
+  c_site : string;
+  mutable c_write : (int * int) option;  (* domain, epoch of last write *)
+  c_reads : (int, int) Hashtbl.t;  (* domain -> max epoch read since last write *)
+}
+
+(* Registered so [clear] can reset cells made before re-arming. *)
+let all_cells : cell list ref = ref []
+
+let race_log : race list ref = ref []
+
+let clear () =
+  locked (fun () ->
+      race_log := [];
+      List.iter
+        (fun c ->
+          c.c_write <- None;
+          Hashtbl.reset c.c_reads)
+        !all_cells)
+
+let arm () =
+  clear ();
+  Atomic.set switch true
+
+let disarm () = Atomic.set switch false
+
+(* ---------- per-domain clocks ---------- *)
+
+let self () = (Domain.self () :> int)
+
+type tstate = { mutable vc : clock }
+
+let tkey =
+  Domain.DLS.new_key (fun () ->
+      let id = (Domain.self () :> int) in
+      { vc = IM.singleton id 1 })
+
+let my () = Domain.DLS.get tkey
+
+let tick st =
+  let id = self () in
+  st.vc <- IM.add id (epoch_of id st.vc + 1) st.vc
+
+(* ---------- fork / join ---------- *)
+
+type handle = { h_birth : clock; h_final : clock option Atomic.t }
+
+let fork () =
+  if not (armed ()) then { h_birth = IM.empty; h_final = Atomic.make None }
+  else begin
+    let st = my () in
+    let h = { h_birth = st.vc; h_final = Atomic.make None } in
+    tick st;
+    h
+  end
+
+let child_begin h =
+  if armed () then begin
+    let st = my () in
+    let id = self () in
+    (* A fresh epoch for this domain on top of everything inherited:
+       domain ids are never reused within a process, but the DLS state
+       of a pooled domain could be, so take the max. *)
+    st.vc <- IM.add id (epoch_of id st.vc + 1) (join_clock h.h_birth st.vc)
+  end
+
+let child_end h = if armed () then Atomic.set h.h_final (Some (my ()).vc)
+
+let join h =
+  if armed () then begin
+    let st = my () in
+    (match Atomic.get h.h_final with
+     | Some final -> st.vc <- join_clock st.vc final
+     | None -> ());
+    tick st
+  end
+
+(* ---------- sync objects ---------- *)
+
+type sync = { mutable s_vc : clock }
+
+let sync _name = { s_vc = IM.empty }
+
+let acquire s =
+  if armed () then
+    locked (fun () ->
+        let st = my () in
+        st.vc <- join_clock st.vc s.s_vc)
+
+let release s =
+  if armed () then begin
+    locked (fun () ->
+        let st = my () in
+        s.s_vc <- join_clock s.s_vc st.vc);
+    tick (my ())
+  end
+
+(* ---------- cells ---------- *)
+
+let cell site =
+  let c = { c_site = site; c_write = None; c_reads = Hashtbl.create 4 } in
+  locked (fun () -> all_cells := c :: !all_cells);
+  c
+
+let report c kind ~first ~second =
+  let r = { site = c.c_site; kind; first_domain = first; second_domain = second } in
+  if
+    not
+      (List.exists
+         (fun r' -> String.equal r'.site r.site && r'.kind = r.kind)
+         !race_log)
+  then race_log := r :: !race_log
+
+let happens_before vc (u, e) = epoch_of u vc >= e
+
+let read c =
+  if armed () then
+    locked (fun () ->
+        let st = my () in
+        let me = self () in
+        (match c.c_write with
+         | Some ((u, _) as w) when u <> me && not (happens_before st.vc w) ->
+           report c `Write_read ~first:u ~second:me
+         | Some _ | None -> ());
+        Hashtbl.replace c.c_reads me (epoch_of me st.vc))
+
+let write c =
+  if armed () then
+    locked (fun () ->
+        let st = my () in
+        let me = self () in
+        (match c.c_write with
+         | Some ((u, _) as w) when u <> me && not (happens_before st.vc w) ->
+           report c `Write_write ~first:u ~second:me
+         | Some _ | None -> ());
+        Hashtbl.iter
+          (fun u e ->
+            if u <> me && not (happens_before st.vc (u, e)) then
+              report c `Read_write ~first:u ~second:me)
+          c.c_reads;
+        Hashtbl.reset c.c_reads;
+        c.c_write <- Some (me, epoch_of me st.vc))
+
+let kind_rank = function `Write_write -> 0 | `Read_write -> 1 | `Write_read -> 2
+
+let races () =
+  locked (fun () ->
+      List.sort
+        (fun a b ->
+          match String.compare a.site b.site with
+          | 0 -> compare (kind_rank a.kind) (kind_rank b.kind)
+          | n -> n)
+        !race_log)
