@@ -133,19 +133,40 @@ let outage_of sink ~before_count ~before_maxseq =
   let interval = float_of_int (8 * sdu_size) /. cbr_rate in
   (float_of_int lost *. interval, lost)
 
-(* RINA_TRACE=<file> turns the flight recorder on for the RINA run:
-   events stream into an in-memory trace, periodic probes sample the
-   radio-link queues and H's EFCP window occupancy, and the trace is
-   saved as JSONL for rina_trace at the end.  The returned closure
-   finalises (save + detach); with the variable unset it is a no-op and
-   tracing stays disabled. *)
-let maybe_trace w =
-  match Sys.getenv_opt "RINA_TRACE" with
-  | None -> fun () -> ()
-  | Some path ->
-    let tr = Rina_sim.Trace.create w.engine in
-    Rina_sim.Trace.attach tr;
+(* Observability hooks for the RINA run, all off by default:
+   - RINA_TRACE=<file>: save the flight-recorder trace as JSONL for
+     rina_trace at the end;
+   - RINA_STATS=<file>: wire a live telemetry registry (+ snapshot
+     timer, if the policy asks) via [Rina_exp.Obs] and write its stats
+     JSONL for rina_stats;
+   - RINA_STATS_POLICY=<ini>: policy spec whose [telemetry] section
+     drives the sampling rate, ring bound and snapshot cadence (e.g.
+     examples/policies/telemetry.ini); without it every event is kept
+     and no snapshots fire.
+   Either way, periodic probes sample the radio-link queues and H's
+   EFCP window occupancy.  The returned closure finalises (save +
+   detach); with neither variable set it is a no-op and tracing stays
+   disabled. *)
+let maybe_obs w =
+  let trace_path = Sys.getenv_opt "RINA_TRACE" in
+  let stats_path = Sys.getenv_opt "RINA_STATS" in
+  if trace_path = None && stats_path = None then fun () -> ()
+  else begin
+    let policy =
+      match Sys.getenv_opt "RINA_STATS_POLICY" with
+      | None -> Rina_core.Policy.default
+      | Some path -> (
+        let text = In_channel.with_open_text path In_channel.input_all in
+        match Rina_core.Policy_lang.parse text with
+        | Ok p -> p
+        | Error msg ->
+          Printf.eprintf "f5: bad RINA_STATS_POLICY %s: %s\n%!" path msg;
+          exit 2)
+    in
+    let obs = Rina_exp.Obs.start ~policy w.engine in
+    let tr = obs.Rina_exp.Obs.trace in
     let until = Engine.now w.engine +. 40. in
+    Rina_exp.Obs.snapshots obs ~until;
     Rina_sim.Trace.probe tr ~name:"queue:b1-m" ~period:0.1 ~until (fun () ->
         Link.queue_depth_a w.l_b1_m);
     Rina_sim.Trace.probe tr ~name:"queue:b2-m" ~period:0.1 ~until (fun () ->
@@ -155,12 +176,18 @@ let maybe_trace w =
           (fun acc (_, in_flight, _) -> acc + in_flight)
           0 (Ipcp.flow_stats w.h));
     fun () ->
-      Rina_sim.Trace.save_jsonl tr path;
-      Rina_sim.Trace.detach ()
+      (match trace_path with
+      | Some path -> Rina_sim.Trace.save_jsonl tr path
+      | None -> ());
+      (match stats_path with
+      | Some path -> Rina_exp.Obs.write_stats obs path
+      | None -> ());
+      Rina_exp.Obs.stop obs
+  end
 
 let run_rina table =
   let w = build () in
-  let finish_trace = maybe_trace w in
+  let finish_trace = maybe_obs w in
   let sink = Workload.sink () in
   let dst = Rina_core.Types.apn "mobile-app" in
   Ipcp.register_app w.m_top dst ~on_flow:(fun flow ->

@@ -94,7 +94,17 @@ let run file latency drops queues gap faults seq component rank =
     2
   | Ok events ->
     let any = latency || drops || queues || gap || faults || seq <> None in
-    if not any then print_string (Report.summary events);
+    if not any then print_string (Report.summary events)
+    else (
+      (* the summary prints its own sampling note; section views get
+         one line so sampled counts are not misread as totals *)
+      match Report.sample_ppm events with
+      | Some ppm when ppm > 0 && ppm < 1_000_000 ->
+        Printf.printf
+          "note: trace head-sampled at %g%% of spans; span-derived counts are \
+           samples\n"
+          (float_of_int ppm /. 10_000.)
+      | Some _ | None -> ());
     if latency then print_latency events;
     if drops then print_drops events;
     if queues then print_queues events;

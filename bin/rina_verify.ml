@@ -69,13 +69,39 @@ let print_summary (s : Verify.summary) =
 
 let race_sweep () =
   (* A small domain-parallel sweep with every Par annotation armed:
-     the fork/join structure, the atomic work counter and the result
-     slots are all checked for happens-before races. *)
+     the fork/join structure, the atomic work counter, the result
+     slots AND the per-domain telemetry shards (each worker records
+     into its private registry; the merge path back to the parent
+     carries its own Race cells) are all checked for happens-before
+     races. *)
+  let module Telemetry = Rina_util.Telemetry in
   Rina_check.Sanitizer.Race.arm ();
   let items = Array.init 64 (fun i -> i) in
-  let out = Rina_exp.Par.map ~domains:4 (fun i -> (i * 2654435761) land 0xffff) items in
+  let out, merged =
+    Rina_exp.Par.map_telemetry ~domains:4
+      (fun i ->
+        (match Telemetry.current () with
+         | Some t ->
+           Telemetry.count t "work";
+           Telemetry.add_sample t "hash" (float_of_int ((i * 2654435761) land 0xffff))
+         | None -> ());
+        (i * 2654435761) land 0xffff)
+      items
+  in
   let diags = Rina_check.Sanitizer.Race.diags () in
   Rina_check.Sanitizer.Race.disarm ();
+  (* the merge is exact, so a lost shard update is a hard failure even
+     if no race was observed *)
+  let diags =
+    let work = Telemetry.counter merged "work" in
+    if work <> Array.length items then
+      Diag.error ~line:0 "SAN_SHARD_MERGE"
+        (Printf.sprintf
+           "telemetry shard merge lost updates: %d recorded, %d expected" work
+           (Array.length items))
+      :: diags
+    else diags
+  in
   (Array.length out, diags)
 
 let run names list_only policies json strict quiet sweep max_depth =

@@ -45,6 +45,12 @@ let schema =
       ] );
     ("auth", [ ("kind", Enum [ "none"; "password" ]); ("secret", Any_string) ]);
     ("dif", [ ("max_ttl", Pos_int) ]);
+    ( "telemetry",
+      [
+        ("trace_sample_rate", Nonneg_float);
+        ("snapshot_interval", Nonneg_float);
+        ("flight_ring_capacity", Nonneg_int);
+      ] );
   ]
 
 let known_sections = List.map fst schema
@@ -364,6 +370,34 @@ let consistency sc (base : Policy.t) topo =
              RIB syncs outpace adjacency confirmation"
             ae hello)
          ~hint:"use anti_entropy_interval >= hello_interval");
+  (* L117: a sample rate outside (0, 1] is not a probability — 0 (or a
+     negative) keeps nothing, above 1 is meaningless; Obs refuses to
+     start with it at runtime, so catch it statically. *)
+  let sample_rate, ln_sr =
+    getf sc "telemetry" "trace_sample_rate"
+      base.Policy.telemetry.Policy.trace_sample_rate
+  in
+  if sample_rate <= 0. || sample_rate > 1. then
+    emit sc
+      (Diag.error ~line:(at [ ln_sr ]) "L117"
+         (Printf.sprintf "trace_sample_rate (%g) is outside (0, 1]" sample_rate)
+         ~hint:"1.0 keeps every span; 0.01 keeps ~1% of spans deterministically");
+  (* L118: snapshots ride the engine's coarse timer wheel — an interval
+     below one wheel slot cannot fire any faster than the slot width,
+     the extra ticks just collapse into the same slot. *)
+  let snap_iv, ln_si =
+    getf sc "telemetry" "snapshot_interval"
+      base.Policy.telemetry.Policy.snapshot_interval
+  in
+  if snap_iv > 0. && snap_iv < Rina_sim.Engine.wheel_granularity then
+    emit sc
+      (Diag.warning ~line:(at [ ln_si ]) "L118"
+         (Printf.sprintf
+            "snapshot_interval (%g s) is below the timer-wheel slot width (%g s)"
+            snap_iv Rina_sim.Engine.wheel_granularity)
+         ~hint:
+           (Printf.sprintf "snapshot timers ride the coarse wheel; use at least %g s"
+              Rina_sim.Engine.wheel_granularity));
   match topo with
   | None -> ()
   | Some { diameter; bottleneck_bit_rate; rtt } ->
@@ -425,6 +459,9 @@ let rules =
     Diag.rule ~code:"L115" ~severity:e "reorder_window below sack_blocks";
     Diag.rule ~code:"L116" ~severity:w
       "anti_entropy_interval below hello_interval churns full RIB syncs";
+    Diag.rule ~code:"L117" ~severity:e "trace_sample_rate outside (0, 1]";
+    Diag.rule ~code:"L118" ~severity:w
+      "snapshot_interval below the timer-wheel slot width";
     Diag.rule ~code:"L201" ~severity:e "max_ttl below the topology diameter";
     Diag.rule ~code:"L202" ~severity:w
       "window x mtu below the bandwidth-delay product: cannot saturate the path";

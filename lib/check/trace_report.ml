@@ -267,6 +267,24 @@ let sequence_diagram ?(max_spans = 10) events =
     (span_tree ~max_spans events);
   Buffer.contents buf
 
+(* ---------- sampling metadata ---------- *)
+
+(* A head-sampled trace carries its keep rate as a marker event
+   ([Trace.attach] emits it first thing); analyses use it to scale
+   sampled span counts back to population estimates. *)
+let sample_ppm events =
+  List.find_map
+    (fun (e : Flight.event) ->
+      match e.Flight.kind with
+      | Flight.Custom "meta:sample_ppm" when e.Flight.component = "trace" ->
+        Some e.Flight.size
+      | _ -> None)
+    events
+
+let scale_count ~ppm n =
+  if ppm <= 0 || ppm >= 1_000_000 then n
+  else int_of_float (Float.round (float_of_int n *. 1_000_000. /. float_of_int ppm))
+
 (* ---------- summary ---------- *)
 
 let summary events =
@@ -296,6 +314,15 @@ let summary events =
     Buffer.add_string buf
       (Printf.sprintf "%d events, %d components, %d spans, t=[%g, %g]\n" n
          (Hashtbl.length comps) (Hashtbl.length spans) !t_min !t_max);
+    (match sample_ppm events with
+     | Some ppm when ppm > 0 && ppm < 1_000_000 ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "head-sampled at %g%% of spans (~%d spans in the full run); \
+             span-derived counts are samples\n"
+            (float_of_int ppm /. 10_000.)
+            (scale_count ~ppm (Hashtbl.length spans)))
+     | Some _ | None -> ());
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
     |> List.sort (fun (ka, na) (kb, nb) ->
            if na <> nb then compare nb na else compare ka kb)

@@ -65,5 +65,15 @@ val sequence_diagram : ?max_spans:int -> Rina_util.Flight.event list -> string
     span, one line per event, with [a -> b] markers where the PDU moves
     between components. *)
 
+val sample_ppm : Rina_util.Flight.event list -> int option
+(** Head-sampling keep rate (parts-per-million) recorded in the trace's
+    [Custom "meta:sample_ppm"] marker; [None] for unsampled traces. *)
+
+val scale_count : ppm:int -> int -> int
+(** Scale a span-derived sample count back to a full-population
+    estimate ([n * 10^6 / ppm]); identity when [ppm] means unsampled. *)
+
 val summary : Rina_util.Flight.event list -> string
-(** Event, component and span totals plus per-kind counts. *)
+(** Event, component and span totals plus per-kind counts; sampled
+    traces additionally report their keep rate and the estimated
+    full-run span count. *)

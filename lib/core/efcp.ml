@@ -106,19 +106,26 @@ let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ?span_keys
 
 let metrics t = t.metrics
 
-(* Flight-recorder emissions; every call site is guarded by the
-   [Flight.enabled] load so the disabled path allocates nothing. *)
+(* Flight-recorder emissions; each helper fetches the domain's
+   recorder once and guards inside, so a data-path event costs a single
+   domain-local lookup and the disabled path allocates nothing. *)
 module Flight = Rina_util.Flight
 
 let[@inline] flight_tx t seq size kind =
-  Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank ~seq ~size
-    ~span:(Flight.span_of ~flow:t.tx_span_key ~seq)
-    kind
+  let r = Flight.cur () in
+  if Flight.on r then
+    Flight.emit_to r ~component:"efcp" ~flow:t.local_cep ~rank:t.rank ~seq
+      ~size
+      ~span:(Flight.span_of ~flow:t.tx_span_key ~seq)
+      kind
 
 let[@inline] flight_rx t seq size kind =
-  Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank ~seq ~size
-    ~span:(Flight.span_of ~flow:t.rx_span_key ~seq)
-    kind
+  let r = Flight.cur () in
+  if Flight.on r then
+    Flight.emit_to r ~component:"efcp" ~flow:t.local_cep ~rank:t.rank ~seq
+      ~size
+      ~span:(Flight.span_of ~flow:t.rx_span_key ~seq)
+      kind
 
 let in_flight t = t.next_seq - t.snd_una
 
@@ -153,9 +160,10 @@ let rec arm_rto_timer t =
   cancel_timer t.rto_timer;
   t.rto_timer <- None;
   if reliable t && in_flight t > 0 && not t.closed then begin
-    if Flight.enabled () then
-      Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
-        Flight.Timer_set;
+    (let r = Flight.cur () in
+     if Flight.on r then
+       Flight.emit_to r ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
+         Flight.Timer_set);
     t.rto_timer <-
       Some
         (Rina_sim.Engine.schedule ~lane:Rina_sim.Engine.Timer t.engine
@@ -166,9 +174,10 @@ and on_rto t =
   if t.closed || t.errored then ()
   else begin
     Rina_util.Metrics.incr t.metrics "rto_fired";
-    if Flight.enabled () then
-      Flight.emit ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
-        Flight.Timer_fired;
+    (let r = Flight.cur () in
+     if Flight.on r then
+       Flight.emit_to r ~component:"efcp" ~flow:t.local_cep ~rank:t.rank
+         Flight.Timer_fired);
     t.rto <- Float.min max_rto (2. *. t.rto);
     if t.config.Policy.congestion_control then begin
       t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
@@ -200,8 +209,7 @@ and retransmit_seq t seq =
       u.retries <- u.retries + 1;
       u.sent_at <- Rina_sim.Engine.now t.engine;
       Rina_util.Metrics.incr t.metrics "pdus_rtx";
-      if Flight.enabled () then
-        flight_tx t seq (Bytes.length u.payload) Flight.Retransmit;
+      flight_tx t seq (Bytes.length u.payload) Flight.Retransmit;
       t.send_pdu (dtp_pdu t seq u.payload)
     end
 
@@ -213,7 +221,7 @@ let transmit t payload =
       { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0;
         sacked = false };
   Rina_util.Metrics.incr t.metrics "pdus_sent";
-  if Flight.enabled () then flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
+  flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
   t.send_pdu (dtp_pdu t seq payload);
   if t.rto_timer = None then arm_rto_timer t
 
@@ -337,8 +345,7 @@ let deliver_in_sequence t =
       Hashtbl.remove t.ooo seq;
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
-      if Flight.enabled () then
-        flight_rx t seq (Bytes.length payload) Flight.Pdu_recvd;
+      flight_rx t seq (Bytes.length payload) Flight.Pdu_recvd;
       san_delivery t seq;
       t.deliver payload
     | None -> continue := false
@@ -364,16 +371,14 @@ let handle_dtp t (pdu : Pdu.t) =
   if reliable t then begin
     if pdu.Pdu.seq < t.rcv_next || Hashtbl.mem t.ooo pdu.Pdu.seq then begin
       Rina_util.Metrics.incr t.metrics "dup_rcvd";
-      if Flight.enabled () then
-        flight_rx t pdu.Pdu.seq
-          (Bytes.length pdu.Pdu.payload)
-          (Flight.Pdu_dropped Flight.R_dup)
+      flight_rx t pdu.Pdu.seq
+        (Bytes.length pdu.Pdu.payload)
+        (Flight.Pdu_dropped Flight.R_dup)
     end
     else if pdu.Pdu.seq = t.rcv_next then begin
       t.rcv_next <- t.rcv_next + 1;
       Rina_util.Metrics.incr t.metrics "delivered";
-      if Flight.enabled () then
-        flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
+      flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
       san_delivery t pdu.Pdu.seq;
       t.deliver pdu.Pdu.payload;
       deliver_in_sequence t
@@ -390,17 +395,15 @@ let handle_dtp t (pdu : Pdu.t) =
           (* Reorder buffer full: shed the arrival; retransmission will
              repair it once the buffer drains. *)
           Rina_util.Metrics.incr t.metrics "ooo_overflow";
-          if Flight.enabled () then
-            flight_rx t pdu.Pdu.seq
-              (Bytes.length pdu.Pdu.payload)
-              (Flight.Pdu_dropped Flight.R_reorder_overflow)
+          flight_rx t pdu.Pdu.seq
+            (Bytes.length pdu.Pdu.payload)
+            (Flight.Pdu_dropped Flight.R_reorder_overflow)
         end
       | Policy.Go_back_n | Policy.No_rtx ->
         Rina_util.Metrics.incr t.metrics "gbn_discards";
-        if Flight.enabled () then
-          flight_rx t pdu.Pdu.seq
-            (Bytes.length pdu.Pdu.payload)
-            (Flight.Pdu_dropped (Flight.R_other "gbn_discard"))
+        flight_rx t pdu.Pdu.seq
+          (Bytes.length pdu.Pdu.payload)
+          (Flight.Pdu_dropped (Flight.R_other "gbn_discard"))
     end;
     (* Out-of-order arrivals trigger an immediate (duplicate) ack so the
        sender's fast-retransmit logic can fire. *)
@@ -410,25 +413,22 @@ let handle_dtp t (pdu : Pdu.t) =
     (* Unreliable: deliver subject only to the ordering constraint. *)
     if t.in_order && pdu.Pdu.seq <= t.highest_delivered then begin
       Rina_util.Metrics.incr t.metrics "stale_dropped";
-      if Flight.enabled () then
-        flight_rx t pdu.Pdu.seq
-          (Bytes.length pdu.Pdu.payload)
-          (Flight.Pdu_dropped Flight.R_stale)
+      flight_rx t pdu.Pdu.seq
+        (Bytes.length pdu.Pdu.payload)
+        (Flight.Pdu_dropped Flight.R_stale)
     end
     else if (not t.in_order) && dup_cache_hit t pdu.Pdu.seq then begin
       (* A duplicated channel replays the same datagram; the cache is
          the only dedup an unordered unreliable flow has. *)
       Rina_util.Metrics.incr t.metrics "dup_suppressed";
-      if Flight.enabled () then
-        flight_rx t pdu.Pdu.seq
-          (Bytes.length pdu.Pdu.payload)
-          (Flight.Pdu_dropped Flight.R_dup)
+      flight_rx t pdu.Pdu.seq
+        (Bytes.length pdu.Pdu.payload)
+        (Flight.Pdu_dropped Flight.R_dup)
     end
     else begin
       t.highest_delivered <- max t.highest_delivered pdu.Pdu.seq;
       Rina_util.Metrics.incr t.metrics "delivered";
-      if Flight.enabled () then
-        flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
+      flight_rx t pdu.Pdu.seq (Bytes.length pdu.Pdu.payload) Flight.Pdu_recvd;
       san_delivery t pdu.Pdu.seq;
       t.deliver pdu.Pdu.payload
     end

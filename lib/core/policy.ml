@@ -37,6 +37,12 @@ type auth = Auth_none | Auth_password of string
 
 type acl = Allow_all | Allow_pairs of (string * string) list
 
+type telemetry = {
+  trace_sample_rate : float;  (* span keep probability, in (0, 1] *)
+  snapshot_interval : float;  (* seconds between live snapshots; 0 = off *)
+  flight_ring_capacity : int;  (* bound on buffered events; 0 = unbounded *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -45,6 +51,7 @@ type t = {
   auth : auth;
   acl : acl;
   max_ttl : int;
+  telemetry : telemetry;
 }
 
 let default_efcp =
@@ -77,6 +84,9 @@ let default_routing =
 let default_enrollment =
   { enroll_timeout = 2.0; enroll_retries = 4; retry_backoff = 0.5 }
 
+let default_telemetry =
+  { trace_sample_rate = 1.0; snapshot_interval = 0.; flight_ring_capacity = 0 }
+
 let default =
   {
     efcp = default_efcp;
@@ -86,6 +96,7 @@ let default =
     auth = Auth_none;
     acl = Allow_all;
     max_ttl = 32;
+    telemetry = default_telemetry;
   }
 
 let efcp_for_qos t (qos : Qos.t) =

@@ -86,6 +86,22 @@ type acl =
   | Allow_pairs of (string * string) list
       (** permitted (source app name, destination app name) pairs *)
 
+(** Observability policy: how much the flight recorder keeps and how
+    often live stats surface.  Consumed by [Rina_exp.Obs]. *)
+type telemetry = {
+  trace_sample_rate : float;
+      (** deterministic head-sampling keep probability for spans, in
+          (0, 1]; 1.0 traces everything (lint L117 rejects other
+          values outside the interval) *)
+  snapshot_interval : float;
+      (** seconds between live telemetry snapshots; rides the engine
+          timer wheel, so values below one wheel slot are pointless
+          (lint L118); 0 disables snapshots *)
+  flight_ring_capacity : int;
+      (** bound on buffered trace events — once full the newest events
+          overwrite the oldest (exactly counted); 0 = unbounded *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -94,11 +110,15 @@ type t = {
   auth : auth;
   acl : acl;
   max_ttl : int;  (** initial TTL stamped on PDUs entering the DIF *)
+  telemetry : telemetry;
 }
 
 val default_efcp : efcp
 val default_routing : routing
 val default_enrollment : enrollment
+val default_telemetry : telemetry
+(** Keep everything, no snapshots, unbounded buffer — the zero-surprise
+    debugging default; scale runs opt into sampling via policy. *)
 
 val default : t
 (** Selective-repeat EFCP (window 64, mtu 1400), FIFO scheduling, 1 s

@@ -6,6 +6,7 @@ type section =
   | S_enrollment
   | S_auth
   | S_dif
+  | S_telemetry
 
 (* Mutable build state folded over the lines of the spec. *)
 type state = {
@@ -171,7 +172,34 @@ let apply_kv st line key v =
     st.auth_secret <- v;
     Ok p
   | S_dif, "max_ttl" -> parse_int line key v (fun n -> Ok { p with Policy.max_ttl = n })
-  | (S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif), other ->
+  | S_telemetry, "trace_sample_rate" -> (
+    match float_of_string_opt v with
+    | Some f when f > 0. && f <= 1. ->
+      Ok
+        {
+          p with
+          Policy.telemetry = { p.Policy.telemetry with Policy.trace_sample_rate = f };
+        }
+    | Some _ | None ->
+      err line
+        (Printf.sprintf "trace_sample_rate expects a number in (0, 1], got %S" v))
+  | S_telemetry, "snapshot_interval" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.telemetry = { p.Policy.telemetry with Policy.snapshot_interval = f };
+          })
+  | S_telemetry, "flight_ring_capacity" ->
+    parse_nat line key v (fun n ->
+        Ok
+          {
+            p with
+            Policy.telemetry =
+              { p.Policy.telemetry with Policy.flight_ring_capacity = n };
+          })
+  | ( (S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif | S_telemetry),
+      other ) ->
     err line (Printf.sprintf "unknown key %S in this section" other)
 
 let finish st line =
@@ -205,6 +233,7 @@ let section_name = function
   | S_enrollment -> "enrollment"
   | S_auth -> "auth"
   | S_dif -> "dif"
+  | S_telemetry -> "telemetry"
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -263,6 +292,9 @@ let parse ?(base = Policy.default) text =
           loop (n + 1) rest
         | "dif" ->
           st.section <- S_dif;
+          loop (n + 1) rest
+        | "telemetry" ->
+          st.section <- S_telemetry;
           loop (n + 1) rest
         | other -> err n (Printf.sprintf "unknown section [%s]" other)
       end
@@ -340,5 +372,10 @@ let to_string (p : Policy.t) =
       auth_lines;
       "[dif]";
       Printf.sprintf "max_ttl = %d" p.Policy.max_ttl;
+      "[telemetry]";
+      Printf.sprintf "trace_sample_rate = %g" p.Policy.telemetry.Policy.trace_sample_rate;
+      Printf.sprintf "snapshot_interval = %g" p.Policy.telemetry.Policy.snapshot_interval;
+      Printf.sprintf "flight_ring_capacity = %d"
+        p.Policy.telemetry.Policy.flight_ring_capacity;
       "";
     ]

@@ -59,32 +59,38 @@ let set_ingress_filter t f = t.ingress_filter <- f
 
 let metrics t = t.metrics
 
-(* Flight-recorder emissions; [Flight.enabled] is checked at every call
-   site so the disabled path allocates nothing.  The component names
-   the relay instance ("label@address"), and the span id is recomputed
-   from the PDU header so relay events join the end-to-end EFCP
-   events.  [flight_frame] reads the fields straight out of the frame;
-   it reports the same flow/seq/span/size as [flight_pdu] on the
-   decoded equivalent (size = encoded PDU length, trailer excluded). *)
+(* Flight-recorder emissions; each helper fetches the domain's
+   recorder once and guards inside, so an emission site on the data
+   path pays a single domain-local lookup and the disabled path
+   allocates nothing.  The component names the relay instance
+   ("label@address"), and the span id is recomputed from the PDU header
+   so relay events join the end-to-end EFCP events.  [flight_frame]
+   reads the fields straight out of the frame; it reports the same
+   flow/seq/span/size as [flight_pdu] on the decoded equivalent
+   (size = encoded PDU length, trailer excluded). *)
 module Flight = Rina_util.Flight
 
 let flight_pdu t (pdu : Pdu.t) kind =
-  Flight.emit
-    ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
-    ~flow:pdu.Pdu.dst_cep ~rank:t.rank ~seq:pdu.Pdu.seq
-    ~size:(Pdu.header_size + Bytes.length pdu.Pdu.payload)
-    ~span:(Pdu.span pdu) kind
+  let r = Flight.cur () in
+  if Flight.on r then
+    Flight.emit_to r
+      ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+      ~flow:pdu.Pdu.dst_cep ~rank:t.rank ~seq:pdu.Pdu.seq
+      ~size:(Pdu.header_size + Bytes.length pdu.Pdu.payload)
+      ~span:(Pdu.span pdu) kind
 
 let flight_frame t frame kind =
-  Flight.emit
-    ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
-    ~flow:(Pdu.Peek.dst_cep frame) ~rank:t.rank ~seq:(Pdu.Peek.seq frame)
-    ~size:(Bytes.length frame - Sdu_protection.overhead)
-    ~span:(Pdu.Peek.span frame) kind
+  let r = Flight.cur () in
+  if Flight.on r then
+    Flight.emit_to r
+      ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+      ~flow:(Pdu.Peek.dst_cep frame) ~rank:t.rank ~seq:(Pdu.Peek.seq frame)
+      ~size:(Bytes.length frame - Sdu_protection.overhead)
+      ~span:(Pdu.Peek.span frame) kind
 
 let transmit_now t port frame =
   Rina_util.Metrics.incr t.metrics "sent";
-  if Flight.enabled () then flight_frame t frame Flight.Pdu_sent;
+  flight_frame t frame Flight.Pdu_sent;
   port.chan.Rina_sim.Chan.send frame
 
 (* Pick the next frame to serve on a shaped port according to the
@@ -145,7 +151,7 @@ let rec serve t port rate =
     match pick_next t port with
     | None -> ()
     | Some frame ->
-      if Flight.enabled () then flight_frame t frame Flight.Dequeued;
+      flight_frame t frame Flight.Dequeued;
       port.busy <- true;
       let size = Bytes.length frame in
       let tx_time = float_of_int (8 * size) /. rate in
@@ -163,19 +169,18 @@ let enqueue t port ~hdr frame =
   | Some rate ->
     let cls = max 0 (min (num_classes - 1) (t.classify hdr)) in
     if Queue.length port.queues.(cls) >= queue_capacity then begin
-      if Flight.enabled () then
-        flight_frame t frame (Flight.Pdu_dropped Flight.R_queue_full);
+      flight_frame t frame (Flight.Pdu_dropped Flight.R_queue_full);
       Rina_util.Metrics.incr t.metrics "queue_dropped"
     end
     else begin
-      if Flight.enabled () then flight_frame t frame Flight.Enqueued;
+      flight_frame t frame Flight.Enqueued;
       Queue.push frame port.queues.(cls);
       serve t port rate
     end
 
 let deliver_up t from_port pdu =
   Rina_util.Metrics.incr t.metrics "delivered_up";
-  if Flight.enabled () then flight_pdu t pdu Flight.Pdu_recvd;
+  flight_pdu t pdu Flight.Pdu_recvd;
   t.deliver from_port pdu
 
 (* Locally originated PDUs ([send]): route, then encode exactly once —
@@ -185,22 +190,19 @@ let relay_or_deliver t from_port pdu =
   if pdu.Pdu.dst_addr = own || pdu.Pdu.dst_addr = Types.no_address then
     deliver_up t from_port pdu
   else if pdu.Pdu.ttl <= 1 then begin
-    if Flight.enabled () then
-      flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ttl_expired);
+    flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ttl_expired);
     Rina_util.Metrics.incr t.metrics "ttl_expired"
   end
   else begin
     let pdu = { pdu with Pdu.ttl = pdu.Pdu.ttl - 1 } in
     match t.forwarding pdu with
     | None ->
-      if Flight.enabled () then
-        flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
+      flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
       Rina_util.Metrics.incr t.metrics "no_route"
     | Some port_id -> (
       match Hashtbl.find_opt t.ports port_id with
       | None ->
-        if Flight.enabled () then
-          flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
+        flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
         Rina_util.Metrics.incr t.metrics "no_route"
       | Some port ->
         (if from_port <> None then Rina_util.Metrics.incr t.metrics "relayed");
@@ -213,14 +215,12 @@ let relay_frame t ~hdr frame =
   let hdr = { hdr with Pdu.ttl = hdr.Pdu.ttl - 1 } in
   match t.forwarding hdr with
   | None ->
-    if Flight.enabled () then
-      flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
+    flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
     Rina_util.Metrics.incr t.metrics "no_route"
   | Some port_id -> (
     match Hashtbl.find_opt t.ports port_id with
     | None ->
-      if Flight.enabled () then
-        flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
+      flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
       Rina_util.Metrics.incr t.metrics "no_route"
     | Some port ->
       Rina_util.Metrics.incr t.metrics "relayed";
@@ -232,25 +232,26 @@ let relay_frame t ~hdr frame =
 let on_frame t port_id frame =
   match Sdu_protection.verify_len frame with
   | None ->
-    if Flight.enabled () then
-      Flight.emit
-        ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
-        ~rank:t.rank ~size:(Bytes.length frame)
-        (Flight.Pdu_dropped Flight.R_corrupt);
+    (let r = Flight.cur () in
+     if Flight.on r then
+       Flight.emit_to r
+         ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+         ~rank:t.rank ~size:(Bytes.length frame)
+         (Flight.Pdu_dropped Flight.R_corrupt));
     Rina_util.Metrics.incr t.metrics "crc_dropped"
   | Some body_len -> (
     match Pdu.decode_header frame ~len:body_len with
     | Error _ ->
-      if Flight.enabled () then
-        Flight.emit
-          ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
-          ~rank:t.rank ~size:body_len
-          (Flight.Pdu_dropped Flight.R_decode);
+      (let r = Flight.cur () in
+       if Flight.on r then
+         Flight.emit_to r
+           ~component:(t.label ^ "@" ^ string_of_int (t.own_address ()))
+           ~rank:t.rank ~size:body_len
+           (Flight.Pdu_dropped Flight.R_decode));
       Rina_util.Metrics.incr t.metrics "decode_dropped"
     | Ok hdr ->
       if not (t.ingress_filter port_id hdr) then begin
-        if Flight.enabled () then
-          flight_frame t frame (Flight.Pdu_dropped Flight.R_ingress_filter);
+        flight_frame t frame (Flight.Pdu_dropped Flight.R_ingress_filter);
         Rina_util.Metrics.incr t.metrics "ingress_dropped"
       end
       else begin
@@ -261,8 +262,7 @@ let on_frame t port_id frame =
           | Ok pdu -> deliver_up t (Some port_id) pdu
           | Error _ -> Rina_util.Metrics.incr t.metrics "decode_dropped")
         else if hdr.Pdu.ttl <= 1 then begin
-          if Flight.enabled () then
-            flight_frame t frame (Flight.Pdu_dropped Flight.R_ttl_expired);
+          flight_frame t frame (Flight.Pdu_dropped Flight.R_ttl_expired);
           Rina_util.Metrics.incr t.metrics "ttl_expired"
         end
         else relay_frame t ~hdr frame

@@ -1,0 +1,43 @@
+(** Policy-driven observability: wire a {!Rina_sim.Trace} (deterministic
+    head sampling, optional ring bound or streaming spill) and a live
+    {!Rina_util.Telemetry} registry to an engine, from the policy's
+    [[telemetry]] section.
+
+    Typical use, mirroring the shipped
+    [examples/policies/telemetry.ini]:
+    {[
+      let obs = Obs.start ~policy engine in
+      Obs.snapshots obs ~until:600.;
+      (* ... run the experiment ... *)
+      Obs.write_stats obs "run.stats.jsonl";
+      Obs.stop obs
+    ]}
+    The stats file renders with [rina_stats] (text or [--json]). *)
+
+type t = {
+  engine : Rina_sim.Engine.t;
+  trace : Rina_sim.Trace.t;
+  telemetry : Rina_util.Telemetry.t;
+  config : Rina_core.Policy.telemetry;
+}
+
+val start : ?policy:Rina_core.Policy.t -> ?stream:string -> Rina_sim.Engine.t -> t
+(** Attach a trace per [policy.telemetry]: sample rate, ring capacity,
+    and — when [stream] names a file — a JSONL streaming sink instead
+    of the in-memory buffer.  Inside a [Par.map_telemetry] worker the
+    domain's shard registry is reused, so experiment stats land in the
+    merged output.  Lint rule L117 catches bad sample rates statically;
+    this raises on them at runtime.
+    @raise Invalid_argument when the policy's sample rate is outside
+    (0, 1] or the ring capacity is negative. *)
+
+val snapshots : t -> until:float -> unit
+(** Schedule the periodic snapshot timer if the policy asked for one
+    ([snapshot_interval > 0]); no-op otherwise. *)
+
+val write_stats : t -> string -> unit
+(** Write the registry's canonical JSONL ({!Rina_util.Telemetry.to_jsonl})
+    to a file for [rina_stats]. *)
+
+val stop : t -> unit
+(** Flush/close any streaming sink and detach the recorder. *)

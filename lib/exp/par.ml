@@ -93,3 +93,56 @@ let map ?domains f items =
 
 let run_trials ?domains ~seeds f =
   Array.to_list (map ?domains (fun seed -> f ~seed) (Array.of_list seeds))
+
+(* Telemetry-sharded fan-out: every trial gets a private registry as
+   this domain's [Telemetry.current] — the per-shard stats pipeline —
+   and the shards are merged in *input* order after the join, so the
+   merged registry is byte-identical whether the trials ran on one
+   domain or eight (merge is exact bucket addition, and the order is
+   fixed by the item list, not the schedule).
+
+   Race annotations mirror the result slots: one cell per telemetry
+   shard, written by the owning worker after the trial finishes and
+   read on the merge path, so an armed sanitizer proves the shard
+   hand-off is happens-before clean. *)
+let map_telemetry ?domains ?series_bucket f items =
+  let module Telemetry = Rina_util.Telemetry in
+  let n = Array.length items in
+  let merged = Telemetry.create ?series_bucket () in
+  if n = 0 then ([||], merged)
+  else begin
+    let armed = Race.armed () in
+    let shard_cells =
+      if armed then
+        Some
+          (Array.init n (fun i ->
+               Race.cell (Printf.sprintf "Par.telemetry[%d]" i)))
+      else None
+    in
+    let pairs =
+      map ?domains
+        (fun i ->
+          let tele = Telemetry.create ?series_bucket () in
+          Telemetry.set_current (Some tele);
+          let finish () = Telemetry.set_current None in
+          let r =
+            try f items.(i)
+            with e ->
+              finish ();
+              raise e
+          in
+          finish ();
+          (match shard_cells with Some cs -> Race.write cs.(i) | None -> ());
+          (r, tele))
+        (Array.init n Fun.id)
+    in
+    let results =
+      Array.mapi
+        (fun i (r, tele) ->
+          (match shard_cells with Some cs -> Race.read cs.(i) | None -> ());
+          Telemetry.merge_into ~into:merged tele;
+          r)
+        pairs
+    in
+    (results, merged)
+  end

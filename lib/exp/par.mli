@@ -28,3 +28,19 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val run_trials : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a list
 (** Seed-list convenience wrapper over {!map}; results in seed-list
     order. *)
+
+val map_telemetry :
+  ?domains:int ->
+  ?series_bucket:float ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array * Rina_util.Telemetry.t
+(** Like {!map}, but each trial additionally owns a private
+    {!Rina_util.Telemetry} registry, installed as the domain's
+    [Telemetry.current] for the duration of the trial (per-shard stats
+    pipeline).  After all workers join, the shards are merged in input
+    order — telemetry merge is exact and the order is fixed, so the
+    merged registry (and its {!Rina_util.Telemetry.to_jsonl} export) is
+    byte-identical between a 1-domain and an N-domain run of the same
+    items.  Shard hand-off carries its own {!Rina_util.Race} cells, so
+    an armed sanitizer checks the merge path too. *)

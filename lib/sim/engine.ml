@@ -101,8 +101,9 @@ let schedule_at ?(lane = Default) t ~time f =
     if s - slot_of t.clock < wheel_slots then add_wheel t s time h
     else Rina_util.Heap.push t.queue time h
   | Default | Timer -> Rina_util.Heap.push t.queue time h);
-  if Rina_util.Flight.enabled () then
-    Rina_util.Flight.emit ~component:"engine" Rina_util.Flight.Timer_set;
+  let r = Rina_util.Flight.cur () in
+  if Rina_util.Flight.on r then
+    Rina_util.Flight.emit_to r ~component:"engine" Rina_util.Flight.Timer_set;
   h
 
 let schedule ?lane t ~delay f =
@@ -242,8 +243,10 @@ let step t =
     h.resident <- false;
     if h.cancelled then t.cancelled_resident <- t.cancelled_resident - 1
     else begin
-      if Rina_util.Flight.enabled () then
-        Rina_util.Flight.emit ~component:"engine" Rina_util.Flight.Timer_fired;
+      let r = Rina_util.Flight.cur () in
+      if Rina_util.Flight.on r then
+        Rina_util.Flight.emit_to r ~component:"engine"
+          Rina_util.Flight.Timer_fired;
       h.action ()
     end;
     true

@@ -24,6 +24,12 @@ type handle
     goes straight to the heap.  Semantics are identical. *)
 type lane = Default | Timer
 
+val wheel_granularity : float
+(** Slot width of the [Timer]-lane wheel, in seconds.  Periodic work
+    riding the wheel (snapshot timers, keepalives) cannot usefully
+    tick faster than this — lint rule L118 warns on policy intervals
+    below it. *)
+
 val create : unit -> t
 (** Fresh engine with the clock at 0.0 seconds. *)
 

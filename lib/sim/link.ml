@@ -103,8 +103,9 @@ let[@inline] account_blackhole half =
    as the conservation accounting above: frames are opaque here, so
    events carry the frame size but no span id. *)
 let[@inline] flight_drop half reason size =
-  if Rina_util.Flight.enabled () then
-    Rina_util.Flight.emit ~component:half.comp ~size
+  let r = Rina_util.Flight.cur () in
+  if Rina_util.Flight.on r then
+    Rina_util.Flight.emit_to r ~component:half.comp ~size
       (Rina_util.Flight.Pdu_dropped reason)
 
 (* ---------- delivery (post-propagation) ----------
@@ -120,8 +121,9 @@ let[@inline] flight_drop half reason size =
 let rec deliver_frame t half frame =
   if Rina_util.Invariant.enabled () then
     half.conserv.delivered <- half.conserv.delivered + 1;
-  if Rina_util.Flight.enabled () then
-    Rina_util.Flight.emit ~component:half.comp ~size:(Bytes.length frame)
+  let r = Rina_util.Flight.cur () in
+  if Rina_util.Flight.on r then
+    Rina_util.Flight.emit_to r ~component:half.comp ~size:(Bytes.length frame)
       Rina_util.Flight.Pdu_recvd;
   Rina_util.Metrics.incr half.stats "rx";
   Rina_util.Metrics.add half.stats "rx_bytes" (Bytes.length frame);
@@ -230,9 +232,10 @@ let transmit t half frame =
   else begin
     if Rina_util.Invariant.enabled () then
       half.conserv.injected <- half.conserv.injected + 1;
-    if Rina_util.Flight.enabled () then
-      Rina_util.Flight.emit ~component:half.comp ~size:(Bytes.length frame)
-        Rina_util.Flight.Pdu_sent;
+    let r = Rina_util.Flight.cur () in
+    if Rina_util.Flight.on r then
+      Rina_util.Flight.emit_to r ~component:half.comp
+        ~size:(Bytes.length frame) Rina_util.Flight.Pdu_sent;
     Rina_util.Metrics.incr m "tx";
     Rina_util.Metrics.add m "tx_bytes" (Bytes.length frame);
     half.queued <- half.queued + 1;

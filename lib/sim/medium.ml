@@ -72,9 +72,12 @@ let peer_of t r =
     (fun other -> other.local.id = r.remote.id && other.remote.id = r.local.id)
     t.radios
 
+(* One recorder lookup per event: fetch with [Flight.cur], guard with
+   [Flight.on] inside the helper. *)
 let[@inline] flight_drop r reason size =
-  if Rina_util.Flight.enabled () then
-    Rina_util.Flight.emit ~component:r.comp ~size
+  let fr = Rina_util.Flight.cur () in
+  if Rina_util.Flight.on fr then
+    Rina_util.Flight.emit_to fr ~component:r.comp ~size
       (Rina_util.Flight.Pdu_dropped reason)
 
 let transmit t r frame =
@@ -84,9 +87,10 @@ let transmit t r frame =
     Rina_util.Metrics.incr m "dropped_down"
   end
   else begin
-    if Rina_util.Flight.enabled () then
-      Rina_util.Flight.emit ~component:r.comp ~size:(Bytes.length frame)
-        Rina_util.Flight.Pdu_sent;
+    (let fr = Rina_util.Flight.cur () in
+     if Rina_util.Flight.on fr then
+       Rina_util.Flight.emit_to fr ~component:r.comp
+         ~size:(Bytes.length frame) Rina_util.Flight.Pdu_sent);
     Rina_util.Metrics.incr m "tx";
     Rina_util.Metrics.add m "tx_bytes" (Bytes.length frame);
     let now = Engine.now t.engine in
@@ -105,9 +109,10 @@ let transmit t r frame =
              Rina_util.Metrics.incr m "dropped_loss"
            end
            else begin
-             if Rina_util.Flight.enabled () then
-               Rina_util.Flight.emit ~component:r.comp
-                 ~size:(Bytes.length frame) Rina_util.Flight.Pdu_recvd;
+             (let fr = Rina_util.Flight.cur () in
+              if Rina_util.Flight.on fr then
+                Rina_util.Flight.emit_to fr ~component:r.comp
+                  ~size:(Bytes.length frame) Rina_util.Flight.Pdu_recvd);
              Rina_util.Metrics.incr m "rx";
              Rina_util.Metrics.add m "rx_bytes" (Bytes.length frame);
              match peer_of t r with

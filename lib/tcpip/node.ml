@@ -94,16 +94,20 @@ let table_size t = Lpm.size t.table
 
 (* Flight-recorder emissions for the baseline stack mirror the RINA
    side: component "ip:<node>", flow = destination address, size =
-   payload bytes.  Guarded with [Flight.enabled] at every site. *)
+   payload bytes.  The helper fetches the domain's recorder once and
+   guards inside, so a packet event costs a single domain-local lookup
+   and the disabled path allocates nothing. *)
 module Flight = Rina_util.Flight
 
 let[@inline] flight_pkt t (pkt : Packet.t) kind =
-  Flight.emit ~component:("ip:" ^ t.name) ~flow:pkt.Packet.dst
-    ~size:(Bytes.length pkt.Packet.payload) kind
+  let r = Flight.cur () in
+  if Flight.on r then
+    Flight.emit_to r ~component:("ip:" ^ t.name) ~flow:pkt.Packet.dst
+      ~size:(Bytes.length pkt.Packet.payload) kind
 
 let deliver t pkt ~in_if =
   Metrics.incr t.metrics "delivered";
-  if Flight.enabled () then flight_pkt t pkt Flight.Pdu_recvd;
+  flight_pkt t pkt Flight.Pdu_recvd;
   match Hashtbl.find_opt t.handlers (proto_key pkt.Packet.proto) with
   | Some f -> f pkt ~in_if
   | None -> Metrics.incr t.metrics "no_handler"
@@ -113,7 +117,7 @@ let transmit t if_id pkt =
   | None -> Metrics.incr t.metrics "no_route"
   | Some i ->
     Metrics.incr t.metrics "ip_tx";
-    if Flight.enabled () then flight_pkt t pkt Flight.Pdu_sent;
+    flight_pkt t pkt Flight.Pdu_sent;
     i.chan.Chan.send (Packet.encode pkt)
 
 let send_on_iface = transmit
@@ -121,13 +125,11 @@ let send_on_iface = transmit
 let route_and_send t pkt =
   match Lpm.lookup t.table pkt.Packet.dst with
   | None ->
-    if Flight.enabled () then
-      flight_pkt t pkt (Flight.Pdu_dropped Flight.R_no_route);
+    flight_pkt t pkt (Flight.Pdu_dropped Flight.R_no_route);
     Metrics.incr t.metrics "no_route"
   | Some r ->
     if r.rt_metric >= 16 then begin
-      if Flight.enabled () then
-        flight_pkt t pkt (Flight.Pdu_dropped Flight.R_no_route);
+      flight_pkt t pkt (Flight.Pdu_dropped Flight.R_no_route);
       Metrics.incr t.metrics "no_route"
     end
     else transmit t r.rt_if pkt
@@ -136,8 +138,7 @@ let send_ip t pkt = route_and_send t pkt
 
 let forward t pkt ~in_if =
   if pkt.Packet.ttl <= 1 then begin
-    if Flight.enabled () then
-      flight_pkt t pkt (Flight.Pdu_dropped Flight.R_ttl_expired);
+    flight_pkt t pkt (Flight.Pdu_dropped Flight.R_ttl_expired);
     Metrics.incr t.metrics "ttl_expired"
   end
   else begin
@@ -157,9 +158,10 @@ let forward t pkt ~in_if =
 let on_frame t if_id frame =
   match Packet.decode frame with
   | Error _ ->
-    if Flight.enabled () then
-      Flight.emit ~component:("ip:" ^ t.name) ~size:(Bytes.length frame)
-        (Flight.Pdu_dropped Flight.R_decode);
+    (let r = Flight.cur () in
+     if Flight.on r then
+       Flight.emit_to r ~component:("ip:" ^ t.name) ~size:(Bytes.length frame)
+         (Flight.Pdu_dropped Flight.R_decode));
     Metrics.incr t.metrics "decode_dropped"
   | Ok pkt ->
     Metrics.incr t.metrics "ip_rx";

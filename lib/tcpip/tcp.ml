@@ -81,35 +81,43 @@ let set_on_close c f = c.on_close <- f
    ({!Ip.flow_key}) so both ends — and any future on-path observer —
    compute identical per-segment spans.  Only sequence-consuming
    segments (data, SYN, FIN) get a span; bare ACKs reuse seq 0 and
-   would alias the SYN's span. *)
+   would alias the SYN's span.  Each helper fetches the domain's
+   recorder once and guards inside, so a segment event costs a single
+   domain-local lookup and the disabled path allocates nothing. *)
 module Flight = Rina_util.Flight
 
 let[@inline] flight_seg c (seg : Packet.Tcp.seg) kind =
-  let flow =
-    Ip.flow_key ~src:c.laddr ~dst:c.raddr ~sport:c.lport ~dport:c.rport
-  in
-  let consumes_seq =
-    Bytes.length seg.Packet.Tcp.body > 0
-    || seg.Packet.Tcp.flags.Packet.Tcp.syn
-    || seg.Packet.Tcp.flags.Packet.Tcp.fin
-  in
-  Flight.emit
-    ~component:("tcp:" ^ Node.node_name c.stack.node)
-    ~flow ~seq:seg.Packet.Tcp.seq
-    ~size:(Bytes.length seg.Packet.Tcp.body)
-    ~span:
-      (if consumes_seq then Flight.span_of ~flow ~seq:seg.Packet.Tcp.seq else 0)
-    kind
+  let r = Flight.cur () in
+  if Flight.on r then begin
+    let flow =
+      Ip.flow_key ~src:c.laddr ~dst:c.raddr ~sport:c.lport ~dport:c.rport
+    in
+    let consumes_seq =
+      Bytes.length seg.Packet.Tcp.body > 0
+      || seg.Packet.Tcp.flags.Packet.Tcp.syn
+      || seg.Packet.Tcp.flags.Packet.Tcp.fin
+    in
+    Flight.emit_to r
+      ~component:("tcp:" ^ Node.node_name c.stack.node)
+      ~flow ~seq:seg.Packet.Tcp.seq
+      ~size:(Bytes.length seg.Packet.Tcp.body)
+      ~span:
+        (if consumes_seq then Flight.span_of ~flow ~seq:seg.Packet.Tcp.seq
+         else 0)
+      kind
+  end
 
 let[@inline] flight_conn c kind =
-  Flight.emit
-    ~component:("tcp:" ^ Node.node_name c.stack.node)
-    ~flow:(Ip.flow_key ~src:c.laddr ~dst:c.raddr ~sport:c.lport ~dport:c.rport)
-    kind
+  let r = Flight.cur () in
+  if Flight.on r then
+    Flight.emit_to r
+      ~component:("tcp:" ^ Node.node_name c.stack.node)
+      ~flow:(Ip.flow_key ~src:c.laddr ~dst:c.raddr ~sport:c.lport ~dport:c.rport)
+      kind
 
 let emit c (seg : Packet.Tcp.seg) =
   Metrics.incr c.metrics "segs_tx";
-  if Flight.enabled () then flight_seg c seg Flight.Pdu_sent;
+  flight_seg c seg Flight.Pdu_sent;
   Node.send_ip c.stack.node
     (Packet.make ~src:c.laddr ~dst:c.raddr ~proto:Packet.P_tcp
        (Packet.Tcp.encode seg))
@@ -152,7 +160,7 @@ let rec arm_rto c =
   cancel_timer c.rto_timer;
   c.rto_timer <- None;
   if in_flight c > 0 && c.st <> Closed then begin
-    if Flight.enabled () then flight_conn c Flight.Timer_set;
+    flight_conn c Flight.Timer_set;
     c.rto_timer <-
       Some
         (Engine.schedule ~lane:Engine.Timer (Node.engine c.stack.node)
@@ -162,7 +170,7 @@ let rec arm_rto c =
 and on_rto c =
   if c.st = Closed then ()
   else begin
-    if Flight.enabled () then flight_conn c Flight.Timer_fired;
+    flight_conn c Flight.Timer_fired;
     c.rto <- Float.min max_rto (2. *. c.rto);
     c.ssthresh <- Float.max 2. (c.cwnd /. 2.);
     c.cwnd <- 2.;
@@ -178,7 +186,7 @@ and retransmit c seq =
     else begin
       u.retries <- u.retries + 1;
       u.sent_at <- Engine.now (Node.engine c.stack.node);
-      if Flight.enabled () then flight_seg c u.seg Flight.Retransmit;
+      flight_seg c u.seg Flight.Retransmit;
       Metrics.incr c.metrics "segs_rtx";
       emit c { u.seg with Packet.Tcp.ack_seq = c.rcv_next }
     end
@@ -283,7 +291,7 @@ let deliver_in_order c =
         continue := false
       end
       else begin
-        if Flight.enabled () then flight_seg c seg Flight.Pdu_recvd;
+        flight_seg c seg Flight.Pdu_recvd;
         Metrics.incr c.metrics "delivered";
         c.on_receive seg.Packet.Tcp.body
       end
@@ -292,8 +300,7 @@ let deliver_in_order c =
 
 let handle_data c (seg : Packet.Tcp.seg) =
   if seg.Packet.Tcp.seq < c.rcv_next || Hashtbl.mem c.ooo seg.Packet.Tcp.seq then begin
-    if Flight.enabled () then
-      flight_seg c seg (Flight.Pdu_dropped Flight.R_duplicate);
+    flight_seg c seg (Flight.Pdu_dropped Flight.R_duplicate);
     Metrics.incr c.metrics "dup_rcvd";
     send_ack c
   end

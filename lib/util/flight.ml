@@ -53,30 +53,155 @@ type event = {
   span : int;  (* PDU trace id joining events across layers; 0 = none *)
 }
 
-type ctx = {
-  mutable on : bool;
+(* Exact per-kind counts bumped inline by [emit] for every event,
+   kept or shed.  A plain record of mutable ints — no closure call, no
+   clock read, no allocation — so online aggregation of a shed event
+   costs a couple of increments.  [Telemetry] owns one per registry. *)
+type tally = {
+  mutable t_events : int;
+  mutable t_sent : int;
+  mutable t_recvd : int;
+  mutable t_dropped : int;
+  mutable t_retransmit : int;
+  mutable t_timer : int;  (* Timer_set + Timer_fired *)
+}
+
+let create_tally () =
+  {
+    t_events = 0;
+    t_sent = 0;
+    t_recvd = 0;
+    t_dropped = 0;
+    t_retransmit = 0;
+    t_timer = 0;
+  }
+
+(* The recorder is handed out by [cur] so a hot emission site pays for
+   exactly one domain-local lookup: [let r = cur () in if on r then
+   emit_to r ...].  The tally field always holds a record (a per-domain
+   scratch one when no telemetry is installed) so the bump needs no
+   option branch. *)
+type recorder = {
+  mutable r_on : bool;
   mutable clock : unit -> float;
   mutable sink : event -> unit;
+  mutable keep_ppm : int;  (* head-sampling rate in parts-per-million *)
+  mutable tap : (event -> unit) option;  (* sees every *kept* event *)
+  mutable tally : tally;  (* counts every event, kept or shed *)
 }
+
+let full_ppm = 1_000_000
 
 let key =
   Domain.DLS.new_key (fun () ->
-      { on = false; clock = (fun () -> 0.); sink = (fun _ -> ()) })
+      {
+        r_on = false;
+        clock = (fun () -> 0.);
+        sink = (fun _ -> ());
+        keep_ppm = full_ppm;
+        tap = None;
+        tally = create_tally ();  (* per-domain scratch tally *)
+      })
 
-let ctx () = Domain.DLS.get key
+let cur () = Domain.DLS.get key
 
-let enabled () = (ctx ()).on
+let on r = r.r_on
 
-let set_enabled b = (ctx ()).on <- b
+let ctx = cur
+
+let enabled () = (ctx ()).r_on
+
+let set_enabled b = (ctx ()).r_on <- b
 
 let set_clock f = (ctx ()).clock <- f
 
 let set_sink f = (ctx ()).sink <- f
 
-let emit ~component ?(flow = 0) ?(rank = 0) ?(seq = 0) ?(size = 0) ?(span = 0)
-    kind =
+let set_tap f = (ctx ()).tap <- f
+
+let set_tally y =
   let c = ctx () in
-  c.sink { time = c.clock (); component; kind; flow; rank; seq; size; span }
+  match y with
+  | Some y -> c.tally <- y
+  | None -> c.tally <- create_tally ()
+
+let ppm_of_rate r =
+  if not (r > 0. && r <= 1.) then
+    invalid_arg "Flight.ppm_of_rate: rate must be in (0, 1]";
+  max 1 (int_of_float (Float.round (r *. float_of_int full_ppm)))
+
+let set_sample_rate r = (ctx ()).keep_ppm <- ppm_of_rate r
+
+let sample_ppm () = (ctx ()).keep_ppm
+
+(* The keep/drop decision is a pure function of the span id alone —
+   nothing from the clock or any counter — so every replay, every
+   relay on the path and every Par worker makes the same call for the
+   same PDU, and a sampled trace stays span-complete: a kept span keeps
+   all of its events, end to end. *)
+let span_kept ~keep_ppm span =
+  let h = span * 0xC2B2AE35 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x27D4EB2F in
+  let h = h lxor (h lsr 31) in
+  (h land 0x3FFFFFFF) mod full_ppm < keep_ppm
+
+(* Under head sampling (keep_ppm < 10^6) an event survives when:
+   - it is a landmark kind (Custom probes/markers, drops, Handoff,
+     Route_update) — low-volume, anomalous, or load-bearing for
+     analysis; or
+   - it carries a span that the hash keeps.
+   High-volume span-less events (link frames are opaque and carry no
+   span, likewise raw timer churn) are exactly what sampling exists to
+   shed; their aggregates survive in the tally instead. *)
+let event_kept ~keep_ppm ~span kind =
+  keep_ppm >= full_ppm
+  ||
+  match kind with
+  | Custom _ | Handoff | Route_update | Pdu_dropped _ -> true
+  | Pdu_sent | Pdu_recvd | Enqueued | Dequeued | Timer_set | Timer_fired
+  | Retransmit ->
+    span <> 0 && span_kept ~keep_ppm span
+
+(* Slow half of [emit_to]: construct the event, tap it, sink it.  Out
+   of line so the shed path below stays small. *)
+let[@inline never] emit_kept c ~component ~flow ~rank ~seq ~size ~span kind =
+  let e = { time = c.clock (); component; kind; flow; rank; seq; size; span } in
+  (match c.tap with None -> () | Some tap -> tap e);
+  c.sink e
+
+let emit_to c ~component ?(flow = 0) ?(rank = 0) ?(seq = 0) ?(size = 0)
+    ?(span = 0) kind =
+  (* One match drives both halves of the hot path: the tally bump and
+     the keep/shed decision.  A shed event is never even constructed —
+     sampling costs the increments here and nothing else. *)
+  let y = c.tally in
+  y.t_events <- y.t_events + 1;
+  let keep =
+    match kind with
+    | Pdu_sent ->
+      y.t_sent <- y.t_sent + 1;
+      c.keep_ppm >= full_ppm || (span <> 0 && span_kept ~keep_ppm:c.keep_ppm span)
+    | Pdu_recvd ->
+      y.t_recvd <- y.t_recvd + 1;
+      c.keep_ppm >= full_ppm || (span <> 0 && span_kept ~keep_ppm:c.keep_ppm span)
+    | Timer_set | Timer_fired ->
+      y.t_timer <- y.t_timer + 1;
+      c.keep_ppm >= full_ppm || (span <> 0 && span_kept ~keep_ppm:c.keep_ppm span)
+    | Enqueued | Dequeued ->
+      c.keep_ppm >= full_ppm || (span <> 0 && span_kept ~keep_ppm:c.keep_ppm span)
+    | Retransmit ->
+      y.t_retransmit <- y.t_retransmit + 1;
+      c.keep_ppm >= full_ppm || (span <> 0 && span_kept ~keep_ppm:c.keep_ppm span)
+    | Pdu_dropped _ ->
+      y.t_dropped <- y.t_dropped + 1;
+      true
+    | Handoff | Route_update | Custom _ -> true
+  in
+  if keep then emit_kept c ~component ~flow ~rank ~seq ~size ~span kind
+
+let emit ~component ?flow ?rank ?seq ?size ?span kind =
+  emit_to (cur ()) ~component ?flow ?rank ?seq ?size ?span kind
 
 (* A PDU's trace id is a deterministic mix of its flow key and sequence
    number, so the sender, every relay that decodes the PDU and the
@@ -137,10 +262,16 @@ let kind_to_string = function
   | Route_update -> "route_update"
   | Custom s -> s
 
-(* ---------- O(1)-append event buffer ---------- *)
+(* ---------- O(1)-append event buffer (optionally a bounded ring) ---------- *)
 
 module Buf = struct
-  type t = { mutable arr : event array; mutable len : int }
+  type t = {
+    mutable arr : event array;
+    mutable len : int;
+    mutable start : int;  (* ring read offset; 0 while growing *)
+    capacity : int;  (* 0 = unbounded; > 0 = keep only the newest N *)
+    mutable dropped : int;  (* oldest events overwritten in ring mode *)
+  }
 
   let dummy =
     {
@@ -154,34 +285,50 @@ module Buf = struct
       span = 0;
     }
 
-  let create () = { arr = [||]; len = 0 }
+  let create ?(capacity = 0) () =
+    if capacity < 0 then invalid_arg "Flight.Buf.create: negative capacity";
+    { arr = [||]; len = 0; start = 0; capacity; dropped = 0 }
 
   let add b e =
-    if b.len = Array.length b.arr then begin
-      let cap = max 64 (2 * Array.length b.arr) in
-      let arr = Array.make cap dummy in
-      Array.blit b.arr 0 arr 0 b.len;
-      b.arr <- arr
-    end;
-    b.arr.(b.len) <- e;
-    b.len <- b.len + 1
+    if b.capacity > 0 && b.len = b.capacity then begin
+      (* full ring: overwrite the oldest event in place *)
+      b.arr.(b.start) <- e;
+      b.start <- (b.start + 1) mod b.capacity;
+      b.dropped <- b.dropped + 1
+    end
+    else begin
+      if b.len = Array.length b.arr then begin
+        let cap = max 64 (2 * Array.length b.arr) in
+        let cap = if b.capacity > 0 then min cap b.capacity else cap in
+        let cap = max cap (b.len + 1) in
+        let arr = Array.make cap dummy in
+        Array.blit b.arr 0 arr 0 b.len;
+        b.arr <- arr
+      end;
+      (* start is 0 until the ring first fills, so append is in place *)
+      b.arr.(b.len) <- e;
+      b.len <- b.len + 1
+    end
 
   let length b = b.len
+  let dropped b = b.dropped
 
   let get b i =
     if i < 0 || i >= b.len then invalid_arg "Flight.Buf.get: out of bounds";
-    b.arr.(i)
+    b.arr.((b.start + i) mod Array.length b.arr)
 
   let iter f b =
     for i = 0 to b.len - 1 do
-      f b.arr.(i)
+      f (get b i)
     done
 
-  let to_list b = List.init b.len (fun i -> b.arr.(i))
+  let to_list b = List.init b.len (get b)
 
   let clear b =
     b.arr <- [||];
-    b.len <- 0
+    b.len <- 0;
+    b.start <- 0;
+    b.dropped <- 0
 end
 
 (* ---------- binary codec ---------- *)

@@ -1,0 +1,163 @@
+(* Log-bucketed histograms and time-bucketed counter series with exact
+   (bucket-wise additive) merge.  See sketch.mli for the accuracy and
+   merge contracts. *)
+
+module Hist = struct
+  (* gamma = 2^(1/8): eight buckets per octave.  A value x > 0 lands in
+     bucket floor(log_gamma x); the bucket's geometric midpoint
+     gamma^(i+0.5) is within a factor sqrt(gamma) of every value in the
+     bucket, so quantile estimates carry <= sqrt(gamma)-1 ~ 4.4%
+     relative error. *)
+  let gamma = Float.pow 2. 0.125
+  let log_gamma = Float.log gamma
+
+  type t = {
+    mutable zero : int;  (* samples <= 0: no logarithm, own bucket *)
+    mutable n : int;
+    tbl : (int, int ref) Hashtbl.t;
+  }
+
+  let create () = { zero = 0; n = 0; tbl = Hashtbl.create 32 }
+
+  let index x = int_of_float (Float.floor (Float.log x /. log_gamma))
+
+  let bump tbl idx n =
+    match Hashtbl.find_opt tbl idx with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add tbl idx (ref n)
+
+  let add t x =
+    t.n <- t.n + 1;
+    if x > 0. then bump t.tbl (index x) 1 else t.zero <- t.zero + 1
+
+  let count t = t.n
+  let zero_count t = t.zero
+
+  let buckets t =
+    Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let of_buckets ~zero bs =
+    let t = create () in
+    t.zero <- zero;
+    t.n <- zero;
+    List.iter
+      (fun (idx, n) ->
+        if n > 0 then begin
+          bump t.tbl idx n;
+          t.n <- t.n + n
+        end)
+      bs;
+    t
+
+  let quantile t q =
+    if t.n = 0 then Float.nan
+    else begin
+      let target = max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+      let target = min target t.n in
+      if target <= t.zero then 0.
+      else begin
+        let seen = ref t.zero and value = ref Float.nan in
+        (try
+           List.iter
+             (fun (idx, n) ->
+               seen := !seen + n;
+               if !seen >= target then begin
+                 value := Float.pow gamma (float_of_int idx +. 0.5);
+                 raise Exit
+               end)
+             (buckets t)
+         with Exit -> ());
+        !value
+      end
+    end
+
+  let max_value t =
+    match List.rev (buckets t) with
+    | (idx, _) :: _ -> Float.pow gamma (float_of_int (idx + 1))
+    | [] -> if t.zero > 0 then 0. else Float.nan
+
+  let merge_into ~into other =
+    into.zero <- into.zero + other.zero;
+    into.n <- into.n + other.n;
+    Hashtbl.iter (fun idx r -> bump into.tbl idx !r) other.tbl
+end
+
+module Series = struct
+  type t = {
+    width : float;
+    mutable n : int;
+    tbl : (int, int ref) Hashtbl.t;
+    (* Cache the last interval's bounds and cell: virtual clocks are
+       monotone, so consecutive adds usually land in the same interval
+       and the hot path is two float compares and an increment — no
+       division, no floor, no table lookup. *)
+    mutable last_lo : float;
+    mutable last_hi : float;
+    mutable last_cell : int ref;
+  }
+
+  let create ~bucket =
+    if not (bucket > 0.) then invalid_arg "Sketch.Series.create: bucket <= 0";
+    {
+      width = bucket;
+      n = 0;
+      tbl = Hashtbl.create 32;
+      last_lo = Float.infinity;
+      last_hi = Float.neg_infinity;
+      last_cell = ref 0;
+    }
+
+  let bucket_width t = t.width
+
+  let cell t idx =
+    match Hashtbl.find_opt t.tbl idx with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t.tbl idx r;
+      r
+
+  let add ?(n = 1) t time =
+    t.n <- t.n + n;
+    if time >= t.last_lo && time < t.last_hi then
+      t.last_cell := !(t.last_cell) + n
+    else begin
+      let idx = int_of_float (Float.floor (time /. t.width)) in
+      let r = cell t idx in
+      r := !r + n;
+      t.last_lo <- float_of_int idx *. t.width;
+      t.last_hi <- float_of_int (idx + 1) *. t.width;
+      t.last_cell <- r
+    end
+
+  let total t = t.n
+
+  let counts t =
+    Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let of_counts ~bucket cs =
+    let t = create ~bucket in
+    List.iter
+      (fun (idx, n) ->
+        if n > 0 then begin
+          let r = cell t idx in
+          r := !r + n;
+          t.n <- t.n + n
+        end)
+      cs;
+    t
+
+  let merge_into ~into other =
+    if into.width <> other.width then
+      invalid_arg "Sketch.Series.merge_into: bucket widths differ";
+    into.n <- into.n + other.n;
+    Hashtbl.iter
+      (fun idx r ->
+        let c = cell into idx in
+        c := !c + !r)
+      other.tbl;
+    (* the cached cell may now be stale only in value, never identity *)
+    ()
+end

@@ -203,6 +203,28 @@ let test_l116_anti_entropy_vs_hello () =
        "[routing]\nanti_entropy_interval = 0.5\nhello_interval = 1.0\n"
      = Diag.Warning)
 
+let test_l117_sample_rate_range () =
+  fires "L117" "[telemetry]\ntrace_sample_rate = 0\n";
+  fires "L117" "[telemetry]\ntrace_sample_rate = 1.5\n";
+  (* negatives never reach L117: the key is typed non-negative (L005) *)
+  fires "L005" "[telemetry]\ntrace_sample_rate = -0.1\n";
+  silent "L117" "[telemetry]\ntrace_sample_rate = 0.01\n";
+  silent "L117" "[telemetry]\ntrace_sample_rate = 1.0\n";
+  silent "L117" "";
+  Alcotest.(check bool) "L117 is an error" true
+    (severity_of "L117" "[telemetry]\ntrace_sample_rate = 0\n" = Diag.Error)
+
+let test_l118_snapshot_vs_wheel () =
+  (* below the 0.05 s wheel slot: ticks collapse into the same slot *)
+  fires "L118" "[telemetry]\nsnapshot_interval = 0.01\n";
+  silent "L118" "[telemetry]\nsnapshot_interval = 0.5\n";
+  (* 0 disables snapshots entirely: nothing to warn about *)
+  silent "L118" "[telemetry]\nsnapshot_interval = 0\n";
+  silent "L118" "";
+  Alcotest.(check bool) "L118 is a warning" true
+    (severity_of "L118" "[telemetry]\nsnapshot_interval = 0.01\n"
+     = Diag.Warning)
+
 (* ---------- topology-aware rules ---------- *)
 
 let topo = { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1 }
@@ -303,6 +325,12 @@ let random_policy rng =
        else Policy.Auth_password (random_secret rng));
     acl = Policy.Allow_all;
     max_ttl = 1 + Prng.int rng 255;
+    telemetry =
+      {
+        Policy.trace_sample_rate = milli rng 1 1000;
+        snapshot_interval = (if Prng.bool rng then 0. else milli rng 100 9999);
+        flight_ring_capacity = Prng.int rng 100_000;
+      };
   }
 
 let test_roundtrip_random_policies () =
@@ -568,6 +596,10 @@ let () =
             test_l115_reorder_window_vs_sack;
           Alcotest.test_case "L116 anti-entropy vs hello" `Quick
             test_l116_anti_entropy_vs_hello;
+          Alcotest.test_case "L117 sample-rate range" `Quick
+            test_l117_sample_rate_range;
+          Alcotest.test_case "L118 snapshot vs wheel slot" `Quick
+            test_l118_snapshot_vs_wheel;
         ] );
       ( "lint-topology",
         [

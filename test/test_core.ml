@@ -521,6 +521,7 @@ let prop_policy_lang_roundtrip_random =
             auth = (if auth then Policy.Auth_password "pw" else Policy.Auth_none);
             acl = Policy.Allow_all;
             max_ttl = ttl;
+            telemetry = Policy.default_telemetry;
           })
         (tup4
            (tup4 (int_range 1 512) (int_range 16 9000) (int_range 0 2) bool)

@@ -204,6 +204,66 @@ let test_par_identical_to_sequential () =
   Alcotest.(check bool) "no flow-allocation failures" false
     (List.exists contains_error seq)
 
+(* One observability trial: a relayed CBR run with a 5%-sampled trace
+   attached and the worker's per-shard telemetry registry tapping every
+   event.  Returns the kept trace as one JSONL string.  The sampling
+   hash, the engine clock and the workload are all seed-deterministic,
+   so the string must be byte-identical no matter which domain ran the
+   trial. *)
+let sampled_trial seed =
+  let net = Topo.line ~seed ~n:3 () in
+  let engine = net.Topo.engine in
+  let tr = Rina_sim.Trace.create engine in
+  let tele =
+    match Rina_util.Telemetry.current () with
+    | Some t -> t
+    | None -> Alcotest.fail "map_telemetry did not install a shard registry"
+  in
+  Rina_sim.Trace.attach ~sample_rate:0.05 ~telemetry:tele tr;
+  let sink = Workload.sink () in
+  (match Scenario.open_flow net ~src:0 ~dst:2 ~qos_id:1 ~sink () with
+  | Error e -> Alcotest.fail e
+  | Ok (flow, _) ->
+    let t0 = Engine.now engine in
+    Workload.cbr engine ~send:flow.Ipcp.send ~rate:400_000. ~size:400
+      ~until:(t0 +. 2.) ();
+    Engine.run ~until:(t0 +. 3.) engine);
+  Rina_sim.Trace.close tr;
+  String.concat "\n"
+    (List.map Rina_util.Flight.event_to_json (Rina_sim.Trace.typed_events tr))
+
+let test_sampled_telemetry_par_deterministic () =
+  let items = [| 900; 901; 902; 903 |] in
+  let run domains =
+    let traces, tele = Par.map_telemetry ~domains sampled_trial items in
+    (traces, tele)
+  in
+  let t1, tele1 = run 1 in
+  let t4, tele4 = run 4 in
+  check
+    Alcotest.(array string)
+    "sampled traces byte-identical, 1 vs 4 domains" t1 t4;
+  check Alcotest.string "merged telemetry byte-identical, 1 vs 4 domains"
+    (Rina_util.Telemetry.to_jsonl tele1)
+    (Rina_util.Telemetry.to_jsonl tele4);
+  (* The trials really traced something, and the exact tally kept
+     counting events the 5% sampler shed from the trace. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "sampled trace non-empty" true (String.length s > 0))
+    t1;
+  let kept =
+    Array.fold_left
+      (fun acc s ->
+        String.fold_left (fun n c -> if c = '\n' then n + 1 else n) (acc + 1) s)
+      0 t1
+  in
+  let tallied = Rina_util.Telemetry.counter tele1 "events" in
+  Alcotest.(check bool)
+    (Printf.sprintf "tally (%d) exceeds kept trace events (%d)" tallied kept)
+    true
+    (tallied > kept)
+
 let () =
   Alcotest.run "rina_exp"
     [
@@ -234,5 +294,7 @@ let () =
         [
           Alcotest.test_case "parallel = sequential (faults armed)" `Quick
             test_par_identical_to_sequential;
+          Alcotest.test_case "sampled traces + merged telemetry deterministic"
+            `Quick test_sampled_telemetry_par_deterministic;
         ] );
     ]

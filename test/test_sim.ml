@@ -463,6 +463,134 @@ let test_trace_jsonl_roundtrip () =
         check Alcotest.int "all lines back" (Trace.length tr) (List.length evs);
         check Alcotest.bool "events identical" true (evs = Trace.typed_events tr))
 
+(* A corrupt line in a JSONL trace must fail cleanly (Error, not an
+   exception) and name the file and line. *)
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  scan 0
+
+let test_trace_load_corrupt () =
+  let path = Filename.temp_file "rina_trace_bad" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            "{\"t\":1,\"c\":\"x\",\"k\":\"pdu_sent\"}\n\nnot json at all\n");
+      (match Trace.load_jsonl path with
+      | Ok _ -> Alcotest.fail "corrupt trace accepted"
+      | Error msg ->
+        check Alcotest.bool
+          (Printf.sprintf "error %S names file:line" msg)
+          true
+          (has_sub msg (path ^ ":3:")));
+      match Trace.fold_jsonl path ~init:0 ~f:(fun n _ -> n + 1) with
+      | Ok _ -> Alcotest.fail "fold accepted corrupt trace"
+      | Error msg ->
+        check Alcotest.bool "fold error names file:line" true
+          (has_sub msg (path ^ ":3:")))
+
+(* The snapshot timer rides the engine wheel: with a telemetry registry
+   attached, every interval records a Telemetry.snap and emits a
+   Custom "snapshot" marker. *)
+let test_trace_snapshots () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  let tele = Rina_util.Telemetry.create () in
+  Trace.attach ~telemetry:tele tr;
+  Trace.snapshots tr ~interval:0.5 ~until:2.9;
+  ignore
+    (Engine.schedule e ~delay:1.05 (fun () ->
+         Flight.emit ~component:"x" ~flow:1 ~seq:1 ~span:1 Flight.Pdu_sent));
+  Engine.run e;
+  Trace.detach ();
+  let snaps = Rina_util.Telemetry.snapshots tele in
+  check Alcotest.int "one snapshot per interval" 5 (List.length snaps);
+  check Alcotest.int "marker events in trace" 5
+    (Trace.count tr ~component:"trace" ~event:"snapshot");
+  (* snapshots are interval deltas: exactly one interval saw the send *)
+  check Alcotest.int "send landed in one interval" 1
+    (List.length
+       (List.filter (fun s -> s.Rina_util.Telemetry.sent > 0) snaps));
+  Alcotest.check_raises "snapshots need telemetry"
+    (Invalid_argument "Trace.snapshots: attach with ~telemetry before scheduling")
+    (fun () ->
+      let tr2 = Trace.create e in
+      Trace.attach tr2;
+      Fun.protect ~finally:Trace.detach (fun () ->
+          Trace.snapshots tr2 ~interval:0.5 ~until:1.))
+
+(* Streaming sink: the JSONL file written as events happen must be
+   byte-identical to saving the buffered trace of the same run. *)
+let test_trace_stream_sink_identical () =
+  let scenario () =
+    let e = Engine.create () in
+    let rec tick i =
+      if i <= 50 then begin
+        Flight.emit ~component:"s" ~flow:2 ~seq:i ~size:100
+          ~span:(Flight.span_of ~flow:2 ~seq:i)
+          (if i mod 7 = 0 then Flight.Pdu_dropped Flight.R_loss
+           else Flight.Pdu_sent);
+        ignore (Engine.schedule e ~delay:0.01 (fun () -> tick (i + 1)))
+      end
+    in
+    ignore (Engine.schedule e ~delay:0. (fun () -> tick 1));
+    e
+  in
+  let buf_path = Filename.temp_file "rina_trace_buf" ".jsonl" in
+  let stream_path = Filename.temp_file "rina_trace_stream" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove buf_path;
+      Sys.remove stream_path)
+    (fun () ->
+      (let e = scenario () in
+       let tr = Trace.create e in
+       Trace.attach ~sample_rate:0.5 tr;
+       Engine.run e;
+       Trace.close tr;
+       Trace.save_jsonl tr buf_path);
+      (let e = scenario () in
+       let tr = Trace.create e in
+       Trace.attach ~sample_rate:0.5 ~stream:stream_path tr;
+       Engine.run e;
+       Trace.close tr);
+      let read p = In_channel.with_open_text p In_channel.input_all in
+      check Alcotest.bool "streamed file byte-identical to buffered save"
+        true
+        (read buf_path = read stream_path);
+      match Trace.load_jsonl stream_path with
+      | Error msg -> Alcotest.failf "streamed file unreadable: %s" msg
+      | Ok evs ->
+        check Alcotest.bool "sampled: fewer than every event" true
+          (List.length evs < 52
+          && List.length evs > 2 (* meta marker + some kept spans *)))
+
+(* A sampled trace carries its keep rate as a marker event; offline
+   analysis reads it back and scales sampled counts to population
+   estimates. *)
+let test_trace_sample_ppm_marker () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  Trace.attach ~sample_rate:0.25 tr;
+  Flight.emit ~component:"x" ~flow:1 ~seq:1 ~size:10 (Flight.Custom "evt");
+  Trace.close tr;
+  (match Trace_report.sample_ppm (Trace.typed_events tr) with
+  | Some ppm -> check Alcotest.int "sample_ppm read back" 250_000 ppm
+  | None -> Alcotest.fail "sampled trace is missing the meta:sample_ppm marker");
+  check Alcotest.int "scale_count inverts the keep rate" 400
+    (Trace_report.scale_count ~ppm:250_000 100);
+  (* unsampled traces carry no marker and scale by 1 *)
+  let e2 = Engine.create () in
+  let tr2 = Trace.create e2 in
+  Trace.attach tr2;
+  Trace.close tr2;
+  check Alcotest.bool "full trace has no marker" true
+    (Trace_report.sample_ppm (Trace.typed_events tr2) = None);
+  check Alcotest.int "full trace scales by 1" 100
+    (Trace_report.scale_count ~ppm:1_000_000 100)
+
 (* Offline analysis must tolerate out-of-order input: the receive event
    arriving before the send must still join into one span. *)
 let test_trace_span_join_out_of_order () =
@@ -956,6 +1084,12 @@ let () =
           Alcotest.test_case "probe cadence" `Quick test_trace_probe;
           Alcotest.test_case "link drop reasons" `Quick test_trace_link_drop_reasons;
           Alcotest.test_case "jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
+          Alcotest.test_case "corrupt jsonl rejected" `Quick test_trace_load_corrupt;
+          Alcotest.test_case "snapshot timer" `Quick test_trace_snapshots;
+          Alcotest.test_case "stream sink identical" `Quick
+            test_trace_stream_sink_identical;
+          Alcotest.test_case "sample-rate marker + scaling" `Quick
+            test_trace_sample_ppm_marker;
           Alcotest.test_case "span join out of order" `Quick test_trace_span_join_out_of_order;
           Alcotest.test_case "2-DIF relay span tree" `Quick test_trace_relay_span_tree;
         ] );

@@ -550,6 +550,234 @@ let test_flight_json_garbage () =
       "{\"t\":1,\"c\":\"x\",\"k\":\"nope\"}";
       "{\"t\":1,\"c\":\"x\",\"k\":\"pdu_sent\"}trailing" ]
 
+let test_flight_buf_ring () =
+  let b = Flight.Buf.create ~capacity:8 () in
+  let ev i =
+    { Flight.time = float_of_int i; component = "c"; kind = Flight.Pdu_sent;
+      flow = 0; rank = 0; seq = i; size = 0; span = 0 }
+  in
+  for i = 1 to 5 do Flight.Buf.add b (ev i) done;
+  check Alcotest.int "under capacity: nothing dropped" 0 (Flight.Buf.dropped b);
+  for i = 6 to 20 do Flight.Buf.add b (ev i) done;
+  check Alcotest.int "ring full" 8 (Flight.Buf.length b);
+  check Alcotest.int "exact drop count" 12 (Flight.Buf.dropped b);
+  check Alcotest.int "oldest retained" 13 (Flight.Buf.get b 0).Flight.seq;
+  check Alcotest.int "newest retained" 20 (Flight.Buf.get b 7).Flight.seq;
+  check
+    (Alcotest.list Alcotest.int)
+    "newest window, oldest-first"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map (fun e -> e.Flight.seq) (Flight.Buf.to_list b));
+  Flight.Buf.clear b;
+  check Alcotest.int "clear resets length" 0 (Flight.Buf.length b);
+  check Alcotest.int "clear resets dropped" 0 (Flight.Buf.dropped b);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Flight.Buf.create: negative capacity") (fun () ->
+      ignore (Flight.Buf.create ~capacity:(-1) ()))
+
+(* ---------- sampling ---------- *)
+
+let test_span_kept_deterministic () =
+  let ppm = Flight.ppm_of_rate 0.01 in
+  for i = 1 to 1000 do
+    let span = Flight.span_of ~flow:9 ~seq:i in
+    check Alcotest.bool "same decision on every call" true
+      (Flight.span_kept ~keep_ppm:ppm span
+      = Flight.span_kept ~keep_ppm:ppm span)
+  done;
+  check Alcotest.bool "ppm 1e6 keeps everything" true
+    (Flight.span_kept ~keep_ppm:1_000_000 (Flight.span_of ~flow:1 ~seq:1))
+
+let prop_span_kept_monotone_in_rate =
+  QCheck.Test.make ~count:300 ~name:"span_kept monotone in keep rate"
+    QCheck.(make Gen.(triple (int_bound 0xFFFFFF) (int_range 1 999_999) (int_range 1 999_999)))
+    (fun (seq, p1, p2) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      let span = Flight.span_of ~flow:3 ~seq in
+      (not (Flight.span_kept ~keep_ppm:lo span))
+      || Flight.span_kept ~keep_ppm:hi span)
+
+let test_span_kept_rate () =
+  (* The hash is deterministic, so the observed keep fraction over a
+     fixed population is a constant of the code; pin it near the target
+     rate.  60k spans at 1% → expect ~600, allow ±40%. *)
+  let ppm = Flight.ppm_of_rate 0.01 in
+  let kept = ref 0 in
+  for seq = 1 to 60_000 do
+    if Flight.span_kept ~keep_ppm:ppm (Flight.span_of ~flow:42 ~seq) then
+      incr kept
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "keep fraction near 1%% (got %d/60000)" !kept)
+    true
+    (!kept > 360 && !kept < 840)
+
+let test_event_kept_landmarks () =
+  let ppm = 1 in  (* keep essentially nothing by span *)
+  check Alcotest.bool "drops always kept" true
+    (Flight.event_kept ~keep_ppm:ppm ~span:0
+       (Flight.Pdu_dropped Flight.R_loss));
+  check Alcotest.bool "custom always kept" true
+    (Flight.event_kept ~keep_ppm:ppm ~span:0 (Flight.Custom "probe"));
+  check Alcotest.bool "handoff always kept" true
+    (Flight.event_kept ~keep_ppm:ppm ~span:0 Flight.Handoff);
+  check Alcotest.bool "route_update always kept" true
+    (Flight.event_kept ~keep_ppm:ppm ~span:0 Flight.Route_update);
+  check Alcotest.bool "span-less data event shed" false
+    (Flight.event_kept ~keep_ppm:ppm ~span:0 Flight.Pdu_sent);
+  check Alcotest.bool "full rate keeps span-less" true
+    (Flight.event_kept ~keep_ppm:1_000_000 ~span:0 Flight.Pdu_sent)
+
+(* ---------- Sketch ---------- *)
+
+module Sketch = Rina_util.Sketch
+module Telemetry = Rina_util.Telemetry
+
+let hist_of_list xs =
+  let h = Sketch.Hist.create () in
+  List.iter (Sketch.Hist.add h) xs;
+  h
+
+let hist_eq a b =
+  Sketch.Hist.count a = Sketch.Hist.count b
+  && Sketch.Hist.zero_count a = Sketch.Hist.zero_count b
+  && Sketch.Hist.buckets a = Sketch.Hist.buckets b
+
+(* Positive finite values with the occasional exact zero. *)
+let samples_gen =
+  QCheck.Gen.(
+    list_size (int_bound 100)
+      (map (fun n -> float_of_int n /. 64.) (int_bound 1_000_000)))
+
+let prop_hist_merge_commutative =
+  QCheck.Test.make ~count:100 ~name:"hist merge is commutative"
+    (QCheck.make (QCheck.Gen.pair samples_gen samples_gen))
+    (fun (xs, ys) ->
+      let ab = hist_of_list xs in
+      Sketch.Hist.merge_into ~into:ab (hist_of_list ys);
+      let ba = hist_of_list ys in
+      Sketch.Hist.merge_into ~into:ba (hist_of_list xs);
+      hist_eq ab ba)
+
+let prop_hist_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"hist merge is associative"
+    (QCheck.make (QCheck.Gen.triple samples_gen samples_gen samples_gen))
+    (fun (xs, ys, zs) ->
+      (* (x ⊕ y) ⊕ z *)
+      let left = hist_of_list xs in
+      Sketch.Hist.merge_into ~into:left (hist_of_list ys);
+      Sketch.Hist.merge_into ~into:left (hist_of_list zs);
+      (* x ⊕ (y ⊕ z) *)
+      let yz = hist_of_list ys in
+      Sketch.Hist.merge_into ~into:yz (hist_of_list zs);
+      let right = hist_of_list xs in
+      Sketch.Hist.merge_into ~into:right yz;
+      hist_eq left right)
+
+let prop_hist_merge_is_union =
+  QCheck.Test.make ~count:100 ~name:"hist merge equals adding everything"
+    (QCheck.make (QCheck.Gen.pair samples_gen samples_gen))
+    (fun (xs, ys) ->
+      let merged = hist_of_list xs in
+      Sketch.Hist.merge_into ~into:merged (hist_of_list ys);
+      hist_eq merged (hist_of_list (xs @ ys)))
+
+let test_hist_quantile_accuracy () =
+  let h = Sketch.Hist.create () in
+  for i = 1 to 10_000 do
+    Sketch.Hist.add h (float_of_int i /. 100.)  (* 0.01 .. 100 *)
+  done;
+  (* log-bucketed with gamma = 2^(1/8): relative error <= ~9% *)
+  List.iter
+    (fun p ->
+      let exact = p *. 100. in
+      let est = Sketch.Hist.quantile h p in
+      check Alcotest.bool
+        (Printf.sprintf "q%.2f within gamma (est %g, exact %g)" p est exact)
+        true
+        (Float.abs (est -. exact) /. exact < 0.09))
+    [ 0.5; 0.9; 0.99 ]
+
+let test_series_cache_coherent () =
+  (* The bounds cache must not mis-bucket adds that hop between
+     intervals, revisit an earlier one, or batch with ~n. *)
+  let s = Sketch.Series.create ~bucket:0.5 in
+  List.iter (Sketch.Series.add s) [ 0.1; 0.2; 1.7; 0.3; 0.6; 1.9; 0.45 ];
+  Sketch.Series.add ~n:3 s 1.8;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "per-interval counts"
+    [ (0, 4); (1, 1); (3, 5) ]
+    (Sketch.Series.counts s);
+  check Alcotest.int "total" 10 (Sketch.Series.total s)
+
+(* ---------- Telemetry ---------- *)
+
+let test_telemetry_jsonl_roundtrip () =
+  let t = Telemetry.create ~series_bucket:0.25 () in
+  let y = Telemetry.tally t in
+  y.Flight.t_events <- 1000;
+  y.Flight.t_sent <- 400;
+  y.Flight.t_recvd <- 390;
+  y.Flight.t_dropped <- 10;
+  y.Flight.t_retransmit <- 7;
+  y.Flight.t_timer <- 150;
+  Telemetry.count t "handoff";
+  Telemetry.add_sample t "latency" 0.012;
+  Telemetry.add_sample t "latency" 0.019;
+  Telemetry.add_sample t "probe:q" 4.;
+  Telemetry.set_latency_ppm t 10_000;
+  ignore (Telemetry.snap t ~now:1.0);
+  ignore (Telemetry.snap t ~now:2.0);
+  let text = Telemetry.to_jsonl t in
+  match Telemetry.of_jsonl text with
+  | Error e -> Alcotest.failf "of_jsonl failed: %s" e
+  | Ok t' ->
+    check Alcotest.string "canonical JSONL round-trips byte-identically"
+      text (Telemetry.to_jsonl t');
+    check Alcotest.int "counter survives" 400 (Telemetry.counter t' "sent");
+    check Alcotest.int "latency ppm survives" 10_000 (Telemetry.latency_ppm t');
+    check Alcotest.int "snapshots survive" 2
+      (List.length (Telemetry.snapshots t'))
+
+let test_telemetry_merge () =
+  let mk sent dropped lat =
+    let t = Telemetry.create () in
+    (Telemetry.tally t).Flight.t_sent <- sent;
+    (Telemetry.tally t).Flight.t_dropped <- dropped;
+    List.iter (Telemetry.add_sample t "latency") lat;
+    t
+  in
+  let a = mk 10 1 [ 0.1; 0.2 ] and b = mk 5 2 [ 0.3 ] in
+  Telemetry.merge_into ~into:a b;
+  check Alcotest.int "counters sum" 15 (Telemetry.counter a "sent");
+  check Alcotest.int "drops sum" 3 (Telemetry.counter a "dropped");
+  match Telemetry.hist a "latency" with
+  | None -> Alcotest.fail "merged latency hist missing"
+  | Some h -> check Alcotest.int "hist samples sum" 3 (Sketch.Hist.count h)
+
+let test_telemetry_observe_kept_only () =
+  (* observe is the tap half: it sees kept events and does span-latency
+     matching; the tally (not observe) owns the raw counters. *)
+  let t = Telemetry.create () in
+  Telemetry.set_latency_ppm t 1_000_000;
+  let ev time kind =
+    { Flight.time; component = "x"; kind; flow = 1; rank = 0; seq = 1;
+      size = 100; span = 77 }
+  in
+  Telemetry.observe t (ev 1.0 Flight.Pdu_sent);
+  Telemetry.observe t (ev 1.25 Flight.Pdu_recvd);
+  (match Telemetry.hist t "latency" with
+  | None -> Alcotest.fail "latency hist missing"
+  | Some h ->
+    check Alcotest.int "one span matched" 1 (Sketch.Hist.count h);
+    check Alcotest.bool "latency ~0.25" true
+      (Float.abs (Sketch.Hist.quantile h 0.5 -. 0.25) < 0.05));
+  Telemetry.observe t (ev 2.0 (Flight.Pdu_dropped Flight.R_queue_full));
+  match Telemetry.series t "drop:queue_full" with
+  | None -> Alcotest.fail "drop series missing"
+  | Some s -> check Alcotest.int "drop timeline bumped" 1 (Sketch.Series.total s)
+
 (* ---------- Table ---------- *)
 
 (* ---------- Backoff ---------- *)
@@ -694,8 +922,35 @@ let () =
           Alcotest.test_case "span_of" `Quick test_span_of;
           Alcotest.test_case "reason strings" `Quick test_reason_strings;
           Alcotest.test_case "buffer" `Quick test_flight_buf;
+          Alcotest.test_case "ring buffer" `Quick test_flight_buf_ring;
           Alcotest.test_case "json rejects garbage" `Quick test_flight_json_garbage;
           QCheck_alcotest.to_alcotest prop_flight_binary_roundtrip;
           QCheck_alcotest.to_alcotest prop_flight_json_roundtrip;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "span_kept deterministic" `Quick
+            test_span_kept_deterministic;
+          Alcotest.test_case "span_kept rate" `Quick test_span_kept_rate;
+          Alcotest.test_case "landmark kinds" `Quick test_event_kept_landmarks;
+          QCheck_alcotest.to_alcotest prop_span_kept_monotone_in_rate;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "quantile accuracy" `Quick
+            test_hist_quantile_accuracy;
+          Alcotest.test_case "series cache coherent" `Quick
+            test_series_cache_coherent;
+          QCheck_alcotest.to_alcotest prop_hist_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_hist_merge_associative;
+          QCheck_alcotest.to_alcotest prop_hist_merge_is_union;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick
+            test_telemetry_jsonl_roundtrip;
+          Alcotest.test_case "merge" `Quick test_telemetry_merge;
+          Alcotest.test_case "observe kept events" `Quick
+            test_telemetry_observe_kept_only;
         ] );
     ]
