@@ -51,6 +51,14 @@ let schema =
         ("snapshot_interval", Nonneg_float);
         ("flight_ring_capacity", Nonneg_int);
       ] );
+    ( "congestion",
+      [
+        ("mark_threshold", Nonneg_int);
+        ("mark_probability", Nonneg_float);
+        ("pushback", Enum [ "on"; "off" ]);
+        ("admission_max_pending", Nonneg_int);
+        ("admission_backoff", Nonneg_float);
+      ] );
   ]
 
 let known_sections = List.map fst schema
@@ -398,6 +406,63 @@ let consistency sc (base : Policy.t) topo =
          ~hint:
            (Printf.sprintf "snapshot timers ride the coarse wheel; use at least %g s"
               Rina_sim.Engine.wheel_granularity));
+  (* L119: congestion knobs that cannot work as written.  A
+     mark_probability above 1 is not a probability (negatives are
+     already an L005 type error); a mark_threshold at or above the
+     per-class queue capacity can never mark a PDU before the queue
+     overflows, so "ECN" degrades to silent tail drop. *)
+  let c = base.Policy.congestion in
+  let mark_th, ln_mth = geti sc "congestion" "mark_threshold" c.Policy.mark_threshold in
+  let mark_p, ln_mp =
+    getf sc "congestion" "mark_probability" c.Policy.mark_probability
+  in
+  let adm_backoff, ln_ab =
+    getf sc "congestion" "admission_backoff" c.Policy.admission_backoff
+  in
+  let adm_max, ln_am =
+    geti sc "congestion" "admission_max_pending" c.Policy.admission_max_pending
+  in
+  let pushback_s, ln_pb =
+    gets sc "congestion" "pushback" (if c.Policy.pushback then "on" else "off")
+  in
+  if mark_p > 1. then
+    emit sc
+      (Diag.error ~line:(at [ ln_mp ]) "L119"
+         (Printf.sprintf "mark_probability (%g) is above 1" mark_p)
+         ~hint:"marking is a coin flip per enqueue; use a value in [0, 1]");
+  if mark_th >= Rina_core.Rmt.queue_capacity then
+    emit sc
+      (Diag.error ~line:(at [ ln_mth ]) "L119"
+         (Printf.sprintf
+            "mark_threshold (%d) is not below the per-class queue capacity (%d)"
+            mark_th Rina_core.Rmt.queue_capacity)
+         ~hint:"the queue overflows (tail drop) before it ever marks");
+  if adm_max > 0 && adm_backoff <= 0. then
+    emit sc
+      (Diag.error ~line:(at [ ln_ab; ln_am ]) "L119"
+         (Printf.sprintf
+            "admission_max_pending = %d with admission_backoff = %g: busy-rejected \
+             requesters would retry with no delay"
+            adm_max adm_backoff)
+         ~hint:"use a positive admission_backoff (seconds) so retries spread out");
+  (* L120: congestion features wired to a signal that is never
+     generated.  Push-back re-marks upper-DIF frames when a lower flow
+     is congested, and a flow only learns it is congested from marked
+     acks — with marking off, neither ever fires. *)
+  if pushback_s = "on" && mark_th = 0 then
+    emit sc
+      (Diag.warning ~line:(at [ ln_pb; ln_mth ]) "L120"
+         "pushback = on with mark_threshold = 0: no queue ever marks, so there is \
+          no congestion signal to push upward"
+         ~hint:"set mark_threshold > 0 (marking) or drop the pushback line");
+  if mark_th > 0 && mark_p = 0. then
+    emit sc
+      (Diag.warning ~line:(at [ ln_mth; ln_mp ]) "L120"
+         (Printf.sprintf
+            "mark_threshold = %d with mark_probability = 0: the marking stage is \
+             armed but every coin flip loses"
+            mark_th)
+         ~hint:"use a mark_probability in (0, 1]");
   match topo with
   | None -> ()
   | Some { diameter; bottleneck_bit_rate; rtt } ->
@@ -462,6 +527,12 @@ let rules =
     Diag.rule ~code:"L117" ~severity:e "trace_sample_rate outside (0, 1]";
     Diag.rule ~code:"L118" ~severity:w
       "snapshot_interval below the timer-wheel slot width";
+    Diag.rule ~code:"L119" ~severity:e
+      "congestion knobs out of range (mark_probability above 1, mark_threshold \
+       at or above the queue capacity, admission with no backoff)";
+    Diag.rule ~code:"L120" ~severity:w
+      "congestion feature armed without its signal (pushback without marking, \
+       marking with probability 0)";
     Diag.rule ~code:"L201" ~severity:e "max_ttl below the topology diameter";
     Diag.rule ~code:"L202" ~severity:w
       "window x mtu below the bandwidth-delay product: cannot saturate the path";

@@ -50,6 +50,7 @@ let combined_chan ~owner ~data ~mgmt : Rina_sim.Chan.t =
   let data_c = Ipcp.chan_of_flow owner data
   and mgmt_c = Ipcp.chan_of_flow owner mgmt in
   let stats = Rina_util.Metrics.create () in
+  let pushback = (Ipcp.policy owner).Policy.congestion.Policy.pushback in
   let is_management frame =
     (* frame = encoded PDU + CRC trailer; byte 0 version, byte 1 type
        (2 = Mgmt, 3 = Hello). *)
@@ -63,7 +64,33 @@ let combined_chan ~owner ~data ~mgmt : Rina_sim.Chan.t =
       (fun frame ->
         Rina_util.Metrics.incr stats "tx";
         if is_management frame then mgmt_c.Rina_sim.Chan.send frame
-        else data_c.Rina_sim.Chan.send frame);
+        else begin
+          (* Push-back across the layer boundary (§6): the bytes here
+             are a complete upper-DIF frame about to transit this
+             lower flow, so when the lower flow is itself under
+             congestion pressure, stamp the ECN flag on upper Dtp
+             frames in place (+ CRC reseal).  The upper receiver's
+             EFCP then echoes it end to end and the upper *sender*
+             backs off — congestion in an (N-1)-DIF slows the (N)-DIF
+             sources instead of just growing this flow's backlog. *)
+          if
+            pushback
+            && Bytes.length frame > Pdu.header_size
+            && Pdu.Peek.is_dtp frame
+            && (not (Pdu.frame_has_ecn frame))
+            && data.Ipcp.congested ()
+          then begin
+            Pdu.mark_ecn_frame frame;
+            Rina_util.Metrics.incr stats "pushback_marked";
+            let r = Rina_util.Flight.cur () in
+            if Rina_util.Flight.on r then
+              Rina_util.Flight.emit_to r
+                ~component:("pushback@" ^ Types.apn_to_string (Ipcp.name owner))
+                ~size:(Bytes.length frame)
+                (Rina_util.Flight.Custom "pushback_mark")
+          end;
+          data_c.Rina_sim.Chan.send frame
+        end);
     set_receiver =
       (fun f ->
         data_c.Rina_sim.Chan.set_receiver f;

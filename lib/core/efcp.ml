@@ -37,11 +37,25 @@ type t = {
   mutable cwnd : float;     (* AIMD congestion window, in PDUs *)
   mutable ssthresh : float;
   mutable recover_until : int;  (* NewReno: one fast rtx per window *)
+  (* --- ECN congestion response (distinct from loss recovery) --- *)
+  ecn_frac : Rina_util.Ewma.t;
+      (* DCTCP-style smoothed fraction of acks carrying the congestion
+         echo; scales how hard each back-off cuts the window *)
+  mutable ecn_reduce_until : int;
+      (* one window reduction per round trip of data, mirroring
+         [recover_until] — without touching it, so an ECN back-off
+         never masks or resets a concurrent loss-recovery episode *)
+  mutable pace : Rina_util.Token_bucket.t option;
+      (* departure pacer installed while the path is marking: drains
+         sends at roughly cwnd/srtt so a reopened window does not slam
+         the congested queue with a burst *)
+  mutable pace_timer : Rina_sim.Engine.handle option;
   (* --- receiver --- *)
   mutable rcv_next : int;
   ooo : (int, bytes) Hashtbl.t;
   mutable highest_delivered : int;  (* for unreliable in-order flows *)
   mutable ack_timer : Rina_sim.Engine.handle option;
+  mutable ecn_pending : bool;  (* echo the congestion mark on the next ack *)
   (* duplicate-suppression cache for unreliable unordered flows: a ring
      of the last [max_dup_cache] delivered seqs (0 = empty slot) with a
      hashtable for O(1) membership.  Reliable / in-order flows are
@@ -91,10 +105,15 @@ let create engine ~config ~in_order ~local_cep ~remote_cep ~qos_id ?span_keys
     cwnd = 2.;
     ssthresh = float_of_int config.Policy.window;
     recover_until = 0;
+    ecn_frac = Rina_util.Ewma.create ~alpha:0.0625;
+    ecn_reduce_until = 0;
+    pace = None;
+    pace_timer = None;
     rcv_next = 1;
     ooo = Hashtbl.create 64;
     highest_delivered = 0;
     ack_timer = None;
+    ecn_pending = false;
     dup_cache = Hashtbl.create (max 1 (min 64 config.Policy.max_dup_cache));
     dup_ring = Array.make (max 1 config.Policy.max_dup_cache) 0;
     dup_ring_pos = 0;
@@ -237,14 +256,45 @@ let window_open t =
   (not (reliable t))
   || (t.next_seq < t.send_limit && in_flight t < effective_window t)
 
-let drain_backlog t =
-  while (not (Queue.is_empty t.backlog)) && window_open t && not t.errored do
-    transmit t (Queue.pop t.backlog)
+(* Departure pacing while the path is marking: [pace_ok] consumes one
+   send credit (so call it only when the caller will transmit on
+   [true]); on [false] it arms a wake-up for the moment the bucket
+   refills, which keeps the backlog draining even with no acks in
+   flight to clock it. *)
+let rec pace_ok t =
+  match t.pace with
+  | None -> true
+  | Some b ->
+    let now = Rina_sim.Engine.now t.engine in
+    if Rina_util.Token_bucket.try_take b ~now 1. then true
+    else begin
+      arm_pace_timer t b now;
+      false
+    end
+
+and arm_pace_timer t b now =
+  if t.pace_timer = None && not t.closed then
+    t.pace_timer <-
+      Some
+        (Rina_sim.Engine.schedule ~lane:Rina_sim.Engine.Timer t.engine
+           ~delay:(Float.max 1e-4 (Rina_util.Token_bucket.delay_until b ~now 1.))
+           (fun () ->
+             t.pace_timer <- None;
+             if not (t.closed || t.errored) then drain_backlog t))
+
+and drain_backlog t =
+  let continue = ref true in
+  while !continue do
+    if Queue.is_empty t.backlog || t.errored || not (window_open t) then
+      continue := false
+    else if pace_ok t then transmit t (Queue.pop t.backlog)
+    else continue := false
   done
 
 let send t payload =
   if t.closed || t.errored then ()
-  else if window_open t && Queue.is_empty t.backlog then transmit t payload
+  else if Queue.is_empty t.backlog && window_open t && pace_ok t then
+    transmit t payload
   else begin
     Queue.push payload t.backlog;
     let hwm = Rina_util.Metrics.get t.metrics "backlog_hwm" in
@@ -297,10 +347,15 @@ let send_ack_now t =
   cancel_timer t.ack_timer;
   t.ack_timer <- None;
   Rina_util.Metrics.incr t.metrics "acks_sent";
+  (* Echo a received congestion mark exactly once: the sender's
+     smoothed mark fraction then measures marked *acks*, the same
+     quantity the marking queue produced. *)
+  let flags = if t.ecn_pending then Pdu.flag_ecn else 0 in
+  t.ecn_pending <- false;
   t.send_pdu
     (Pdu.make ~pdu_type:Pdu.Ack ~dst_addr:Types.no_address
        ~src_addr:Types.no_address ~dst_cep:t.remote_cep ~src_cep:t.local_cep
-       ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t)
+       ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t) ~flags
        (sack_payload t))
 
 let schedule_ack t =
@@ -368,6 +423,10 @@ let dup_cache_hit t seq =
   end
 
 let handle_dtp t (pdu : Pdu.t) =
+  if Pdu.has_flag pdu Pdu.flag_ecn then begin
+    Rina_util.Metrics.incr t.metrics "ecn_rcvd";
+    t.ecn_pending <- true
+  end;
   if reliable t then begin
     if pdu.Pdu.seq < t.rcv_next || Hashtbl.mem t.ooo pdu.Pdu.seq then begin
       Rina_util.Metrics.incr t.metrics "dup_rcvd";
@@ -500,6 +559,43 @@ let retransmit_holes t highest_sacked =
 let handle_ack t (pdu : Pdu.t) =
   Rina_util.Metrics.incr t.metrics "acks_rcvd";
   let ack = pdu.Pdu.ack in
+  (* ECN congestion response, before cumulative-ack processing so the
+     reduced window governs how far this very ack reopens the gate.
+     Deliberately separate from loss recovery: it neither retransmits
+     nor touches [recover_until]/[dup_acks], and it cuts the window in
+     proportion to the smoothed mark fraction (DCTCP-style) instead of
+     halving — marks are an early signal, not evidence of loss. *)
+  let marked = Pdu.has_flag pdu Pdu.flag_ecn in
+  if marked then Rina_util.Metrics.incr t.metrics "ecn_echoes";
+  if t.config.Policy.congestion_control && reliable t then begin
+    Rina_util.Ewma.add t.ecn_frac (if marked then 1. else 0.);
+    if marked && ack >= t.ecn_reduce_until then begin
+      (* at most one reduction per window of data, like NewReno's
+         recovery point, so a train of marked acks from one congested
+         round trip costs one cut, not cwnd cuts *)
+      Rina_util.Metrics.incr t.metrics "ecn_backoffs";
+      let frac = Float.min 1. (Float.max 0. (Rina_util.Ewma.value t.ecn_frac)) in
+      t.cwnd <- Float.max 2. (t.cwnd *. (1. -. (frac /. 2.)));
+      t.ssthresh <- Float.max 2. t.cwnd;
+      t.ecn_reduce_until <- t.next_seq;
+      if t.have_rtt && t.srtt > 0. then
+        t.pace <-
+          Some
+            (Rina_util.Token_bucket.create
+               ~rate:(Float.max 1. (t.cwnd /. t.srtt))
+               ~burst:2.)
+    end
+    else if
+      (not marked) && t.pace <> None
+      && Rina_util.Ewma.value t.ecn_frac < 0.05
+    then begin
+      (* the path stopped marking a while ago: stop pacing and return
+         to pure window clocking *)
+      t.pace <- None;
+      cancel_timer t.pace_timer;
+      t.pace_timer <- None
+    end
+  end;
   let highest_sacked = apply_sack t pdu in
   if ack > t.snd_una then begin
     t.dup_acks <- 0;
@@ -602,6 +698,16 @@ let handle_pdu t (pdu : Pdu.t) =
     if Rina_util.Invariant.enabled () then check_invariants t
   end
 
+(* Congestion signal for layer push-back: this flow is either in an
+   active ECN back-off episode (pacing installed / marks still fresh in
+   the smoothed fraction) or its backlog has outgrown a full window —
+   pressure an upper DIF should propagate rather than absorb. *)
+let congested t =
+  t.pace <> None
+  || (Rina_util.Ewma.initialized t.ecn_frac
+      && Rina_util.Ewma.value t.ecn_frac >= 0.05)
+  || Queue.length t.backlog > t.config.Policy.window
+
 let debug t =
   Printf.sprintf
     "next_seq=%d snd_una=%d limit=%d inflight=%d backlog=%d cwnd=%.1f rto=%.3f \
@@ -616,8 +722,10 @@ let close t =
     t.closed <- true;
     cancel_timer t.rto_timer;
     cancel_timer t.ack_timer;
+    cancel_timer t.pace_timer;
     t.rto_timer <- None;
     t.ack_timer <- None;
+    t.pace_timer <- None;
     Hashtbl.reset t.retx;
     Hashtbl.reset t.ooo;
     Hashtbl.reset t.dup_cache;

@@ -69,6 +69,13 @@ val backlog : t -> int
 val srtt : t -> float option
 (** Smoothed RTT estimate, once at least one sample exists. *)
 
+val congested : t -> bool
+(** Whether this flow is under congestion pressure: an ECN back-off
+    episode is active (the path has been marking recently, so sends
+    are being paced), or the backlog exceeds a full window.  The DIF
+    layer uses it to push congestion upward — marking upper-DIF frames
+    that transit a congested lower flow (policy [pushback]). *)
+
 val debug : t -> string
 (** One-line internal state dump (sender/receiver counters, window,
     timer state) for tests and troubleshooting. *)

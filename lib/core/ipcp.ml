@@ -13,6 +13,7 @@ type flow = {
   set_on_error : (string -> unit) -> unit;
   close : unit -> unit;
   flow_metrics : unit -> Metrics.t;
+  congested : unit -> bool;
 }
 
 (* Per-flow endpoint state held by the IPC process. *)
@@ -40,6 +41,9 @@ type pending_alloc = {
   pa_dst_app : Types.apn;
   pa_dst_addr : Types.address;
   pa_timeout : Engine.handle;
+  pa_on_busy : unit -> unit;
+      (* result-4 (admission busy) handler: schedules a backed-off
+         re-request instead of surfacing an error *)
 }
 
 type app_reg = { ar_name : Types.apn; ar_on_flow : flow -> unit }
@@ -768,6 +772,7 @@ let flow_of_state t fs =
     set_on_error = (fun f -> fs.fs_on_error <- f);
     close = (fun () -> close_flow_state t fs ~notify_peer:true);
     flow_metrics = (fun () -> Efcp.metrics fs.fs_efcp);
+    congested = (fun () -> Efcp.congested fs.fs_efcp);
   }
 
 (* ---------- flow allocator: destination side ---------- *)
@@ -827,6 +832,19 @@ let handle_flow_create t (msg : Riep.t) =
             W.u32 w fs.fs_local_cep;
             reply ~result:0 ~reason:"" (Some (Rib.V_bytes (W.contents w)))
           | None ->
+          let max_pending =
+            t.policy.Policy.congestion.Policy.admission_max_pending
+          in
+          if max_pending > 0 && Hashtbl.length t.flows >= max_pending then begin
+            (* Admission control: a flash crowd queues at the requester
+               (deterministic backoff retry) instead of stampeding an
+               overloaded destination.  Result 4 = busy, retryable —
+               unlike 2/3, which are permanent. *)
+            Metrics.incr t.metrics "alloc_busy_rejected";
+            trace t "alloc_busy";
+            reply ~result:4 ~reason:"busy: admission limit reached" None
+          end
+          else begin
           let local_cep = t.next_cep in
           t.next_cep <- t.next_cep + 1;
           let port = t.next_flow_port in
@@ -842,6 +860,7 @@ let handle_flow_create t (msg : Riep.t) =
           W.u32 w local_cep;
           reply ~result:0 ~reason:"" (Some (Rib.V_bytes (W.contents w)));
           reg.ar_on_flow (flow_of_state t fs)
+          end
         end))
   | Some _ | None -> Metrics.incr t.metrics "bad_flow_req"
 
@@ -853,7 +872,8 @@ let handle_flow_create_r t (msg : Riep.t) =
   | Some pa ->
     Hashtbl.remove t.pending msg.Riep.invoke_id;
     Engine.cancel pa.pa_timeout;
-    if msg.Riep.result <> 0 then begin
+    if msg.Riep.result = 4 then pa.pa_on_busy ()
+    else if msg.Riep.result <> 0 then begin
       Metrics.incr t.metrics "alloc_failed";
       pa.pa_on_result (Error msg.Riep.result_reason)
     end
@@ -1204,7 +1224,8 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
         rmt =
           Rmt.create engine
             ~own_address:(fun () -> (Lazy.force t).address)
-            ~scheduler:policy.Policy.scheduler ~label:("rmt:" ^ dif) ~rank ();
+            ~scheduler:policy.Policy.scheduler
+            ~congestion:policy.Policy.congestion ~label:("rmt:" ^ dif) ~rank ();
         lsdb = Routing.create ();
         metrics = Metrics.create ();
         rank;
@@ -1486,6 +1507,7 @@ let allocate_flow t ~src ~dst ~qos_id ~on_result =
       in
       (* Management PDUs are unreliable; retransmit the request a few
          times (the destination is idempotent). *)
+      let busy_attempts = ref 0 in
       let rec arm_timeout tries =
         Engine.schedule t.engine ~delay:1.2 (fun () ->
             match Hashtbl.find_opt t.pending invoke with
@@ -1502,8 +1524,33 @@ let allocate_flow t ~src ~dst ~qos_id ~on_result =
                 Hashtbl.replace t.pending invoke
                   { pa with pa_timeout = arm_timeout (tries - 1) }
               end)
-      in
-      Hashtbl.replace t.pending invoke
+      (* Busy rejection (result 4): the destination's admission limit
+         is a transient condition, so re-request after a full-jitter
+         exponential backoff drawn from this process's private
+         deterministic stream — a flash crowd of requesters thereby
+         spreads out instead of hammering in lockstep. *)
+      and on_busy () =
+        incr busy_attempts;
+        Metrics.incr t.metrics "alloc_busy";
+        if !busy_attempts > 100 then begin
+          Metrics.incr t.metrics "alloc_failed";
+          on_result (Error "flow allocation rejected: destination busy")
+        end
+        else begin
+          let base =
+            Float.max 0.01 t.policy.Policy.congestion.Policy.admission_backoff
+          in
+          let delay =
+            Rina_util.Backoff.delay_for ~rng:t.rng ~base !busy_attempts
+          in
+          ignore
+            (Engine.schedule t.engine ~delay (fun () ->
+                 if not (Hashtbl.mem t.pending invoke) then begin
+                   Hashtbl.replace t.pending invoke (make_pending ());
+                   transmit ()
+                 end))
+        end
+      and make_pending () =
         {
           pa_on_result = on_result;
           pa_local_cep = local_cep;
@@ -1513,7 +1560,10 @@ let allocate_flow t ~src ~dst ~qos_id ~on_result =
           pa_dst_app = dst;
           pa_dst_addr = addr;
           pa_timeout = arm_timeout 6;
-        };
+          pa_on_busy = on_busy;
+        }
+      in
+      Hashtbl.replace t.pending invoke (make_pending ());
       transmit ()
     in
     try_resolve ()
@@ -1573,6 +1623,11 @@ let rib t = t.rib
 let metrics t = t.metrics
 
 let rmt_metrics t = Rmt.metrics t.rmt
+
+let rmt_queue_depth t =
+  List.fold_left
+    (fun acc port -> acc + Rmt.queue_depth t.rmt port)
+    0 (Rmt.ports t.rmt)
 
 (* EFCP window occupancy for the flight-recorder probes: one triple per
    open flow. *)

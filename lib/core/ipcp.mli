@@ -35,6 +35,10 @@ type flow = {
           the local endpoint is already closed *)
   close : unit -> unit;  (** deallocate both ends *)
   flow_metrics : unit -> Rina_util.Metrics.t;  (** EFCP counters *)
+  congested : unit -> bool;
+      (** whether the flow's EFCP is under congestion pressure
+          ({!Efcp.congested}) — an upper DIF multiplexed over this
+          flow consults it to push congestion up the stack *)
 }
 
 val create :
@@ -132,6 +136,7 @@ val chan_of_flow : t -> flow -> Rina_sim.Chan.t
 
 val name : t -> Types.apn
 val dif_name : t -> Types.dif_name
+
 val is_enrolled : t -> bool
 
 val address : t -> Types.address
@@ -150,6 +155,11 @@ val routing_table : t -> (Types.address * Types.address * float) list
 val rib : t -> Rib.t
 val metrics : t -> Rina_util.Metrics.t
 val rmt_metrics : t -> Rina_util.Metrics.t
+
+val rmt_queue_depth : t -> int
+(** Total PDUs waiting in this process's RMT shaper queues across all
+    ports (0 when nothing is shaped) — what the congestion benches'
+    queue-occupancy probes sample. *)
 
 val flow_stats : t -> (Types.cep_id * int * int) list
 (** [(cep, in_flight, backlog)] per open flow, sorted by cep — what the

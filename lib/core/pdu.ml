@@ -19,6 +19,8 @@ let flag_drf = 1
 
 let flag_fin = 2
 
+let flag_ecn = 4
+
 let has_flag t flag = t.flags land flag <> 0
 
 let make ~pdu_type ~dst_addr ~src_addr ?(dst_cep = 0) ?(src_cep = 0) ?(qos_id = 0)
@@ -62,6 +64,8 @@ let off_qos_id = 18
 let off_seq = 20
 
 let ttl_offset = 32
+
+let flags_offset = 33
 
 let off_payload_len = 34
 
@@ -207,10 +211,26 @@ module Peek = struct
 
   let seq b = get_u32 b off_seq
 
+  let flags b = Bytes.get_uint8 b flags_offset
+
+  let is_dtp b = Bytes.get_uint8 b 1 = 0
+
   let span b =
-    if Bytes.get_uint8 b 1 = 0 (* Dtp *) then
+    if is_dtp b then
       Rina_util.Flight.span_of
         ~flow:((dst_addr b lsl 16) lor (dst_cep b land 0xFFFF))
         ~seq:(seq b)
     else 0
 end
+
+(* ECN-style congestion marking, applied to encoded frames in place.
+   The frame keeps its SDU-protection trailer valid: set the flag bit,
+   then reseal — same pattern the relay uses for the TTL decrement. *)
+let frame_has_ecn frame = Peek.flags frame land flag_ecn <> 0
+
+let mark_ecn_frame frame =
+  let f = Peek.flags frame in
+  if f land flag_ecn = 0 then begin
+    Bytes.set_uint8 frame flags_offset (f lor flag_ecn);
+    Sdu_protection.seal frame
+  end

@@ -33,6 +33,12 @@ val flag_drf : int
 val flag_fin : int
 (** Final PDU of a flow. *)
 
+val flag_ecn : int
+(** Congestion-experienced mark: set by an RMT whose queue is over the
+    DIF's [mark_threshold] (or by push-back from a congested lower
+    flow); the receiving EFCP echoes it on acks so the sender backs
+    off without a loss. *)
+
 val has_flag : t -> int -> bool
 
 val make :
@@ -83,6 +89,9 @@ val ttl_offset : int
 (** Byte offset of the TTL field in the wire form — a relay decrements
     it in place in a copied frame rather than re-encoding the PDU. *)
 
+val flags_offset : int
+(** Byte offset of the flags field, for in-place marking. *)
+
 (** Read individual header fields straight out of an encoded frame
     (which must have passed [Sdu_protection.verify_len]). *)
 module Peek : sig
@@ -92,9 +101,20 @@ module Peek : sig
 
   val seq : bytes -> int
 
+  val flags : bytes -> int
+
+  val is_dtp : bytes -> bool
+
   val span : bytes -> int
   (** Flight-recorder trace id, equal to {!span} of the decoded PDU. *)
 end
+
+val frame_has_ecn : bytes -> bool
+(** Whether an encoded frame already carries {!flag_ecn}. *)
+
+val mark_ecn_frame : bytes -> unit
+(** Set {!flag_ecn} in an encoded, protected frame in place and reseal
+    the {!Sdu_protection} trailer (no-op if already marked). *)
 
 val pp : Format.formatter -> t -> unit
 

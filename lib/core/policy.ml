@@ -43,6 +43,14 @@ type telemetry = {
   flight_ring_capacity : int;  (* bound on buffered events; 0 = unbounded *)
 }
 
+type congestion = {
+  mark_threshold : int;  (* queue depth that starts ECN marking; 0 = off *)
+  mark_probability : float;  (* mark chance once over threshold, in [0, 1] *)
+  pushback : bool;  (* propagate lower-DIF congestion to upper EFCPs *)
+  admission_max_pending : int;  (* open flows before busy-reject; 0 = unlimited *)
+  admission_backoff : float;  (* base of the requester's busy-retry backoff, s *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -52,6 +60,7 @@ type t = {
   acl : acl;
   max_ttl : int;
   telemetry : telemetry;
+  congestion : congestion;
 }
 
 let default_efcp =
@@ -87,6 +96,15 @@ let default_enrollment =
 let default_telemetry =
   { trace_sample_rate = 1.0; snapshot_interval = 0.; flight_ring_capacity = 0 }
 
+let default_congestion =
+  {
+    mark_threshold = 0;
+    mark_probability = 1.0;
+    pushback = false;
+    admission_max_pending = 0;
+    admission_backoff = 0.2;
+  }
+
 let default =
   {
     efcp = default_efcp;
@@ -97,6 +115,7 @@ let default =
     acl = Allow_all;
     max_ttl = 32;
     telemetry = default_telemetry;
+    congestion = default_congestion;
   }
 
 let efcp_for_qos t (qos : Qos.t) =

@@ -102,6 +102,32 @@ type telemetry = {
           overwrite the oldest (exactly counted); 0 = unbounded *)
 }
 
+(** Aggregate congestion policy: how the DIF as a whole reacts to
+    overload — the §6 argument that congestion is managed *inside* the
+    layer that allocated the resource, not guessed at end to end. *)
+type congestion = {
+  mark_threshold : int;
+      (** RMT class-queue depth at which ECN-style marking starts; 0
+          disables marking (and [R_congestion] accounting) entirely *)
+  mark_probability : float;
+      (** probability a Dtp PDU is marked once its queue is at or over
+          [mark_threshold], in \[0, 1\] (lint L119 rejects other
+          values); drawn from a deterministic per-RMT stream so runs
+          replay byte-identically *)
+  pushback : bool;
+      (** when a lower-DIF flow is itself congestion-backing-off, set
+          the ECN flag on upper-DIF frames transiting it so the
+          (N)-EFCP's end-to-end response fires too — congestion
+          propagates layer by layer instead of being absorbed *)
+  admission_max_pending : int;
+      (** flow-allocator admission bound: a destination IPC process
+          with this many flows open answers M_create with "busy"
+          instead of accepting; 0 = unlimited *)
+  admission_backoff : float;
+      (** base delay (s) of the requester's full-jitter exponential
+          retry after a busy rejection ({!Rina_util.Backoff}) *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -111,6 +137,7 @@ type t = {
   acl : acl;
   max_ttl : int;  (** initial TTL stamped on PDUs entering the DIF *)
   telemetry : telemetry;
+  congestion : congestion;
 }
 
 val default_efcp : efcp
@@ -119,6 +146,10 @@ val default_enrollment : enrollment
 val default_telemetry : telemetry
 (** Keep everything, no snapshots, unbounded buffer — the zero-surprise
     debugging default; scale runs opt into sampling via policy. *)
+
+val default_congestion : congestion
+(** Everything off: no marking ([mark_threshold = 0]), no pushback,
+    unlimited admission — overload behaviour is opt-in per DIF. *)
 
 val default : t
 (** Selective-repeat EFCP (window 64, mtu 1400), FIFO scheduling, 1 s

@@ -7,6 +7,7 @@ type section =
   | S_auth
   | S_dif
   | S_telemetry
+  | S_congestion
 
 (* Mutable build state folded over the lines of the spec. *)
 type state = {
@@ -198,7 +199,48 @@ let apply_kv st line key v =
             Policy.telemetry =
               { p.Policy.telemetry with Policy.flight_ring_capacity = n };
           })
-  | ( (S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif | S_telemetry),
+  | S_congestion, "mark_threshold" ->
+    parse_nat line key v (fun n ->
+        Ok
+          {
+            p with
+            Policy.congestion = { p.Policy.congestion with Policy.mark_threshold = n };
+          })
+  | S_congestion, "mark_probability" -> (
+    match float_of_string_opt v with
+    | Some f when f >= 0. && f <= 1. ->
+      Ok
+        {
+          p with
+          Policy.congestion = { p.Policy.congestion with Policy.mark_probability = f };
+        }
+    | Some _ | None ->
+      err line (Printf.sprintf "mark_probability expects a number in [0, 1], got %S" v))
+  | S_congestion, "pushback" -> (
+    match v with
+    | "on" ->
+      Ok { p with Policy.congestion = { p.Policy.congestion with Policy.pushback = true } }
+    | "off" ->
+      Ok
+        { p with Policy.congestion = { p.Policy.congestion with Policy.pushback = false } }
+    | other -> err line (Printf.sprintf "pushback must be on|off, got %S" other))
+  | S_congestion, "admission_max_pending" ->
+    parse_nat line key v (fun n ->
+        Ok
+          {
+            p with
+            Policy.congestion =
+              { p.Policy.congestion with Policy.admission_max_pending = n };
+          })
+  | S_congestion, "admission_backoff" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.congestion = { p.Policy.congestion with Policy.admission_backoff = f };
+          })
+  | ( ( S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif | S_telemetry
+      | S_congestion ),
       other ) ->
     err line (Printf.sprintf "unknown key %S in this section" other)
 
@@ -234,6 +276,7 @@ let section_name = function
   | S_auth -> "auth"
   | S_dif -> "dif"
   | S_telemetry -> "telemetry"
+  | S_congestion -> "congestion"
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -295,6 +338,9 @@ let parse ?(base = Policy.default) text =
           loop (n + 1) rest
         | "telemetry" ->
           st.section <- S_telemetry;
+          loop (n + 1) rest
+        | "congestion" ->
+          st.section <- S_congestion;
           loop (n + 1) rest
         | other -> err n (Printf.sprintf "unknown section [%s]" other)
       end
@@ -377,5 +423,14 @@ let to_string (p : Policy.t) =
       Printf.sprintf "snapshot_interval = %g" p.Policy.telemetry.Policy.snapshot_interval;
       Printf.sprintf "flight_ring_capacity = %d"
         p.Policy.telemetry.Policy.flight_ring_capacity;
+      "[congestion]";
+      Printf.sprintf "mark_threshold = %d" p.Policy.congestion.Policy.mark_threshold;
+      Printf.sprintf "mark_probability = %g" p.Policy.congestion.Policy.mark_probability;
+      Printf.sprintf "pushback = %s"
+        (if p.Policy.congestion.Policy.pushback then "on" else "off");
+      Printf.sprintf "admission_max_pending = %d"
+        p.Policy.congestion.Policy.admission_max_pending;
+      Printf.sprintf "admission_backoff = %g"
+        p.Policy.congestion.Policy.admission_backoff;
       "";
     ]

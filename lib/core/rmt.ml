@@ -24,6 +24,10 @@ type t = {
   label : string;  (* flight-recorder component prefix *)
   rank : int;
   scheduler : Policy.scheduler;
+  congestion : Policy.congestion;
+  mark_rng : Rina_util.Prng.t;
+      (* private stream for probabilistic ECN marking, seeded from the
+         label so identical runs mark identical PDUs *)
   ports : (Types.port_id, port) Hashtbl.t;
   mutable next_port : Types.port_id;
   mutable forwarding : Pdu.t -> Types.port_id option;
@@ -33,13 +37,16 @@ type t = {
   metrics : Rina_util.Metrics.t;
 }
 
-let create engine ~own_address ~scheduler ?(label = "rmt") ?(rank = 0) () =
+let create engine ~own_address ~scheduler
+    ?(congestion = Policy.default_congestion) ?(label = "rmt") ?(rank = 0) () =
   {
     engine;
     own_address;
     label;
     rank;
     scheduler;
+    congestion;
+    mark_rng = Rina_util.Prng.create (Hashtbl.hash (label, "rmt-ecn"));
     ports = Hashtbl.create 8;
     next_port = 1;
     forwarding = (fun _ -> None);
@@ -162,19 +169,45 @@ let rec serve t port rate =
              serve t port rate))
 
 (* [hdr] is the frame's decoded header — classification reads fields,
-   never the payload. *)
+   never the payload.
+
+   Congestion marking (policy [mark_threshold] > 0) happens here, at
+   the one point where queue pressure is visible: a Dtp frame joining
+   a class queue already at or over the threshold is ECN-marked with
+   probability [mark_probability] (in place — the frame is owned by
+   this queue), and an overflow of such a queue is accounted as
+   [R_congestion] rather than a bare [R_queue_full] so overload drops
+   are distinguishable from sizing bugs. *)
 let enqueue t port ~hdr frame =
   match port.rate with
   | None -> transmit_now t port frame
   | Some rate ->
     let cls = max 0 (min (num_classes - 1) (t.classify hdr)) in
-    if Queue.length port.queues.(cls) >= queue_capacity then begin
-      flight_frame t frame (Flight.Pdu_dropped Flight.R_queue_full);
-      Rina_util.Metrics.incr t.metrics "queue_dropped"
+    let depth = Queue.length port.queues.(cls) in
+    let th = t.congestion.Policy.mark_threshold in
+    let congested = th > 0 && depth >= th in
+    if depth >= queue_capacity then begin
+      let reason = if congested then Flight.R_congestion else Flight.R_queue_full in
+      flight_frame t frame (Flight.Pdu_dropped reason);
+      Rina_util.Metrics.incr t.metrics "queue_dropped";
+      if congested then Rina_util.Metrics.incr t.metrics "congestion_dropped"
     end
     else begin
+      if
+        congested
+        && hdr.Pdu.pdu_type = Pdu.Dtp
+        && Rina_util.Prng.bernoulli t.mark_rng
+             t.congestion.Policy.mark_probability
+      then begin
+        Pdu.mark_ecn_frame frame;
+        Rina_util.Metrics.incr t.metrics "ecn_marked";
+        flight_frame t frame (Flight.Custom "ecn_mark")
+      end;
       flight_frame t frame Flight.Enqueued;
       Queue.push frame port.queues.(cls);
+      let d = float_of_int (depth + 1) in
+      if d > Rina_util.Metrics.gauge t.metrics "queue_hwm" then
+        Rina_util.Metrics.set_gauge t.metrics "queue_hwm" d;
       serve t port rate
     end
 
@@ -310,3 +343,8 @@ let queue_depth t port_id =
   match Hashtbl.find_opt t.ports port_id with
   | None -> 0
   | Some port -> Array.fold_left (fun acc q -> acc + Queue.length q) 0 port.queues
+
+let class_depths t port_id =
+  match Hashtbl.find_opt t.ports port_id with
+  | None -> [||]
+  | Some port -> Array.map Queue.length port.queues

@@ -13,18 +13,31 @@
 
 type t
 
+val queue_capacity : int
+(** Hard per-class queue bound (PDUs) on shaped ports; arrivals beyond
+    it are dropped.  Exported for the policy linter: a [mark_threshold]
+    at or above it can never mark before overflowing. *)
+
 val create :
   Rina_sim.Engine.t ->
   own_address:(unit -> Types.address) ->
   scheduler:Policy.scheduler ->
+  ?congestion:Policy.congestion ->
   ?label:string ->
   ?rank:int ->
   unit ->
   t
 (** [own_address] is consulted per PDU (it changes at enrollment).
-    [label] (default ["rmt"]) prefixes the flight-recorder component
-    name, which is [label ^ "@" ^ address]; [rank] stamps events with
-    the DIF rank. *)
+    [congestion] (default {!Policy.default_congestion}, everything
+    off) enables ECN-style marking on shaped ports: a Dtp frame
+    joining a class queue at or over [mark_threshold] is marked with
+    probability [mark_probability] (counter [ecn_marked]), and
+    overflow of such a queue is accounted [R_congestion] (counter
+    [congestion_dropped]) instead of plain [R_queue_full].  Marking
+    draws from a private deterministic stream seeded from [label], so
+    identical runs mark identical PDUs.  [label] (default ["rmt"])
+    prefixes the flight-recorder component name, which is
+    [label ^ "@" ^ address]; [rank] stamps events with the DIF rank. *)
 
 val set_forwarding : t -> (Pdu.t -> Types.port_id option) -> unit
 (** Install the relaying decision (management task supplies it;
@@ -67,6 +80,11 @@ val send_on_port : t -> Types.port_id -> Pdu.t -> unit
 
 val queue_depth : t -> Types.port_id -> int
 (** PDUs waiting in the shaper queues of a port (0 for unshaped). *)
+
+val class_depths : t -> Types.port_id -> int array
+(** Per-class queue occupancy of a shaped port ([num_classes] cells;
+    empty array for unknown ports) — the congestion benches snapshot
+    it to plot queue build-up. *)
 
 val metrics : t -> Rina_util.Metrics.t
 (** [relayed], [delivered_up], [no_route], [ttl_expired],

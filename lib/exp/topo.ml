@@ -45,11 +45,13 @@ let line ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
   net
 
 let star ?seed ?policy ?(bit_rate = 10_000_000.) ?(delay = 0.002)
-    ?(loss = Rina_sim.Loss.No_loss) ~leaves () =
+    ?(loss = Rina_sim.Loss.No_loss) ?(rate_limited = false) ~leaves () =
   if leaves < 1 then invalid_arg "Topo.star: need at least 1 leaf";
   let net = make_net ?seed ?policy ~n:(leaves + 1) () in
+  let rate = if rate_limited then Some bit_rate else None in
   let links =
-    Array.init leaves (fun i -> connect_pair net 0 (i + 1) ~bit_rate ~delay ~loss)
+    Array.init leaves (fun i ->
+        connect_pair net ?rate 0 (i + 1) ~bit_rate ~delay ~loss)
   in
   let net = { net with links; edges = Array.init leaves (fun i -> (0, i + 1)) } in
   Dif.run_until_converged net.dif ();
@@ -129,6 +131,36 @@ let ip_line ?(seed = 7) ?(bit_rate = 10_000_000.) ?(delay = 0.002)
   (* Let DV converge: a handful of periods covers k hops. *)
   Engine.run ~until:(Engine.now engine +. (dv_period *. float_of_int (k + 3))) engine;
   { ip_engine = engine; ip_rng = rng; hosts = [| host_a; host_b |]; routers; ip_links = links }
+
+let ip_star ?(seed = 7) ?(bit_rate = 10_000_000.) ?(delay = 0.002)
+    ?(loss = Rina_sim.Loss.No_loss) ~leaves () =
+  if leaves < 1 then invalid_arg "Topo.ip_star: need at least 1 leaf";
+  let engine = Engine.create () in
+  let rng = Rina_util.Prng.create seed in
+  let hub = Tcpip.Node.create engine ~forwarding:true "hub" in
+  let hosts =
+    Array.init leaves (fun i -> Tcpip.Node.create engine (Printf.sprintf "h%d" i))
+  in
+  (* Leaf link i uses subnet 10.(i+1).0.0/16: host .1, hub .2.  The hub
+     is directly connected to every leaf subnet, so its connected
+     routes cover the whole star — no DV needed. *)
+  let links =
+    Array.init leaves (fun i ->
+        let link = Link.create engine rng ~bit_rate ~delay ~loss () in
+        let subnet = Tcpip.Ip.addr_of_octets 10 (i + 1) 0 0 in
+        let prefix = Tcpip.Ip.prefix subnet 16 in
+        ignore
+          (Tcpip.Node.add_iface hosts.(i) (Link.endpoint_a link)
+             ~addr:(subnet lor 1) ~prefix);
+        ignore
+          (Tcpip.Node.add_iface hub (Link.endpoint_b link) ~addr:(subnet lor 2)
+             ~prefix);
+        link)
+  in
+  Array.iter
+    (fun h -> ignore (Tcpip.Node.add_static_route h (Tcpip.Ip.prefix 0 0) ~if_id:1 ()))
+    hosts;
+  { ip_engine = engine; ip_rng = rng; hosts; routers = [| hub |]; ip_links = links }
 
 (* ---------- static-verification bridge ---------- *)
 

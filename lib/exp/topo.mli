@@ -34,10 +34,15 @@ val star :
   ?bit_rate:float ->
   ?delay:float ->
   ?loss:Rina_sim.Loss.t ->
+  ?rate_limited:bool ->
   leaves:int ->
   unit ->
   rina_net
-(** A hub (node 0) with [leaves] spokes. *)
+(** A hub (node 0) with [leaves] spokes.  [rate_limited] adds RMT
+    shaping at the link rate on every port — with it, [leaves] senders
+    converging on one spoke build a real queue at the hub (the incast
+    bottleneck the congestion benches measure) instead of an unbounded
+    channel backlog. *)
 
 val random_graph :
   ?seed:int ->
@@ -72,6 +77,18 @@ val ip_line :
   ip_net
 (** host - R1 - ... - Rk - host, addressed 10.i.0.0/16 per link,
     distance-vector routing started and converged. *)
+
+val ip_star :
+  ?seed:int ->
+  ?bit_rate:float ->
+  ?delay:float ->
+  ?loss:Rina_sim.Loss.t ->
+  leaves:int ->
+  unit ->
+  ip_net
+(** [leaves] hosts around one forwarding hub (routers.(0)); leaf link
+    [i] is subnet 10.(i+1).0.0/16, host .1 and hub .2.  The TCP incast
+    baseline: many hosts converging on one. *)
 
 val wait : Rina_sim.Engine.t -> float -> unit
 (** Advance virtual time by a duration. *)

@@ -22,6 +22,83 @@ type sealed = Sealed_ok of float * int | Sealed_corrupt
 val read_sealed : bytes -> sealed
 (** Verify the trailer and recover (send time, seq). *)
 
+(** {2 Flow-aware stamps and per-flow completion times}
+
+    The plain stamps above assume one long-lived stream per sink.
+    Short-flow workloads (incast, flash crowds) multiplex many flows
+    into one receiving application, so these stamps additionally carry
+    a flow id and a FIN marker on a flow's last SDU; the {!fct}
+    registry turns FIN arrivals into flow completion times. *)
+
+type flow_stamp = { fs_sent : float; fs_flow : int; fs_seq : int; fs_fin : bool }
+
+val stamp_flow :
+  now:float -> flow:int -> seq:int -> fin:bool -> size:int -> bytes
+(** A CRC-sealed SDU of [size] bytes (minimum 24) carrying flow id,
+    per-flow sequence number and the FIN marker. *)
+
+val read_flow : bytes -> flow_stamp option
+(** Verify the trailer and recover the flow stamp; [None] if the SDU
+    is corrupt or not flow-stamped. *)
+
+(** Per-flow completion bookkeeping. *)
+type fct = {
+  durations : Rina_util.Stats.t;  (** completed-flow durations (s) *)
+  latencies : Rina_util.Stats.t;  (** per-SDU one-way latencies (s) *)
+  mutable started : int;
+  mutable completed : int;
+  mutable fct_sdus : int;
+  mutable fct_bytes : int;
+  mutable fct_corrupt : int;  (** deliveries that failed the CRC *)
+  opens : (int, float) Hashtbl.t;  (** flow id -> open time, while live *)
+}
+
+val fct : unit -> fct
+
+val flow_open : fct -> flow:int -> now:float -> unit
+(** Record a flow's start (idempotent); its FCT runs from here to the
+    arrival of its FIN SDU. *)
+
+val on_flow_sdu : fct -> now:float -> bytes -> unit
+(** Account one arriving SDU; a FIN for an open flow completes it. *)
+
+val unfinished : fct -> int list
+(** Flows opened but not yet completed (sorted) — the livelock probe:
+    after the drain, an admission-controlled run must leave none. *)
+
+val fct_goodput : fct -> t0:float -> t1:float -> float
+(** Delivered application bits/s over the window. *)
+
+val flow_bulk :
+  fct ->
+  send:(bytes -> unit) ->
+  now:float ->
+  flow:int ->
+  size:int ->
+  sdu:int ->
+  unit
+(** Open [flow] in the registry and emit [size] bytes of payload as
+    back-to-back flow-stamped SDUs of [sdu] bytes each, the last one
+    FIN-marked — one short flow of an incast or flash-crowd workload.
+    @raise Invalid_argument if [sdu <= 0]. *)
+
+val flow_sizes :
+  Rina_util.Prng.t -> alpha:float -> xmin:int -> cap:int -> n:int -> int array
+(** [n] heavy-tailed ({!Rina_util.Prng.pareto}) flow sizes in bytes,
+    clamped to [cap] — mice and elephants. *)
+
+val poisson_arrivals :
+  Rina_sim.Engine.t ->
+  Rina_util.Prng.t ->
+  rate:float ->
+  until:float ->
+  (int -> unit) ->
+  unit
+(** Fire the callback with arrival indices 0, 1, ... at exponentially
+    spaced instants ([rate] arrivals/s on average) until virtual time
+    passes [until] — the flash-crowd arrival process.
+    @raise Invalid_argument if [rate <= 0]. *)
+
 (** Aggregated receiver-side accounting. *)
 type sink = {
   received : Rina_util.Stats.t;  (** one-way latencies (s) *)

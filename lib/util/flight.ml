@@ -27,6 +27,7 @@ type reason =
   | R_corrupt
   | R_dup
   | R_reorder_overflow
+  | R_congestion
   | R_other of string
 
 type kind =
@@ -230,6 +231,7 @@ let reason_to_string = function
   | R_corrupt -> "corrupt"
   | R_dup -> "dup"
   | R_reorder_overflow -> "reorder_overflow"
+  | R_congestion -> "congestion"
   | R_other s -> s
 
 let reason_of_string = function
@@ -247,6 +249,7 @@ let reason_of_string = function
   | "corrupt" -> R_corrupt
   | "dup" -> R_dup
   | "reorder_overflow" -> R_reorder_overflow
+  | "congestion" -> R_congestion
   | s -> R_other s
 
 let kind_to_string = function
@@ -351,6 +354,7 @@ let reason_tag = function
   | R_corrupt -> 12
   | R_dup -> 13
   | R_reorder_overflow -> 14
+  | R_congestion -> 15
 
 let kind_tag = function
   | Pdu_sent -> 0
@@ -408,6 +412,7 @@ let read_event r =
          | 12 -> R_corrupt
          | 13 -> R_dup
          | 14 -> R_reorder_overflow
+         | 15 -> R_congestion
          | n -> raise (R.Decode_error (Printf.sprintf "unknown reason tag %d" n)))
     | 3 -> Enqueued
     | 4 -> Dequeued

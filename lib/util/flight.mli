@@ -35,6 +35,7 @@ type reason =
   | R_corrupt  (** SDU-protection verification failed (mangled frame) *)
   | R_dup  (** duplicate suppressed by EFCP (cache or window) *)
   | R_reorder_overflow  (** EFCP reorder buffer full *)
+  | R_congestion  (** overflow of a queue already past its ECN mark threshold *)
   | R_other of string
 
 type kind =

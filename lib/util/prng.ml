@@ -40,6 +40,13 @@ let exponential t rate =
 
 let uniform_in t lo hi = lo +. float t (hi -. lo)
 
+let pareto t ~alpha ~xmin =
+  if alpha <= 0. then invalid_arg "Prng.pareto: alpha must be positive";
+  if xmin <= 0. then invalid_arg "Prng.pareto: xmin must be positive";
+  (* Inverse-CDF: x = xmin / U^(1/alpha), U in (0, 1]. *)
+  let u = 1.0 -. float t 1.0 in
+  xmin /. (u ** (1. /. alpha))
+
 let pick t a =
   if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
   a.(int t (Array.length a))

@@ -38,6 +38,13 @@ val exponential : t -> float -> float
 val uniform_in : t -> float -> float -> float
 (** [uniform_in t lo hi] is uniform in \[lo, hi). *)
 
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Pareto(alpha, xmin) draw, at least [xmin]: the heavy-tailed
+    distribution of flow sizes (many mice, a few elephants) the
+    congestion workloads use.  [alpha <= 1] has infinite mean — the
+    callers clamp draws instead.  @raise Invalid_argument unless both
+    parameters are positive. *)
+
 val pick : t -> 'a array -> 'a
 (** Uniformly random element.  @raise Invalid_argument on empty array. *)
 

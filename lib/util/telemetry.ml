@@ -152,6 +152,11 @@ let observe t (e : Flight.event) =
   | Flight.Route_update -> count t "route_update"
   | Flight.Custom "probe" ->
     Sketch.Hist.add (hist_for t ("probe:" ^ e.component)) (float_of_int e.size)
+  | Flight.Custom (("ecn_mark" | "pushback_mark") as mark) ->
+    (* congestion marking is a landmark, never sampled away, so these
+       counters are exact — `rina_stats` shows how hard the AQM and
+       the layer push-back worked during the run *)
+    count t mark
   | Flight.Custom _ | Flight.Timer_set | Flight.Timer_fired | Flight.Retransmit
   | Flight.Enqueued | Flight.Dequeued ->
     ()

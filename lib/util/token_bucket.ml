@@ -17,6 +17,7 @@ let refill t ~now =
   end
 
 let try_take t ~now n =
+  if n < 0. then invalid_arg "Token_bucket.try_take: negative take";
   refill t ~now;
   if t.tokens >= n then begin
     t.tokens <- t.tokens -. n;
@@ -27,3 +28,9 @@ let try_take t ~now n =
 let available t ~now =
   refill t ~now;
   t.tokens
+
+let delay_until t ~now n =
+  if n < 0. then invalid_arg "Token_bucket.delay_until: negative take";
+  refill t ~now;
+  if t.tokens >= n then 0.
+  else (Float.min n t.burst -. t.tokens) /. t.rate

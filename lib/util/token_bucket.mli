@@ -11,7 +11,17 @@ val create : rate:float -> burst:float -> t
 
 val try_take : t -> now:float -> float -> bool
 (** [try_take t ~now n] consumes [n] tokens if available after
-    refilling up to [now]; returns whether the take succeeded. *)
+    refilling up to [now]; returns whether the take succeeded.
+    @raise Invalid_argument if [n] is negative (a negative take would
+    silently mint tokens). *)
 
 val available : t -> now:float -> float
 (** Tokens available at [now] (refill applied, nothing consumed). *)
+
+val delay_until : t -> now:float -> float -> float
+(** Seconds from [now] until [n] tokens will be available (0 if they
+    already are; nothing is consumed).  A take larger than [burst] is
+    clamped to [burst], matching what {!try_take} could ever grant —
+    the EFCP pacer uses this to sleep exactly until its next send
+    credit instead of polling.
+    @raise Invalid_argument if [n] is negative. *)

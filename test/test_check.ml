@@ -225,6 +225,37 @@ let test_l118_snapshot_vs_wheel () =
     (severity_of "L118" "[telemetry]\nsnapshot_interval = 0.01\n"
      = Diag.Warning)
 
+let test_l119_congestion_config () =
+  (* not a probability *)
+  fires "L119" "[congestion]\nmark_probability = 1.5\n";
+  (* negatives are a type error, not a consistency error *)
+  fires "L005" "[congestion]\nmark_probability = -0.5\n";
+  (* threshold at/above the per-class queue capacity: tail drop wins *)
+  fires "L119" "[congestion]\nmark_threshold = 256\n";
+  fires "L119" "[congestion]\nmark_threshold = 1000\n";
+  silent "L119" "[congestion]\nmark_threshold = 255\n";
+  (* admission without backoff: zero-delay retry storm *)
+  fires "L119" "[congestion]\nadmission_max_pending = 4\nadmission_backoff = 0\n";
+  (* the default backoff (0.2 s) is positive, so the limit alone is fine *)
+  silent "L119" "[congestion]\nadmission_max_pending = 4\n";
+  silent "L119" "[congestion]\nmark_threshold = 32\nmark_probability = 0.2\n";
+  silent "L119" "";
+  Alcotest.(check bool) "L119 is an error" true
+    (severity_of "L119" "[congestion]\nmark_probability = 2\n" = Diag.Error)
+
+let test_l120_congestion_signal_unwired () =
+  (* pushback relays a congestion signal that marking must generate *)
+  fires "L120" "[congestion]\npushback = on\n";
+  fires "L120" "[congestion]\npushback = on\nmark_threshold = 0\n";
+  silent "L120" "[congestion]\npushback = on\nmark_threshold = 32\n";
+  silent "L120" "[congestion]\npushback = off\n";
+  (* marking armed but the coin never wins *)
+  fires "L120" "[congestion]\nmark_threshold = 32\nmark_probability = 0\n";
+  silent "L120" "[congestion]\nmark_threshold = 32\nmark_probability = 0.5\n";
+  silent "L120" "";
+  Alcotest.(check bool) "L120 is a warning" true
+    (severity_of "L120" "[congestion]\npushback = on\n" = Diag.Warning)
+
 (* ---------- topology-aware rules ---------- *)
 
 let topo = { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1 }
@@ -330,6 +361,14 @@ let random_policy rng =
         Policy.trace_sample_rate = milli rng 1 1000;
         snapshot_interval = (if Prng.bool rng then 0. else milli rng 100 9999);
         flight_ring_capacity = Prng.int rng 100_000;
+      };
+    congestion =
+      {
+        Policy.mark_threshold = Prng.int rng 257;
+        mark_probability = milli rng 0 1000;
+        pushback = Prng.bool rng;
+        admission_max_pending = Prng.int rng 1000;
+        admission_backoff = milli rng 10 2000;
       };
   }
 
@@ -600,6 +639,10 @@ let () =
             test_l117_sample_rate_range;
           Alcotest.test_case "L118 snapshot vs wheel slot" `Quick
             test_l118_snapshot_vs_wheel;
+          Alcotest.test_case "L119 congestion config" `Quick
+            test_l119_congestion_config;
+          Alcotest.test_case "L120 unwired congestion signal" `Quick
+            test_l120_congestion_signal_unwired;
         ] );
       ( "lint-topology",
         [

@@ -522,6 +522,7 @@ let prop_policy_lang_roundtrip_random =
             acl = Policy.Allow_all;
             max_ttl = ttl;
             telemetry = Policy.default_telemetry;
+            congestion = Policy.default_congestion;
           })
         (tup4
            (tup4 (int_range 1 512) (int_range 16 9000) (int_range 0 2) bool)

@@ -301,6 +301,78 @@ let test_efcp_dup_cache_suppression () =
     (List.length without_cache);
   check Alcotest.int "nothing suppressed" 0 suppressed0
 
+let test_efcp_ecn_echo_and_backoff () =
+  (* A congestion-experienced mark on a data PDU must come back on the
+     ack (receiver echo), cut the sender's window at most once per
+     window of data, and never count as loss — no retransmissions, no
+     RTOs, every SDU still delivered in order. *)
+  let cfg =
+    { base_cfg with Policy.window = 16; congestion_control = true; max_rtx = 20 }
+  in
+  let engine = Engine.create () in
+  let delivered = ref [] in
+  let sender_ref = ref None and receiver_ref = ref None in
+  let marked_data = ref 0 in
+  let seen_data = ref 0 in
+  let to_receiver (pdu : Pdu.t) =
+    (* the "congested relay": a finite mid-stream congestion episode —
+       stamp ECN on transiting data PDUs 17..24, after the flow has an
+       RTT estimate and an open window.  (Marking from the very first
+       PDU would pin cwnd at its floor of 2, where each marked ack
+       really does open a new tiny window and cuts again — the
+       once-per-window rule is only visible on an established flow.) *)
+    incr seen_data;
+    let pdu =
+      if !seen_data > 16 && !seen_data <= 24 then begin
+        incr marked_data;
+        { pdu with Pdu.flags = pdu.Pdu.flags lor Pdu.flag_ecn }
+      end
+      else pdu
+    in
+    ignore
+      (Engine.schedule engine ~delay:0.001 (fun () ->
+           match !receiver_ref with
+           | Some r -> Efcp.handle_pdu r pdu
+           | None -> ()))
+  in
+  let to_sender (pdu : Pdu.t) =
+    ignore
+      (Engine.schedule engine ~delay:0.001 (fun () ->
+           match !sender_ref with
+           | Some s -> Efcp.handle_pdu s pdu
+           | None -> ()))
+  in
+  let sender =
+    Efcp.create engine ~config:cfg ~in_order:true ~local_cep:1 ~remote_cep:2
+      ~qos_id:1 ~send_pdu:to_receiver
+      ~deliver:(fun _ -> ())
+      ~on_error:(fun _ -> ())
+      ()
+  in
+  let receiver =
+    Efcp.create engine ~config:cfg ~in_order:true ~local_cep:2 ~remote_cep:1
+      ~qos_id:1 ~send_pdu:to_sender
+      ~deliver:(fun b -> delivered := Bytes.to_string b :: !delivered)
+      ~on_error:(fun _ -> ())
+      ()
+  in
+  sender_ref := Some sender;
+  receiver_ref := Some receiver;
+  let msgs = payloads 48 in
+  List.iter (fun m -> Efcp.send sender (Bytes.of_string m)) msgs;
+  Engine.run engine;
+  let sm = Efcp.metrics sender and rm = Efcp.metrics receiver in
+  check Alcotest.(list string) "all delivered in order" msgs (List.rev !delivered);
+  check Alcotest.int "receiver saw every mark" !marked_data
+    (Metrics.get rm "ecn_rcvd");
+  Alcotest.(check bool) "sender saw echoes" true (Metrics.get sm "ecn_echoes" > 0);
+  let backoffs = Metrics.get sm "ecn_backoffs" in
+  Alcotest.(check bool) "sender backed off" true (backoffs > 0);
+  Alcotest.(check bool) "at most one cut per window of data" true
+    (backoffs < Metrics.get sm "ecn_echoes");
+  check Alcotest.int "marks are not losses: no rtx" 0 (Metrics.get sm "pdus_rtx");
+  check Alcotest.int "marks are not losses: no rto" 0 (Metrics.get sm "rto_fired")
+
 let prop_efcp_reliable_under_random_loss =
   (* Whatever independent loss pattern hits data and acks (capped so
      the flow is not declared dead), a reliable flow must deliver every
@@ -460,6 +532,75 @@ let test_rmt_priority_scheduling () =
    | [] -> Alcotest.fail "nothing served");
   check Alcotest.int "queue drained" 0 (Rmt.queue_depth rmt p)
 
+let test_rmt_ecn_marking () =
+  (* A shaped port driven past [mark_threshold] marks Dtp frames with
+     the configured probability from a private per-label stream —
+     identical runs mark identical frames — and overflow past the hard
+     capacity of a queue already over the threshold is accounted
+     R_congestion, not plain queue_full. *)
+  let congestion =
+    {
+      Policy.mark_threshold = 16;
+      mark_probability = 0.5;
+      pushback = false;
+      admission_max_pending = 0;
+      admission_backoff = 0.;
+    }
+  in
+  let run () =
+    let engine = Engine.create () in
+    let rmt =
+      Rmt.create engine ~own_address:(fun () -> own_addr) ~scheduler:Policy.Fifo
+        ~congestion ()
+    in
+    let a_near, a_far = Chan.pair () in
+    let p = Rmt.add_port rmt ~rate:80_000. a_near in
+    let marked = ref [] in
+    let n = ref 0 in
+    a_far.Chan.set_receiver (fun f ->
+        incr n;
+        if Pdu.Peek.is_dtp f && Pdu.frame_has_ecn f then marked := !n :: !marked);
+    for _ = 1 to 300 do
+      Rmt.send_on_port rmt p (data_pdu ~dst:0 ())
+    done;
+    Engine.run engine;
+    (List.rev !marked, Rmt.metrics rmt)
+  in
+  let marked, m = run () in
+  Alcotest.(check bool) "some frames marked" true (List.length marked > 0);
+  check Alcotest.int "metric matches wire" (List.length marked)
+    (Metrics.get m "ecn_marked");
+  Alcotest.(check bool) "over-capacity arrivals congestion-dropped" true
+    (Metrics.get m "congestion_dropped" > 0);
+  check Alcotest.int "every drop was a congestion drop"
+    (Metrics.get m "queue_dropped")
+    (Metrics.get m "congestion_dropped");
+  let marked', _ = run () in
+  check Alcotest.(list int) "identical runs mark identical frames" marked marked'
+
+let test_rmt_marking_disabled () =
+  (* mark_threshold = 0 (the default policy) must never mark or
+     reclassify drops, whatever the load. *)
+  let engine = Engine.create () in
+  let rmt =
+    Rmt.create engine ~own_address:(fun () -> own_addr) ~scheduler:Policy.Fifo ()
+  in
+  let a_near, a_far = Chan.pair () in
+  let p = Rmt.add_port rmt ~rate:80_000. a_near in
+  let any_marked = ref false in
+  a_far.Chan.set_receiver (fun f ->
+      if Pdu.frame_has_ecn f then any_marked := true);
+  for _ = 1 to 300 do
+    Rmt.send_on_port rmt p (data_pdu ~dst:0 ())
+  done;
+  Engine.run engine;
+  let m = Rmt.metrics rmt in
+  Alcotest.(check bool) "nothing marked" false !any_marked;
+  check Alcotest.int "no ecn counter" 0 (Metrics.get m "ecn_marked");
+  check Alcotest.int "no congestion drops" 0 (Metrics.get m "congestion_dropped");
+  Alcotest.(check bool) "plain queue_full drops still counted" true
+    (Metrics.get m "queue_dropped" > 0)
+
 let test_rmt_drr_shares () =
   let engine = Engine.create () in
   let rmt = make_rmt ~scheduler:(Policy.Drr 200) engine in
@@ -513,6 +654,8 @@ let () =
             test_efcp_sack_repairs_before_rto;
           Alcotest.test_case "reorder window overflow" `Quick
             test_efcp_reorder_window_overflow;
+          Alcotest.test_case "ecn echo and backoff" `Quick
+            test_efcp_ecn_echo_and_backoff;
           Alcotest.test_case "dup cache suppression" `Quick
             test_efcp_dup_cache_suppression;
           QCheck_alcotest.to_alcotest prop_efcp_reliable_under_random_loss;
@@ -527,5 +670,8 @@ let () =
           Alcotest.test_case "send on port / removal" `Quick test_rmt_send_on_port_and_removal;
           Alcotest.test_case "priority scheduling" `Quick test_rmt_priority_scheduling;
           Alcotest.test_case "drr shares" `Quick test_rmt_drr_shares;
+          Alcotest.test_case "ecn marking deterministic" `Quick test_rmt_ecn_marking;
+          Alcotest.test_case "marking disabled by default" `Quick
+            test_rmt_marking_disabled;
         ] );
     ]

@@ -162,6 +162,60 @@ let test_flow_close_frees_state () =
     wait net.Topo.engine 2.;
     check Alcotest.int "no delivery after close" 1 sink.Workload.count
 
+let test_admission_busy_retry () =
+  (* With admission_max_pending = 1, the destination busy-rejects the
+     second concurrent request (result 4, a transient condition) and
+     the requester retries behind a jittered exponential backoff — so
+     once the first flow closes, the waiting request gets in.  Nothing
+     here errors out: admission pressure delays, it does not fail. *)
+  let policy =
+    {
+      Policy.default with
+      Policy.congestion =
+        {
+          Policy.default_congestion with
+          Policy.admission_max_pending = 1;
+          admission_backoff = 0.02;
+        };
+    }
+  in
+  let net = Topo.line ~n:2 ~policy () in
+  let engine = net.Topo.engine in
+  let a = net.Topo.nodes.(0) and b = net.Topo.nodes.(1) in
+  Ipcp.register_app b (Types.apn "busy-svc") ~on_flow:(fun _ -> ());
+  Ipcp.register_app a (Types.apn "c1") ~on_flow:(fun _ -> ());
+  Ipcp.register_app a (Types.apn "c2") ~on_flow:(fun _ -> ());
+  let results = Array.make 2 None in
+  List.iteri
+    (fun i src ->
+      Ipcp.allocate_flow a ~src:(Types.apn src) ~dst:(Types.apn "busy-svc")
+        ~qos_id:0 ~on_result:(fun r -> results.(i) <- Some r))
+    [ "c1"; "c2" ];
+  wait engine 5.;
+  let ok_flows =
+    Array.to_list results
+    |> List.filter_map (function Some (Ok f) -> Some f | _ -> None)
+  in
+  check Alcotest.int "exactly one admitted while the slot is held" 1
+    (List.length ok_flows);
+  Alcotest.(check bool) "destination counted busy rejections" true
+    (Metrics.get (Ipcp.metrics b) "alloc_busy_rejected" >= 1);
+  Alcotest.(check bool) "requester counted busy retries" true
+    (Metrics.get (Ipcp.metrics a) "alloc_busy" >= 1);
+  (* Free the slot: the backed-off request must now be admitted. *)
+  (List.hd ok_flows).Ipcp.close ();
+  wait engine 5.;
+  let ok_after =
+    Array.to_list results
+    |> List.filter_map (function Some (Ok f) -> Some f | _ -> None)
+  in
+  check Alcotest.int "waiting request admitted after close" 2
+    (List.length ok_after);
+  Alcotest.(check bool) "no allocation failed" true
+    (Array.for_all
+       (function Some (Error _) -> false | _ -> true)
+       results)
+
 let test_directory_updates_after_unregister () =
   let net = Topo.line ~n:2 () in
   let app = Types.apn "transient" in
@@ -753,6 +807,7 @@ let () =
           Alcotest.test_case "unknown name" `Quick test_unknown_name_fails;
           Alcotest.test_case "acl denies" `Quick test_acl_denies_flow;
           Alcotest.test_case "close frees state" `Quick test_flow_close_frees_state;
+          Alcotest.test_case "admission busy retry" `Quick test_admission_busy_retry;
           Alcotest.test_case "unregister withdraws" `Quick test_directory_updates_after_unregister;
         ] );
       ( "relaying",

@@ -371,6 +371,20 @@ let test_ewma () =
   Alcotest.check_raises "alpha 0" (Invalid_argument "Ewma.create: alpha not in (0,1]")
     (fun () -> ignore (Ewma.create ~alpha:0.))
 
+let test_ewma_negative_samples () =
+  (* EFCP folds 0/1 mark indicators into an Ewma and clamps the read
+     to [0,1]; the Ewma itself must pass negatives through unchanged
+     so that clamp is the only policy applied. *)
+  let e = Ewma.create ~alpha:0.5 in
+  Ewma.add e (-4.);
+  check (Alcotest.float 1e-9) "negative preserved" (-4.) (Ewma.value e);
+  Ewma.add e 0.;
+  check (Alcotest.float 1e-9) "decays toward zero" (-2.) (Ewma.value e);
+  check (Alcotest.float 1e-9) "efcp-style clamp floors at 0" 0.
+    (Float.min 1. (Float.max 0. (Ewma.value e)));
+  Alcotest.(check bool) "nan before first sample" true
+    (Float.is_nan (Ewma.value (Ewma.create ~alpha:0.3)))
+
 (* ---------- Token bucket ---------- *)
 
 let test_token_bucket () =
@@ -382,6 +396,32 @@ let test_token_bucket () =
   Alcotest.check_raises "bad rate"
     (Invalid_argument "Token_bucket.create: rate must be positive") (fun () ->
       ignore (Token_bucket.create ~rate:0. ~burst:1.))
+
+let test_token_bucket_edges () =
+  let tb = Token_bucket.create ~rate:2. ~burst:4. in
+  (* Burst exhaustion, then the exact wake-up the EFCP pacer sleeps on. *)
+  Alcotest.(check bool) "drain whole burst" true (Token_bucket.try_take tb ~now:0. 4.);
+  check (Alcotest.float 1e-9) "delay until one token" 0.5
+    (Token_bucket.delay_until tb ~now:0. 1.);
+  check (Alcotest.float 1e-9) "over-burst ask clamps to burst" 2.
+    (Token_bucket.delay_until tb ~now:0. 100.);
+  (* A negative take would silently mint tokens; both entry points
+     must reject it. *)
+  Alcotest.check_raises "negative take"
+    (Invalid_argument "Token_bucket.try_take: negative take") (fun () ->
+      ignore (Token_bucket.try_take tb ~now:0. (-1.)));
+  Alcotest.check_raises "negative delay query"
+    (Invalid_argument "Token_bucket.delay_until: negative take") (fun () ->
+      ignore (Token_bucket.delay_until tb ~now:0. (-1.)));
+  (* The clock running backwards (never on the virtual engine, but
+     cheap to guarantee) must not refill. *)
+  Alcotest.(check bool) "refill to burst by t=10" true
+    (Token_bucket.try_take tb ~now:10. 4.);
+  check (Alcotest.float 1e-9) "no retroactive refill" 0.
+    (Token_bucket.available tb ~now:5.);
+  Alcotest.check_raises "zero burst"
+    (Invalid_argument "Token_bucket.create: burst must be positive") (fun () ->
+      ignore (Token_bucket.create ~rate:1. ~burst:0.))
 
 (* ---------- Metrics ---------- *)
 
@@ -900,7 +940,9 @@ let () =
       ( "misc",
         [
           Alcotest.test_case "ewma" `Quick test_ewma;
+          Alcotest.test_case "ewma negative samples" `Quick test_ewma_negative_samples;
           Alcotest.test_case "token bucket" `Quick test_token_bucket;
+          Alcotest.test_case "token bucket edges" `Quick test_token_bucket_edges;
           Alcotest.test_case "metrics" `Quick test_metrics;
           Alcotest.test_case "table" `Quick test_table;
         ] );
