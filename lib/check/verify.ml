@@ -565,6 +565,31 @@ let verify ?(max_depth = 16) m =
 
 (* ---------- Lint.topo derivation ---------- *)
 
+(* Per-DIF conservative lookahead under the model's shard partition:
+   min effective delay over this DIF's cross-shard adjacencies — the
+   same quantity the V4xx pass folds into [summary.lookahead], but
+   restricted to one DIF so [Lint] L121 can judge a spec against the
+   network it is destined for. *)
+let shard_lookahead ctx m d =
+  match m.shards with
+  | None -> None
+  | Some ss ->
+    let assign = Hashtbl.create 32 in
+    List.iter (fun (dn, mn, s) -> Hashtbl.replace assign (dn, mn) s) ss.shard_of;
+    List.fold_left
+      (fun acc adj ->
+        match
+          ( Hashtbl.find_opt assign (d.d_name, adj.adj_a),
+            Hashtbl.find_opt assign (d.d_name, adj.adj_b) )
+        with
+        | Some sa, Some sb when sa <> sb ->
+          let delay = eff_delay ctx [ d.d_name ] d.d_name adj in
+          (match acc with
+           | None -> Some delay
+           | Some l -> Some (Float.min l delay))
+        | _ -> acc)
+      None d.d_adjacencies
+
 let lint_topo m ~dif =
   let ctx = index m in
   match Hashtbl.find_opt ctx.by_name dif with
@@ -607,6 +632,7 @@ let lint_topo m ~dif =
         Lint.diameter = max 1 !diameter;
         bottleneck_bit_rate = (if Float.is_finite bottleneck then bottleneck else 0.);
         rtt = 2. *. !worst_delay;
+        lookahead = shard_lookahead ctx m d;
       }
 
 (* ---------- rule table ---------- *)

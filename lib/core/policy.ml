@@ -51,6 +51,11 @@ type congestion = {
   admission_backoff : float;  (* base of the requester's busy-retry backoff, s *)
 }
 
+type shard = {
+  shards : int;  (* requested engine-shard count; 0 or 1 = sequential *)
+  mailbox_capacity : int;  (* per-directed-mailbox ring bound, entries *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -61,6 +66,7 @@ type t = {
   max_ttl : int;
   telemetry : telemetry;
   congestion : congestion;
+  shard : shard;
 }
 
 let default_efcp =
@@ -105,6 +111,8 @@ let default_congestion =
     admission_backoff = 0.2;
   }
 
+let default_shard = { shards = 0; mailbox_capacity = 8192 }
+
 let default =
   {
     efcp = default_efcp;
@@ -116,6 +124,7 @@ let default =
     max_ttl = 32;
     telemetry = default_telemetry;
     congestion = default_congestion;
+    shard = default_shard;
   }
 
 let efcp_for_qos t (qos : Qos.t) =

@@ -128,6 +128,22 @@ type congestion = {
           retry after a busy rejection ({!Rina_util.Backoff}) *)
 }
 
+(** Parallel-execution policy: how a trial of this configuration may
+    be spatially decomposed over engine shards.  Consumed by the
+    sharded engine driver ([Rina_sim.Sharded] via [Rina_exp]); the
+    partition itself must pass [rina_verify]'s V4xx analyses, and lint
+    rule L121 rejects a spec that asks for shards a topology gives no
+    positive lookahead for. *)
+type shard = {
+  shards : int;
+      (** requested engine-shard count; 0 or 1 = sequential (the
+          default) *)
+  mailbox_capacity : int;
+      (** bound (entries) on each directed cross-shard mailbox ring;
+          must cover one lookahead window's worth of cross-shard
+          frames or producers stall *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -138,6 +154,7 @@ type t = {
   max_ttl : int;  (** initial TTL stamped on PDUs entering the DIF *)
   telemetry : telemetry;
   congestion : congestion;
+  shard : shard;
 }
 
 val default_efcp : efcp
@@ -150,6 +167,10 @@ val default_telemetry : telemetry
 val default_congestion : congestion
 (** Everything off: no marking ([mark_threshold = 0]), no pushback,
     unlimited admission — overload behaviour is opt-in per DIF. *)
+
+val default_shard : shard
+(** Sequential ([shards = 0]) with an 8192-entry mailbox bound —
+    parallel decomposition is opt-in per configuration. *)
 
 val default : t
 (** Selective-repeat EFCP (window 64, mtu 1400), FIFO scheduling, 1 s

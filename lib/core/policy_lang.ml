@@ -8,6 +8,7 @@ type section =
   | S_dif
   | S_telemetry
   | S_congestion
+  | S_shard
 
 (* Mutable build state folded over the lines of the spec. *)
 type state = {
@@ -239,8 +240,20 @@ let apply_kv st line key v =
             p with
             Policy.congestion = { p.Policy.congestion with Policy.admission_backoff = f };
           })
+  | S_shard, "shards" ->
+    parse_nat line key v (fun n ->
+        Ok { p with Policy.shard = { p.Policy.shard with Policy.shards = n } })
+  | S_shard, "mailbox_capacity" ->
+    parse_int line key v (fun n ->
+        if n < 2 then err line "mailbox_capacity must be at least 2"
+        else
+          Ok
+            {
+              p with
+              Policy.shard = { p.Policy.shard with Policy.mailbox_capacity = n };
+            })
   | ( ( S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif | S_telemetry
-      | S_congestion ),
+      | S_congestion | S_shard ),
       other ) ->
     err line (Printf.sprintf "unknown key %S in this section" other)
 
@@ -277,6 +290,7 @@ let section_name = function
   | S_dif -> "dif"
   | S_telemetry -> "telemetry"
   | S_congestion -> "congestion"
+  | S_shard -> "shard"
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -341,6 +355,9 @@ let parse ?(base = Policy.default) text =
           loop (n + 1) rest
         | "congestion" ->
           st.section <- S_congestion;
+          loop (n + 1) rest
+        | "shard" ->
+          st.section <- S_shard;
           loop (n + 1) rest
         | other -> err n (Printf.sprintf "unknown section [%s]" other)
       end
@@ -432,5 +449,8 @@ let to_string (p : Policy.t) =
         p.Policy.congestion.Policy.admission_max_pending;
       Printf.sprintf "admission_backoff = %g"
         p.Policy.congestion.Policy.admission_backoff;
+      "[shard]";
+      Printf.sprintf "shards = %d" p.Policy.shard.Policy.shards;
+      Printf.sprintf "mailbox_capacity = %d" p.Policy.shard.Policy.mailbox_capacity;
       "";
     ]

@@ -23,9 +23,17 @@
 
 module Race = Rina_util.Race
 
+(* RINA_DOMAINS pins the worker count (CI and bench runs need a stable
+   pool regardless of runner shape); anything unparsable falls back to
+   the hardware recommendation.  Both paths clamp to 1..8. *)
 let default_domains () =
-  let n = Domain.recommended_domain_count () in
-  if n < 1 then 1 else if n > 8 then 8 else n
+  let clamp n = if n < 1 then 1 else if n > 8 then 8 else n in
+  match Sys.getenv_opt "RINA_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> clamp n
+    | None -> clamp (Domain.recommended_domain_count ()))
+  | None -> clamp (Domain.recommended_domain_count ())
 
 type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
@@ -93,6 +101,14 @@ let map ?domains f items =
 
 let run_trials ?domains ~seeds f =
   Array.to_list (map ?domains (fun seed -> f ~seed) (Array.of_list seeds))
+
+(* Intra-trial parallelism: advance a sharded fleet with the same
+   worker-pool sizing (and RINA_DOMAINS override) as the trial fan-out.
+   The Race fork/join and mailbox annotations live inside
+   [Rina_sim.Sharded]. *)
+let run_sharded ?domains sh ~until =
+  let d = match domains with Some d -> d | None -> default_domains () in
+  Rina_sim.Sharded.run ~domains:d sh ~until
 
 (* Telemetry-sharded fan-out: every trial gets a private registry as
    this domain's [Telemetry.current] — the per-shard stats pipeline —

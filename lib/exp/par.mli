@@ -16,7 +16,11 @@
     load each. *)
 
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count ()] clamped to [1..8]. *)
+(** Worker-pool size: the [RINA_DOMAINS] environment variable when set
+    to an integer (so CI and bench runs can pin the count), otherwise
+    [Domain.recommended_domain_count ()].  Either way clamped to
+    [1..8]; an unparsable [RINA_DOMAINS] falls back to the hardware
+    recommendation. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f items] applies [f] to every item across [domains]
@@ -28,6 +32,13 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val run_trials : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a list
 (** Seed-list convenience wrapper over {!map}; results in seed-list
     order. *)
+
+val run_sharded : ?domains:int -> Rina_sim.Sharded.t -> until:float -> unit
+(** Advance one trial's shard fleet ({!Rina_sim.Sharded.run}) using
+    the same pool sizing as {!map} — [domains] defaults to
+    {!default_domains}, so [RINA_DOMAINS=1] forces the deterministic
+    sequential reference run and [RINA_DOMAINS=4] a 4-worker run; the
+    sharded determinism contract makes both byte-identical. *)
 
 val map_telemetry :
   ?domains:int ->

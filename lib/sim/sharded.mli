@@ -1,0 +1,91 @@
+(** Conservative-lookahead parallel simulation of one trial.
+
+    Partitions a topology into shards, each with its own {!Engine},
+    exchanging cross-shard frames through bounded lock-free SPSC
+    mailboxes and synchronizing on conservative lookahead windows: a
+    shard may advance to [min over in-neighbours (grant + lookahead)],
+    then publishes its own grant.  The lookahead is the window
+    [Rina_check.Verify] derives from cross-shard propagation delays
+    (a [shard_spec]'s [summary.lookahead]).
+
+    {b Determinism contract}: with the same seed the merged trace,
+    stats and bench output are byte-identical whether [run] uses 1
+    domain or N.  Cross-shard arrivals are tie-broken by
+    [(time, source shard id, per-source seq)] — never by mailbox
+    arrival order — and interleaved with local events by timestamp
+    with local events winning ties, so per-shard execution order is a
+    pure function of the seed.
+
+    Build-phase calls ({!cross_link}, {!set_context}) must happen on
+    the owning domain before the first {!run}; {!run} itself may be
+    called repeatedly with a non-decreasing [until]. *)
+
+type t
+
+val create : ?mailbox_capacity:int -> shards:int -> lookahead:float -> unit -> t
+(** A shard table of [shards] fresh engines.  [lookahead] is the
+    conservative window (seconds); every cross-shard link delay must
+    be at least this.  [mailbox_capacity] (default 8192) bounds each
+    directed mailbox ring; it must cover one lookahead window's worth
+    of cross-shard traffic or producers stall waiting for the peer.
+    @raise Invalid_argument if [shards < 1] or [lookahead <= 0] — a
+    zero/absent rina_verify lookahead means the partition cannot run
+    in parallel (lint rule L121 catches this statically). *)
+
+val shard_count : t -> int
+
+val lookahead : t -> float
+
+val engine : t -> int -> Engine.t
+(** The engine owned by shard [i].  Build shard-local topology
+    (links, IPCPs) against this engine exactly as in the sequential
+    world. *)
+
+val cross_link :
+  t ->
+  ?queue_capacity:int ->
+  ?label:string ->
+  src:int ->
+  dst:int ->
+  bit_rate:float ->
+  delay:float ->
+  unit ->
+  Chan.t * Chan.t
+(** A duplex link whose endpoints live on different shards: the first
+    channel on shard [src], the second on shard [dst].  Sender-side
+    admission and serialization match {!Link} (drop-tail at
+    [queue_capacity], busy line, 8·len/rate); the serialized frame is
+    enqueued into the peer shard's mailbox with arrival time
+    [finish + delay].  Cross-shard links are ideal — no loss, mangle
+    or carrier faults (put lossy links inside a shard).
+    @raise Invalid_argument if [delay < lookahead t] (the conservative
+    horizon would admit late arrivals) or [src = dst]. *)
+
+val set_context : t -> install:(int -> unit) -> uninstall:(int -> unit) -> unit
+(** Per-shard observability context: [install i] is called before a
+    worker steps shard [i]'s events for an epoch and [uninstall i]
+    after.  Flight recorders and telemetry registries are domain-local
+    state, so this is where [Rina_exp.Obs] swaps in shard [i]'s
+    recorder (one domain may step many shards). *)
+
+val run : ?domains:int -> t -> until:float -> unit
+(** Advance every shard to exactly [until] (clocks settle there, like
+    [Engine.run ~until]).  [domains = 1] (default) steps all shards on
+    the calling domain in round-robin; [domains = n] spawns [n - 1]
+    workers, shards assigned round-robin by id.  When
+    {!Rina_util.Race} is armed the fork/join edges are annotated, so a
+    race-checked parallel run needs no extra plumbing.  The outcome is
+    byte-identical for every [domains] value. *)
+
+val granted : t -> float
+(** The fleet-wide grant: [min] over shards of the time up to which
+    that shard has executed everything.  Equals the last [run]'s
+    [until] once it returns. *)
+
+val epochs : t -> int
+(** Total epochs executed across shards (sync-overhead telemetry). *)
+
+val crossed : t -> int
+(** Total cross-shard frames delivered (decomposition-quality
+    telemetry: high ratios of [crossed] to local traffic mean the
+    partition cuts too many hot links). *)

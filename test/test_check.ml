@@ -256,9 +256,29 @@ let test_l120_congestion_signal_unwired () =
   Alcotest.(check bool) "L120 is a warning" true
     (severity_of "L120" "[congestion]\npushback = on\n" = Diag.Warning)
 
+let test_l121_shard_spec_unusable () =
+  (* standalone half: mailbox bound below the ring minimum *)
+  fires "L121" "[shard]\nshards = 4\nmailbox_capacity = 1\n";
+  silent "L121" "[shard]\nshards = 4\nmailbox_capacity = 64\n";
+  (* topology half: shards requested but the partition buys no time *)
+  let no_la = { Lint.diameter = 2; bottleneck_bit_rate = 1e7; rtt = 0.01; lookahead = None } in
+  let zero_la = { no_la with Lint.lookahead = Some 0. } in
+  let good_la = { no_la with Lint.lookahead = Some 0.002 } in
+  fires ~topo:no_la "L121" "[shard]\nshards = 4\n";
+  fires ~topo:zero_la "L121" "[shard]\nshards = 2\n";
+  silent ~topo:good_la "L121" "[shard]\nshards = 4\n";
+  (* one shard (or none) is sequential: nothing to complain about *)
+  silent ~topo:no_la "L121" "[shard]\nshards = 1\n";
+  silent ~topo:no_la "L121" "";
+  (* without a topology the lookahead half cannot run *)
+  silent "L121" "[shard]\nshards = 4\n";
+  Alcotest.(check bool) "L121 is an error" true
+    (severity_of "L121" "[shard]\nmailbox_capacity = 1\n" = Diag.Error)
+
 (* ---------- topology-aware rules ---------- *)
 
-let topo = { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1 }
+let topo =
+  { Lint.diameter = 5; bottleneck_bit_rate = 1e8; rtt = 0.1; lookahead = Some 0.002 }
 
 let test_l201_ttl_vs_diameter () =
   fires ~topo "L201" "[dif]\nmax_ttl = 3\n";
@@ -369,6 +389,11 @@ let random_policy rng =
         pushback = Prng.bool rng;
         admission_max_pending = Prng.int rng 1000;
         admission_backoff = milli rng 10 2000;
+      };
+    shard =
+      {
+        Policy.shards = Prng.int rng 9;
+        mailbox_capacity = 2 + Prng.int rng 100_000;
       };
   }
 
@@ -643,6 +668,8 @@ let () =
             test_l119_congestion_config;
           Alcotest.test_case "L120 unwired congestion signal" `Quick
             test_l120_congestion_signal_unwired;
+          Alcotest.test_case "L121 unusable shard spec" `Quick
+            test_l121_shard_spec_unusable;
         ] );
       ( "lint-topology",
         [

@@ -1041,6 +1041,135 @@ let prop_mangled_exactly_once_and_replayable =
       && delivered' = delivered
       && Bytes.equal trace trace')
 
+(* ---------- sharded engine: cross-shard delivery order ---------- *)
+
+module Sharded = Rina_sim.Sharded
+
+(* A fleet of [shards] engines linked in a full mesh of cross-shard
+   channels.  Each shard fires a Prng-drawn schedule of sends towards
+   random peers; every frame carries (source shard, per-pair counter),
+   numbered inside the engine events so the numbering follows
+   execution order on the source shard.  Returns, per destination
+   shard, the delivery log [(arrival time, source shard, counter)] in
+   execution order.
+
+   [chunks] splits the run into that many [run ~until] increments and
+   [domains] picks the worker count — by the determinism contract,
+   neither may change a single recorded entry. *)
+let run_cross_traffic ~seed ~shards ~chunks ~domains =
+  let lookahead = 0.01 in
+  let horizon = 1.0 in
+  let t = Sharded.create ~shards ~lookahead () in
+  let rng = Prng.create seed in
+  let send = Hashtbl.create 16 in
+  let logs = Array.init shards (fun _ -> ref []) in
+  (* an endpoint on shard [on_shard] receives the reverse direction *)
+  let attach on_shard (chan : Chan.t) =
+    chan.Chan.set_receiver (fun frame ->
+        let src = Char.code (Bytes.get frame 0) in
+        let k = Int32.to_int (Bytes.get_int32_be frame 1) in
+        logs.(on_shard) :=
+          (Engine.now (Sharded.engine t on_shard), src, k)
+          :: !(logs.(on_shard)))
+  in
+  for a = 0 to shards - 1 do
+    for b = a + 1 to shards - 1 do
+      let delay = lookahead *. (1. +. Prng.uniform_in rng 0. 3.) in
+      let ab, ba =
+        Sharded.cross_link t ~queue_capacity:4096 ~src:a ~dst:b
+          ~bit_rate:1e9 ~delay ()
+      in
+      Hashtbl.replace send (a, b) ab.Chan.send;
+      Hashtbl.replace send (b, a) ba.Chan.send;
+      attach a ab;
+      attach b ba
+    done
+  done;
+  let counters = Hashtbl.create 16 in
+  for src = 0 to shards - 1 do
+    let e = Sharded.engine t src in
+    let n_sends = 20 + Prng.int rng 60 in
+    for _ = 1 to n_sends do
+      let at = Prng.uniform_in rng 0.001 (0.9 *. horizon) in
+      let dst = (src + 1 + Prng.int rng (shards - 1)) mod shards in
+      let f : bytes -> unit = Hashtbl.find send (src, dst) in
+      ignore
+        (Engine.schedule_at e ~time:at (fun () ->
+             let key = (src, dst) in
+             let r =
+               match Hashtbl.find_opt counters key with
+               | Some r -> r
+               | None ->
+                 let r = ref (-1) in
+                 Hashtbl.replace counters key r;
+                 r
+             in
+             incr r;
+             let frame = Bytes.create 5 in
+             Bytes.set frame 0 (Char.chr src);
+             Bytes.set_int32_be frame 1 (Int32.of_int !r);
+             f frame))
+    done
+  done;
+  let step = horizon /. float_of_int chunks in
+  for c = 1 to chunks do
+    Sharded.run ~domains t ~until:(step *. float_of_int c)
+  done;
+  Array.map (fun l -> List.rev !l) logs
+
+(* (time, src shard, per-pair seq) is the cross-shard tie-break: every
+   delivery log must be lexicographically sorted by it, and within one
+   source the counters arrive gap-free in send order. *)
+let log_well_ordered log =
+  let rec ordered = function
+    | (t1, s1, k1) :: ((t2, s2, k2) :: _ as rest) ->
+      (t1 < t2 || (t1 = t2 && (s1 < s2 || (s1 = s2 && k1 < k2))))
+      && ordered rest
+    | _ -> true
+  in
+  ordered log
+
+let prop_sharded_delivery_order =
+  QCheck.Test.make
+    ~name:"sharded: (time, shard, seq) delivery order, any interleaving"
+    ~count:8
+    QCheck.(pair (int_range 0 1_000_000) (int_range 2 4))
+    (fun (seed, shards) ->
+      let base = run_cross_traffic ~seed ~shards ~chunks:1 ~domains:1 in
+      let chunked = run_cross_traffic ~seed ~shards ~chunks:7 ~domains:1 in
+      let par =
+        run_cross_traffic ~seed ~shards ~chunks:3 ~domains:(min shards 4)
+      in
+      let per_src_in_order log =
+        let last = Hashtbl.create 8 in
+        List.for_all
+          (fun (_, s, k) ->
+            let prev =
+              match Hashtbl.find_opt last s with Some p -> p | None -> -1
+            in
+            Hashtbl.replace last s k;
+            k = prev + 1)
+          log
+      in
+      Array.for_all log_well_ordered base
+      && Array.for_all per_src_in_order base
+      && Array.exists (fun l -> l <> []) base
+      && base = chunked && base = par)
+
+let test_sharded_build_validation () =
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Sharded.create: need at least one shard") (fun () ->
+      ignore (Sharded.create ~shards:0 ~lookahead:0.01 ()));
+  let t = Sharded.create ~shards:2 ~lookahead:0.01 () in
+  (match
+     Sharded.cross_link t ~src:0 ~dst:1 ~bit_rate:1e9 ~delay:0.001 ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delay below the lookahead accepted");
+  match Sharded.cross_link t ~src:1 ~dst:1 ~bit_rate:1e9 ~delay:0.02 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self-link accepted"
+
 let () =
   Alcotest.run "rina_sim"
     [
@@ -1120,5 +1249,11 @@ let () =
           Alcotest.test_case "reorder conservation" `Quick
             test_link_mangle_reorder_conservation;
           QCheck_alcotest.to_alcotest prop_mangled_exactly_once_and_replayable;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "build validation" `Quick
+            test_sharded_build_validation;
+          QCheck_alcotest.to_alcotest prop_sharded_delivery_order;
         ] );
     ]
