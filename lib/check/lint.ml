@@ -65,6 +65,16 @@ let schema =
         ("admission_backoff", Nonneg_float);
       ] );
     ("shard", [ ("shards", Nonneg_int); ("mailbox_capacity", Pos_int) ]);
+    ( "multipath",
+      [
+        ("probe_interval", Nonneg_float);
+        ("suspect_misses", Pos_int);
+        ("down_misses", Pos_int);
+        ("reprobe_backoff", Nonneg_float);
+        ("latency", Enum [ "primary"; "wrr" ]);
+        ("throughput", Enum [ "primary"; "wrr" ]);
+        ("background", Enum [ "primary"; "wrr" ]);
+      ] );
   ]
 
 let known_sections = List.map fst schema
@@ -469,6 +479,45 @@ let consistency sc (base : Policy.t) topo =
              armed but every coin flip loses"
             mark_th)
          ~hint:"use a mark_probability in (0, 1]");
+  (* L122: a path monitor that can never demote.  down_misses below
+     suspect_misses means the Down threshold fires while the state
+     machine still considers the path Up — Suspect is unreachable and
+     the documented Up -> Suspect -> Down progression is a lie.  A
+     zero reprobe_backoff on an armed monitor makes every Down path
+     re-probe in a zero-delay busy loop. *)
+  let mp = base.Policy.multipath in
+  let probe_iv, ln_piv = getf sc "multipath" "probe_interval" mp.Policy.probe_interval in
+  let susp, ln_susp = geti sc "multipath" "suspect_misses" mp.Policy.suspect_misses in
+  let down, ln_down = geti sc "multipath" "down_misses" mp.Policy.down_misses in
+  let reprobe, ln_rp = getf sc "multipath" "reprobe_backoff" mp.Policy.reprobe_backoff in
+  if down < susp then
+    emit sc
+      (Diag.error ~line:(at [ ln_down; ln_susp ]) "L122"
+         (Printf.sprintf
+            "down_misses (%d) is below suspect_misses (%d): paths jump straight to \
+             Down and Suspect is unreachable"
+            down susp)
+         ~hint:"keep suspect_misses <= down_misses");
+  if probe_iv > 0. && reprobe <= 0. then
+    emit sc
+      (Diag.error ~line:(at [ ln_rp; ln_piv ]) "L122"
+         "reprobe_backoff = 0 with an armed monitor: Down paths re-probe in a \
+          zero-delay busy loop"
+         ~hint:"give reprobe_backoff a positive base, e.g. probe_interval");
+  (* L123: the monitor declares a path Down no earlier than routing's
+     dead-peer teardown would — fast failover adds nothing over plain
+     LSA convergence. *)
+  if probe_iv > 0. && probe_iv *. float_of_int down >= dead_peer then
+    emit sc
+      (Diag.warning ~line:(at [ ln_piv; ln_down ]) "L123"
+         (Printf.sprintf
+            "probe_interval x down_misses (%g x %d = %g s) is not below \
+             dead_peer_timeout (%g s): path-Down fires after routing has already \
+             torn the peer down, so fast failover never beats LSA convergence"
+            probe_iv down
+            (probe_iv *. float_of_int down)
+            dead_peer)
+         ~hint:"shrink probe_interval (or down_misses) below the dead-peer window");
   (* L121 (part 1): mailbox bound too small to hold even one in-flight
      entry plus the ring's reserved slot — Policy_lang.parse refuses it,
      so catch it statically too. *)
@@ -576,6 +625,12 @@ let rules =
     Diag.rule ~code:"L121" ~severity:e
       "shard spec cannot run in parallel (shards requested without a positive \
        verify lookahead, or mailbox_capacity below 2)";
+    Diag.rule ~code:"L122" ~severity:e
+      "multipath monitor misconfigured (down_misses below suspect_misses, or an \
+       armed monitor with reprobe_backoff = 0)";
+    Diag.rule ~code:"L123" ~severity:w
+      "probe_interval x down_misses not below dead_peer_timeout: fast failover \
+       cannot beat routing's own dead-peer teardown";
     Diag.rule ~code:"L201" ~severity:e "max_ttl below the topology diameter";
     Diag.rule ~code:"L202" ~severity:w
       "window x mtu below the bandwidth-delay product: cannot saturate the path";

@@ -485,6 +485,102 @@ let verify ?(max_depth = 16) m =
                   ~hint:"per-PDU overhead multiplies; consider aligning the MTUs"))
         d.d_adjacencies)
     m.difs;
+  (* --- V230: multihomed in name only --- *)
+  (* A registrant with two or more attachments looks fault-tolerant,
+     but if every attachment's lower path crosses the same lower-DIF
+     edge, that edge is still a single point of failure and the
+     multipath monitor's failover has nowhere to go.  The cut edges of
+     a (src, dst) pair within one DIF are the adjacencies whose
+     removal disconnects the pair. *)
+  let indexed d = List.mapi (fun i a -> (i, a)) d.d_adjacencies in
+  let reaches_without d ~skip src dst =
+    let mt = Hashtbl.find ctx.members d.d_name in
+    let adjs =
+      List.filter
+        (fun (i, a) -> i <> skip && Hashtbl.mem mt a.adj_a && Hashtbl.mem mt a.adj_b)
+        (indexed d)
+    in
+    let seen = Hashtbl.create 16 in
+    let rec bfs = function
+      | [] -> false
+      | n :: _ when String.equal n dst -> true
+      | n :: rest ->
+        if Hashtbl.mem seen n then bfs rest
+        else begin
+          Hashtbl.replace seen n ();
+          let next =
+            List.filter_map
+              (fun (_, a) ->
+                if String.equal a.adj_a n then Some a.adj_b
+                else if String.equal a.adj_b n then Some a.adj_a
+                else None)
+              adjs
+          in
+          bfs (next @ rest)
+        end
+    in
+    bfs [ src ]
+  in
+  let cut_edges d src dst =
+    if String.equal src dst || not (reaches_without d ~skip:(-1) src dst) then []
+    else
+      List.filter_map
+        (fun (i, _) -> if reaches_without d ~skip:i src dst then None else Some i)
+        (indexed d)
+  in
+  (* The lower edges an attachment cannot live without.  A [Direct]
+     link is its own private medium — it shares a fate with nothing —
+     so its set is empty and any intersection through it is too. *)
+  let unavoidable adj =
+    match adj.att with
+    | Direct _ -> []
+    | Stacked { lower_dif; via_a; via_b } -> (
+      match Hashtbl.find_opt ctx.by_name lower_dif with
+      | None -> []
+      | Some ld -> List.map (fun i -> (lower_dif, i)) (cut_edges ld via_a via_b))
+  in
+  List.iter
+    (fun d ->
+      let mt = Hashtbl.find ctx.members d.d_name in
+      List.iter
+        (fun memb ->
+          if memb.m_apps <> [] then begin
+            let mine =
+              List.filter
+                (fun adj ->
+                  Hashtbl.mem mt adj.adj_a
+                  && Hashtbl.mem mt adj.adj_b
+                  && (String.equal adj.adj_a memb.m_name
+                     || String.equal adj.adj_b memb.m_name))
+                d.d_adjacencies
+            in
+            if List.length mine >= 2 then begin
+              let shared =
+                match List.map unavoidable mine with
+                | [] -> []
+                | first :: rest ->
+                  List.fold_left
+                    (fun acc s -> List.filter (fun e -> List.mem e s) acc)
+                    first rest
+              in
+              match shared with
+              | [] -> ()
+              | (ld_name, i) :: _ ->
+                let ld = Hashtbl.find ctx.by_name ld_name in
+                let cut = List.nth ld.d_adjacencies i in
+                warn "V230"
+                  "DIF %S: registrant %S is multihomed (%d attachments) but all \
+                   of them traverse edge %s--%s of lower DIF %S — one link \
+                   failure still severs every attachment"
+                  d.d_name memb.m_name (List.length mine) cut.adj_a cut.adj_b
+                  ld_name
+                  ~hint:
+                    "multihomed in name only: route the attachments over \
+                     disjoint lower paths"
+            end
+          end)
+        d.d_members)
+    m.difs;
   (* --- V4xx: shard-partition safety + lookahead --- *)
   let cross_shard_edges = ref 0 in
   let lookahead = ref None in
@@ -667,6 +763,9 @@ let rules =
       "one (N)-PDU needs more (N-1)-PDUs than the lower EFCP window admits";
     Diag.rule ~code:"V222" ~severity:w
       "EFCP window exceeds a link's drop-tail queue: full-window bursts overrun it";
+    Diag.rule ~code:"V230" ~severity:w
+      "multihomed registrant whose attachments all cross one lower cut edge \
+       (multihomed in name only)";
     Diag.rule ~code:"V301" ~severity:e
       "enrollment dependency cycle between DIFs: bootstrap deadlocks";
     Diag.rule ~code:"V401" ~severity:e "shard spec references an unknown DIF or member";

@@ -5,6 +5,9 @@ type unacked = {
   mutable sacked : bool;
       (* selectively acknowledged: held by the receiver's reorder
          buffer, so retransmitting it would only waste the channel *)
+  mutable path : int;
+      (* egress port the last copy rode (0 = unknown): lets failover
+         re-stripe exactly the PDUs stranded on a dead path *)
 }
 
 type t = {
@@ -17,7 +20,9 @@ type t = {
   rank : int;  (* DIF rank, for flight-recorder events *)
   tx_span_key : int;  (* flow key of PDUs we send (remote end) *)
   rx_span_key : int;  (* flow key of PDUs we receive (this end) *)
-  send_pdu : Pdu.t -> unit;
+  send_pdu : Pdu.t -> int;
+      (* returns the egress port id the PDU was striped onto, 0 when
+         the caller does not track paths *)
   deliver : bytes -> unit;
   on_error : string -> unit;
   metrics : Rina_util.Metrics.t;
@@ -229,7 +234,7 @@ and retransmit_seq t seq =
       u.sent_at <- Rina_sim.Engine.now t.engine;
       Rina_util.Metrics.incr t.metrics "pdus_rtx";
       flight_tx t seq (Bytes.length u.payload) Flight.Retransmit;
-      t.send_pdu (dtp_pdu t seq u.payload)
+      u.path <- t.send_pdu (dtp_pdu t seq u.payload)
     end
 
 let transmit t payload =
@@ -238,10 +243,13 @@ let transmit t payload =
   if reliable t then
     Hashtbl.replace t.retx seq
       { payload; sent_at = Rina_sim.Engine.now t.engine; retries = 0;
-        sacked = false };
+        sacked = false; path = 0 };
   Rina_util.Metrics.incr t.metrics "pdus_sent";
   flight_tx t seq (Bytes.length payload) Flight.Pdu_sent;
-  t.send_pdu (dtp_pdu t seq payload);
+  let path = t.send_pdu (dtp_pdu t seq payload) in
+  (match Hashtbl.find_opt t.retx seq with
+  | Some u -> u.path <- path
+  | None -> ());
   if t.rto_timer = None then arm_rto_timer t
 
 (* Unreliable flows carry no acknowledgements, so credit never refills;
@@ -352,11 +360,13 @@ let send_ack_now t =
      quantity the marking queue produced. *)
   let flags = if t.ecn_pending then Pdu.flag_ecn else 0 in
   t.ecn_pending <- false;
-  t.send_pdu
-    (Pdu.make ~pdu_type:Pdu.Ack ~dst_addr:Types.no_address
-       ~src_addr:Types.no_address ~dst_cep:t.remote_cep ~src_cep:t.local_cep
-       ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t) ~flags
-       (sack_payload t))
+  ignore
+    (t.send_pdu
+       (Pdu.make ~pdu_type:Pdu.Ack ~dst_addr:Types.no_address
+          ~src_addr:Types.no_address ~dst_cep:t.remote_cep ~src_cep:t.local_cep
+          ~qos_id:t.qos_id ~ack:t.rcv_next ~window:(recv_credit t) ~flags
+          (sack_payload t))
+      : int)
 
 let schedule_ack t =
   if t.config.Policy.ack_delay <= 0. then send_ack_now t
@@ -696,6 +706,32 @@ let handle_pdu t (pdu : Pdu.t) =
      | Pdu.Ack -> handle_ack t pdu
      | Pdu.Mgmt | Pdu.Hello -> Rina_util.Metrics.incr t.metrics "foreign_pdus");
     if Rina_util.Invariant.enabled () then check_invariants t
+  end
+
+(* Fast failover: [dead_path] just went Down, so every outstanding
+   PDU whose last copy rode it is stranded until its RTO fires.
+   Re-send them immediately (lowest seq first, so the receiver's
+   reorder window sees the least skew) — forwarding already excludes
+   the dead path, so the copies stripe onto survivors.  Deliberately
+   leaves cwnd alone: a path failure is not a congestion signal, and
+   halving the window would punish the surviving paths for the dead
+   one's crime.  Returns how many PDUs were re-pathed. *)
+let repath t ~dead_path =
+  if t.closed || t.errored || (not (reliable t)) || dead_path = 0 then 0
+  else begin
+    let stranded =
+      Hashtbl.fold
+        (fun seq u acc ->
+          if u.path = dead_path && not u.sacked then seq :: acc else acc)
+        t.retx []
+      |> List.sort compare
+    in
+    List.iter
+      (fun seq ->
+        Rina_util.Metrics.incr t.metrics "pdus_repath";
+        retransmit_seq t seq)
+      stranded;
+    List.length stranded
   end
 
 (* Congestion signal for layer push-back: this flow is either in an

@@ -24,7 +24,7 @@ val create :
   qos_id:Types.qos_id ->
   ?span_keys:int * int ->
   ?rank:int ->
-  send_pdu:(Pdu.t -> unit) ->
+  send_pdu:(Pdu.t -> int) ->
   deliver:(bytes -> unit) ->
   on_error:(string -> unit) ->
   unit ->
@@ -32,6 +32,11 @@ val create :
 (** [deliver] receives user-data fields in the order mandated by
     [in_order]; [on_error] fires once if the flow is declared broken
     (max retransmissions exceeded).
+
+    [send_pdu] returns the egress port id the PDU was striped onto (0
+    when the caller does not track paths); EFCP tags each outstanding
+    PDU with it so {!repath} can find the ones stranded on a dead
+    path.
 
     [span_keys] is [(tx_key, rx_key)] — the flight-recorder flow keys
     for outgoing and incoming PDUs ({!Pdu.flow_key} of the remote and
@@ -50,6 +55,14 @@ val handle_pdu : t -> Pdu.t -> unit
 
 val close : t -> unit
 (** Cancel timers and drop state; no further callbacks fire. *)
+
+val repath : t -> dead_path:int -> int
+(** Fast failover: immediately retransmit every outstanding PDU whose
+    last copy rode [dead_path] (lowest sequence first), so they stripe
+    onto surviving paths now instead of waiting out their RTO.  Leaves
+    the congestion window untouched — a path failure is not a
+    congestion signal.  Returns the number of PDUs re-sent; 0 for
+    unreliable, closed or errored flows. *)
 
 val metrics : t -> Rina_util.Metrics.t
 (** [pdus_sent], [pdus_rtx], [fast_rtx], [acks_sent], [acks_rcvd],

@@ -97,6 +97,9 @@ type t = {
   mutable next_flow_port : int;
   mutable next_invoke : int;
   mutable next_hops : Routing.next_hops;
+  mutable ecmp_hops : (Types.address, Types.address list * float) Hashtbl.t;
+      (* equal-cost first hops per destination; maintained only while
+         the multipath monitor is armed (policy probe_interval > 0) *)
   mutable chosen_poa : (Types.address, Types.port_id) Hashtbl.t;
   mutable own_lsa_seq : int;
   mutable last_adjacency : (Types.address * float) list;
@@ -120,6 +123,9 @@ type t = {
   rng : Rina_util.Prng.t;
       (* private stream for enrollment backoff jitter; seeded from the
          (dif, name) pair so runs stay deterministic *)
+  mpath : Multipath.t;
+      (* per-port path health + striping state; inert (every path Up,
+         no probes) unless policy [multipath] arms the monitor *)
 }
 
 let trace t event =
@@ -298,7 +304,10 @@ let port_to_peer t peer =
       Hashtbl.replace t.chosen_poa peer first;
       Some first)
 
-let forward t (pdu : Pdu.t) =
+(* Legacy single-path forwarding: one next hop, one sticky point of
+   attachment.  Still the whole story when the multipath monitor is
+   disarmed; the label-aware dispatch lives below [qos_cube]. *)
+let forward_single t (pdu : Pdu.t) =
   match Hashtbl.find_opt t.next_hops pdu.Pdu.dst_addr with
   | None -> None
   | Some (next_hop, _) -> port_to_peer t next_hop
@@ -314,7 +323,7 @@ let send_mgmt t ~dst msg =
   if Flight.enabled () then
     Flight.emit ~component:(flight_comp t) ~rank:t.rank
       (Flight.Custom ("riep_tx:" ^ Riep.trace_label msg));
-  Rmt.send t.rmt (mgmt_pdu t ~dst msg)
+  ignore (Rmt.send t.rmt (mgmt_pdu t ~dst msg) : Types.port_id option)
 
 let send_mgmt_on_port t ~port msg =
   Metrics.incr t.metrics "mgmt_tx";
@@ -397,6 +406,8 @@ let schedule_recompute t =
       (Engine.schedule t.engine ~delay:0. (fun () ->
            t.recompute_scheduled <- false;
            t.next_hops <- Routing.spf t.lsdb ~source:t.address;
+           if Multipath.enabled t.mpath then
+             t.ecmp_hops <- Routing.spf_multi t.lsdb ~source:t.address;
            Metrics.incr t.metrics "spf_runs"))
   end
 
@@ -666,6 +677,59 @@ let handle_connect_r t port_id (msg : Riep.t) =
 let qos_cube t id =
   match Qos.find t.qos_cubes id with Some q -> q | None -> Qos.best_effort
 
+(* ---------- multipath forwarding ---------- *)
+
+(* Candidate path set toward [dst]: the live ports attached to each
+   equal-cost next hop, (port, cost) sorted by port id.  Falls back to
+   the single-path table while an SPF with ECMP data is still
+   pending. *)
+let multipath_candidates t dst =
+  let hops =
+    match Hashtbl.find_opt t.ecmp_hops dst with
+    | Some (fhs, _) when fhs <> [] -> fhs
+    | Some _ | None -> (
+      match Hashtbl.find_opt t.next_hops dst with
+      | Some (nh, _) -> [ nh ]
+      | None -> [])
+  in
+  if hops = [] then []
+  else
+    Hashtbl.fold
+      (fun _ np acc ->
+        if List.mem np.np_peer hops && nport_alive t np then
+          (np.np_id, np.np_cost) :: acc
+        else acc)
+      t.nports []
+    |> List.sort compare
+
+(* rr_key 3 = management traffic: its cursor never interleaves with
+   the data labels (0..2), and mgmt always rides primary-backup so
+   RIEP exchanges stay ordered. *)
+let forward t (pdu : Pdu.t) =
+  if not (Multipath.enabled t.mpath) then forward_single t pdu
+  else
+    match multipath_candidates t pdu.Pdu.dst_addr with
+    | [] -> None
+    | candidates ->
+      let mode, rr_key =
+        match pdu.Pdu.pdu_type with
+        | Pdu.Mgmt | Pdu.Hello -> (Policy.Primary_backup, 3)
+        | Pdu.Dtp | Pdu.Ack ->
+          let label = Multipath.label_of_qos (qos_cube t pdu.Pdu.qos_id) in
+          (Multipath.mode_for t.mpath label, Multipath.label_index label)
+      in
+      Multipath.select t.mpath ~dst:pdu.Pdu.dst_addr ~mode ~rr_key ~candidates
+
+(* The drop-reason refinement installed into the RMT: a routed
+   destination whose entire candidate set is Down is a path-down drop,
+   not a no-route one. *)
+let unroutable_reason t (pdu : Pdu.t) =
+  if
+    Multipath.enabled t.mpath
+    && multipath_candidates t pdu.Pdu.dst_addr <> []
+  then Flight.R_path_down
+  else Flight.R_no_route
+
 let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
     ~remote_app ~qos =
   let efcp_cfg = Policy.efcp_for_qos t.policy qos in
@@ -679,7 +743,9 @@ let make_flow_state t ~port ~local_cep ~remote_cep ~remote_addr ~local_app
     let pdu =
       { pdu with Pdu.dst_addr = remote_addr; src_addr = t.address }
     in
-    Rmt.send t.rmt pdu
+    (* The egress port becomes EFCP's path tag, so failover can
+       re-stripe exactly the PDUs stranded on a dead path. *)
+    match Rmt.send t.rmt pdu with Some port -> port | None -> 0
   in
   let deliver payload =
     match !fs_ref with
@@ -1004,6 +1070,85 @@ let handle_keepalive t port_id (msg : Riep.t) =
 
 let handle_keepalive_r t port_id = touch_port t port_id
 
+(* ---------- multipath: path health probing and fast failover ---------- *)
+
+(* Fast failover off a path that just went Down: in-flight PDUs whose
+   last copy rode it are re-striped onto the surviving paths *now*
+   (forwarding already excludes the dead port), without waiting for
+   keepalive dead-peer declaration or LSA flooding.  EFCP's reorder
+   window absorbs the resequencing at the far end. *)
+let failover_from t np =
+  Hashtbl.remove t.chosen_poa np.np_peer;
+  if Flight.enabled () then
+    Flight.emit ~component:(flight_comp t) ~flow:np.np_id ~rank:t.rank
+      Flight.Handoff;
+  Metrics.incr t.metrics "failovers";
+  let stranded =
+    Hashtbl.fold
+      (fun _ fs acc -> acc + Efcp.repath fs.fs_efcp ~dead_path:np.np_id)
+      t.flows 0
+  in
+  if stranded > 0 then Metrics.add t.metrics "repath_pdus" stranded
+
+let note_path_transition t np = function
+  | None -> ()
+  | Some tr ->
+    let name =
+      match tr with
+      | Multipath.To_up _ -> "path_up"
+      | Multipath.To_suspect -> "path_suspect"
+      | Multipath.To_down -> "path_down"
+    in
+    Metrics.incr t.metrics name;
+    trace t (Printf.sprintf "%s:port%d" name np.np_id);
+    if Flight.enabled () then
+      Flight.emit ~component:(flight_comp t) ~flow:np.np_id ~rank:t.rank
+        (Flight.Custom name);
+    (match tr with Multipath.To_down -> failover_from t np | _ -> ())
+
+let handle_path_probe t port_id (msg : Riep.t) =
+  touch_port t port_id;
+  send_mgmt_on_port t ~port:port_id
+    (Riep.make ~opcode:Riep.M_read_r ~obj_class:"path-probe"
+       ~invoke_id:msg.Riep.invoke_id ())
+
+let handle_path_probe_r t port_id =
+  touch_port t port_id;
+  match Hashtbl.find_opt t.nports port_id with
+  | None -> ()
+  | Some np -> note_path_transition t np (Multipath.reply t.mpath port_id)
+
+(* One probe period: walk the attachments in port order (the jitter
+   stream is consumed per-port, so the order is part of the
+   determinism contract), account misses, demote/revive paths, launch
+   the next round of probes. *)
+let rec multipath_tick t =
+  (if t.up && t.enrolled then begin
+     let now = Engine.now t.engine in
+     let nps =
+       Hashtbl.fold (fun _ np acc -> np :: acc) t.nports []
+       |> List.sort (fun a b -> compare a.np_id b.np_id)
+     in
+     List.iter
+       (fun np ->
+         if np.np_peer > 0 && np.np_chan.Chan.is_up () then begin
+           let action, tr = Multipath.tick t.mpath np.np_id ~now in
+           note_path_transition t np tr;
+           match action with
+           | `Probe ->
+             Metrics.incr t.metrics "path_probe_tx";
+             send_mgmt_on_port t ~port:np.np_id
+               (Riep.make ~opcode:Riep.M_read ~obj_class:"path-probe"
+                  ~obj_name:(string_of_int np.np_id) ())
+           | `Wait -> ()
+         end)
+       nps
+   end);
+  ignore
+    (Engine.schedule ~lane:Engine.Timer t.engine
+       ~delay:t.policy.Policy.multipath.Policy.probe_interval (fun () ->
+         multipath_tick t))
+
 (* Declare the peer behind [np] dead: tear down the local adjacency
    view and withdraw the peer's LSA DIF-wide (unless another live port
    still reaches the same peer — multihoming). *)
@@ -1017,6 +1162,7 @@ let declare_peer_dead t np =
   np.np_peer <- 0;
   np.np_peer_name <- "";
   Hashtbl.remove t.chosen_poa dead;
+  Multipath.forget t.mpath np.np_id;
   rebuild_own_lsa t;
   let still_reachable =
     Hashtbl.fold
@@ -1106,6 +1252,14 @@ let handle_mgmt t from_port (pdu : Pdu.t) =
     | Riep.M_read_r, "keepalive" -> (
       match from_port with
       | Some p -> handle_keepalive_r t p
+      | None -> ())
+    | Riep.M_read, "path-probe" -> (
+      match from_port with
+      | Some p -> handle_path_probe t p msg
+      | None -> ())
+    | Riep.M_read_r, "path-probe" -> (
+      match from_port with
+      | Some p -> handle_path_probe_r t p
       | None -> ())
     | Riep.M_read, "addr-alloc" -> handle_addr_alloc t msg ~from_addr:pdu.Pdu.src_addr
     | Riep.M_read_r, "addr-alloc" -> handle_addr_alloc_r t msg
@@ -1255,11 +1409,18 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
         rng =
           Rina_util.Prng.create
             (Hashtbl.hash (dif, Types.apn_to_string name, "ipcp-backoff"));
+        ecmp_hops = Hashtbl.create 1;
+        mpath =
+          Multipath.create policy.Policy.multipath
+            ~rng:
+              (Rina_util.Prng.create
+                 (Hashtbl.hash (dif, Types.apn_to_string name, "multipath")));
       }
   in
   let t = Lazy.force t in
   Rmt.set_deliver t.rmt (fun from_port pdu -> deliver_up t from_port pdu);
   Rmt.set_forwarding t.rmt (fun pdu -> forward t pdu);
+  Rmt.set_drop_reason t.rmt (fun pdu -> unroutable_reason t pdu);
   Rmt.set_ingress_filter t.rmt (fun port pdu -> ingress_allowed t port pdu);
   Rmt.set_classify t.rmt (fun pdu ->
       (* Layer-management traffic always rides the top class so data
@@ -1288,6 +1449,11 @@ let create engine ?trace:tr ?(credentials = "") ?(qos_cubes = Qos.standard_cubes
      ignore
        (Engine.schedule ~lane:Engine.Timer t.engine ~delay:ae (fun () ->
             anti_entropy_tick t)));
+  (let mp = t.policy.Policy.multipath.Policy.probe_interval in
+   if mp > 0. then
+     ignore
+       (Engine.schedule ~lane:Engine.Timer t.engine ~delay:mp (fun () ->
+            multipath_tick t)));
   t
 
 let bootstrap t =
@@ -1319,6 +1485,12 @@ let bind_port t ?(cost = 1.0) ?rate chan =
   chan.Chan.on_carrier (fun up ->
       Metrics.incr t.metrics (if up then "carrier_up" else "carrier_down");
       if up then send_hello t np;
+      (* Carrier loss is an out-of-band path-death signal: no need to
+         burn probe misses discovering what the link layer just said. *)
+      if
+        (not up) && Multipath.enabled t.mpath && np.np_peer > 0
+        && Multipath.force_down t.mpath np.np_id ~now:(Engine.now t.engine)
+      then note_path_transition t np (Some Multipath.To_down);
       rebuild_own_lsa t);
   if chan.Chan.is_up () then send_hello t np;
   port_id
@@ -1328,6 +1500,7 @@ let unbind_port t port_id =
    | Some _ ->
      Hashtbl.remove t.nports port_id;
      Rmt.remove_port t.rmt port_id;
+     Multipath.forget t.mpath port_id;
      rebuild_own_lsa t
    | None -> ());
   Hashtbl.iter
@@ -1369,7 +1542,9 @@ let leave t =
         np.np_peer_name <- "")
       t.nports;
     t.next_hops <- Hashtbl.create 1;
-    Hashtbl.reset t.chosen_poa
+    t.ecmp_hops <- Hashtbl.create 1;
+    Hashtbl.reset t.chosen_poa;
+    Multipath.reset t.mpath
   end
 
 let publish_app t apn =
@@ -1404,7 +1579,9 @@ let crash t =
     t.own_lsa_seq <- 0;
     t.last_adjacency <- [];
     t.next_hops <- Hashtbl.create 1;
+    t.ecmp_hops <- Hashtbl.create 1;
     Hashtbl.reset t.chosen_poa;
+    Multipath.reset t.mpath;
     Hashtbl.iter
       (fun _ np ->
         np.np_peer <- 0;
@@ -1617,6 +1794,8 @@ let neighbors t =
 let routing_table t =
   Hashtbl.fold (fun dst (nh, cost) acc -> (dst, nh, cost) :: acc) t.next_hops []
   |> List.sort compare
+
+let path_health t = Multipath.debug t.mpath
 
 let rib t = t.rib
 

@@ -152,6 +152,11 @@ val neighbors : t -> (Types.address * Types.port_id list) list
 val routing_table : t -> (Types.address * Types.address * float) list
 (** (destination, next hop, cost) rows currently installed. *)
 
+val path_health : t -> string list
+(** One line per monitored path (port, Up/Suspect/Down, consecutive
+    misses), sorted — empty until the multipath monitor has probed.
+    What [rina_stats] prints for multihomed processes. *)
+
 val rib : t -> Rib.t
 val metrics : t -> Rina_util.Metrics.t
 val rmt_metrics : t -> Rina_util.Metrics.t

@@ -1,0 +1,223 @@
+(* Path-resilience state: per-port health monitoring plus the
+   deterministic striping discipline.  This module is pure state
+   machine — the IPC process owns the probe timer and the wire
+   exchanges and feeds events in; nothing here touches the engine, so
+   the whole layer replays byte-identically from the decisions made at
+   the call sites. *)
+
+type state = Up | Suspect | Down
+
+type label = Latency | Throughput | Background
+
+type transition = To_up of state | To_suspect | To_down
+
+type path = {
+  mutable st : state;
+  mutable misses : int;  (* consecutive unanswered probes *)
+  mutable outstanding : bool;  (* a probe is in flight, unanswered *)
+  mutable reprobe_attempt : int;  (* backoff exponent while Down *)
+  mutable next_reprobe : float;  (* earliest next probe while Down *)
+}
+
+type t = {
+  cfg : Policy.multipath;
+  rng : Rina_util.Prng.t;
+      (* private stream for re-probe backoff jitter; consumed only on
+         Down transitions and Down-state re-probes, in sorted-port
+         order, so runs replay byte-identically *)
+  paths : (Types.port_id, path) Hashtbl.t;
+  rr : (Types.address * int, int) Hashtbl.t;
+      (* weighted-round-robin cursor per (destination, label) *)
+}
+
+let create cfg ~rng = { cfg; rng; paths = Hashtbl.create 8; rr = Hashtbl.create 8 }
+
+let enabled t = t.cfg.Policy.probe_interval > 0.
+
+let fresh_path () =
+  { st = Up; misses = 0; outstanding = false; reprobe_attempt = 0; next_reprobe = 0. }
+
+let path_of t port =
+  match Hashtbl.find_opt t.paths port with
+  | Some p -> p
+  | None ->
+    let p = fresh_path () in
+    Hashtbl.replace t.paths port p;
+    p
+
+let state_of t port =
+  match Hashtbl.find_opt t.paths port with Some p -> p.st | None -> Up
+
+let forget t port = Hashtbl.remove t.paths port
+
+let reset t =
+  Hashtbl.reset t.paths;
+  Hashtbl.reset t.rr
+
+let backoff_base t = Float.max 1e-6 t.cfg.Policy.reprobe_backoff
+
+(* One probe period elapsed on [port].  An unanswered probe from the
+   previous period counts as a miss and may demote the path; then the
+   monitor decides whether to launch a new probe now ([`Probe]) or hold
+   off ([`Wait], Down paths between backed-off re-probes). *)
+let tick t port ~now =
+  let p = path_of t port in
+  let tr =
+    if p.outstanding then begin
+      p.misses <- p.misses + 1;
+      if p.st <> Down && p.misses >= t.cfg.Policy.down_misses then begin
+        p.st <- Down;
+        p.reprobe_attempt <- 1;
+        p.next_reprobe <-
+          now
+          +. Rina_util.Backoff.delay_for ~rng:t.rng ~base:(backoff_base t) 0;
+        Some To_down
+      end
+      else if p.st = Up && p.misses >= t.cfg.Policy.suspect_misses then begin
+        p.st <- Suspect;
+        Some To_suspect
+      end
+      else None
+    end
+    else None
+  in
+  p.outstanding <- false;
+  let action =
+    match p.st with
+    | Up | Suspect ->
+      p.outstanding <- true;
+      `Probe
+    | Down ->
+      if now >= p.next_reprobe then begin
+        p.outstanding <- true;
+        p.next_reprobe <-
+          now
+          +. Rina_util.Backoff.delay_for ~rng:t.rng ~base:(backoff_base t)
+               p.reprobe_attempt;
+        p.reprobe_attempt <- p.reprobe_attempt + 1;
+        `Probe
+      end
+      else `Wait
+  in
+  (action, tr)
+
+(* A probe reply arrived on [port]: proof of life, whatever the state. *)
+let reply t port =
+  match Hashtbl.find_opt t.paths port with
+  | None -> None
+  | Some p ->
+    p.outstanding <- false;
+    p.misses <- 0;
+    p.reprobe_attempt <- 0;
+    if p.st <> Up then begin
+      let prev = p.st in
+      p.st <- Up;
+      Some (To_up prev)
+    end
+    else None
+
+(* Out-of-band death (carrier loss): skip the miss counting — the
+   system knows its own radios.  Returns whether this was a
+   transition (the caller then runs failover exactly once). *)
+let force_down t port ~now =
+  let p = path_of t port in
+  if p.st <> Down then begin
+    p.st <- Down;
+    p.misses <- max p.misses t.cfg.Policy.down_misses;
+    p.outstanding <- false;
+    p.reprobe_attempt <- 1;
+    p.next_reprobe <-
+      now +. Rina_util.Backoff.delay_for ~rng:t.rng ~base:(backoff_base t) 0;
+    true
+  end
+  else false
+
+(* ---------- striping ---------- *)
+
+(* Traffic label from the flow's QoS cube: a tight delay bound is
+   latency traffic, unprioritised unreliable traffic is background,
+   everything else wants throughput. *)
+let label_of_qos (q : Qos.t) =
+  if q.Qos.max_delay > 0. && q.Qos.max_delay <= 0.05 then Latency
+  else if (not q.Qos.reliable) && q.Qos.priority = 0 then Background
+  else Throughput
+
+let label_index = function Latency -> 0 | Throughput -> 1 | Background -> 2
+
+let mode_for t = function
+  | Latency -> t.cfg.Policy.latency
+  | Throughput -> t.cfg.Policy.throughput
+  | Background -> t.cfg.Policy.background
+
+(* Pick the port for one PDU among [candidates] ((port, cost), sorted
+   by port id, already filtered to live attachments).  Down paths
+   never carry traffic; Suspect paths only when no Up path remains.
+   [None] = every candidate is Down (the caller degrades to no-route).
+
+   Weighted round robin is clocked by a per-(dst, label) cursor, so
+   the interleaving is a pure function of the PDU sequence — replays
+   are byte-identical. *)
+let select t ~dst ~mode ~rr_key ~candidates =
+  let annotated =
+    List.filter_map
+      (fun (port, cost) ->
+        match state_of t port with
+        | Down -> None
+        | (Up | Suspect) as st -> Some (port, cost, st))
+      candidates
+  in
+  let pool =
+    match List.filter (fun (_, _, st) -> st = Up) annotated with
+    | [] -> annotated
+    | ups -> ups
+  in
+  match pool with
+  | [] -> None
+  | [ (port, _, _) ] -> Some port
+  | pool -> (
+    match mode with
+    | Policy.Primary_backup ->
+      (* cheapest (then lowest-numbered) healthy path carries everything *)
+      let best =
+        List.fold_left
+          (fun acc (port, cost, _) ->
+            match acc with
+            | Some (_, bc) when bc < cost -> acc
+            | Some (bp, bc) when bc = cost && bp < port -> acc
+            | Some _ | None -> Some (port, cost))
+          None pool
+      in
+      Option.map fst best
+    | Policy.Weighted_rr ->
+      let cmin =
+        List.fold_left (fun acc (_, c, _) -> Float.min acc c) infinity pool
+      in
+      let weights =
+        List.map
+          (fun (port, cost, _) ->
+            (port, max 1 (int_of_float ((cmin *. 4. /. Float.max 1e-9 cost) +. 0.5))))
+          pool
+      in
+      let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+      let key = (dst, rr_key) in
+      let k =
+        (match Hashtbl.find_opt t.rr key with Some k -> k | None -> 0) mod total
+      in
+      Hashtbl.replace t.rr key ((k + 1) mod total);
+      let rec walk acc = function
+        | [] -> None
+        | (port, w) :: rest ->
+          if k < acc + w then Some port else walk (acc + w) rest
+      in
+      walk 0 weights)
+
+let debug t =
+  Hashtbl.fold
+    (fun port p acc ->
+      Printf.sprintf "port%d=%s misses=%d%s" port
+        (match p.st with Up -> "up" | Suspect -> "suspect" | Down -> "down")
+        p.misses
+        (if p.outstanding then " probing" else "")
+      :: acc)
+    t.paths []
+  |> List.sort compare

@@ -56,6 +56,18 @@ type shard = {
   mailbox_capacity : int;  (* per-directed-mailbox ring bound, entries *)
 }
 
+type stripe_mode = Primary_backup | Weighted_rr
+
+type multipath = {
+  probe_interval : float;  (* per-path health probe period, s; 0 = monitor off *)
+  suspect_misses : int;  (* consecutive missed probes before Up -> Suspect *)
+  down_misses : int;  (* consecutive missed probes before -> Down *)
+  reprobe_backoff : float;  (* full-jitter backoff base for re-probing Down, s *)
+  latency : stripe_mode;  (* per-label striping over the path set *)
+  throughput : stripe_mode;
+  background : stripe_mode;
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -67,6 +79,7 @@ type t = {
   telemetry : telemetry;
   congestion : congestion;
   shard : shard;
+  multipath : multipath;
 }
 
 let default_efcp =
@@ -113,6 +126,17 @@ let default_congestion =
 
 let default_shard = { shards = 0; mailbox_capacity = 8192 }
 
+let default_multipath =
+  {
+    probe_interval = 0.;
+    suspect_misses = 2;
+    down_misses = 4;
+    reprobe_backoff = 0.5;
+    latency = Primary_backup;
+    throughput = Weighted_rr;
+    background = Weighted_rr;
+  }
+
 let default =
   {
     efcp = default_efcp;
@@ -125,6 +149,7 @@ let default =
     telemetry = default_telemetry;
     congestion = default_congestion;
     shard = default_shard;
+    multipath = default_multipath;
   }
 
 let efcp_for_qos t (qos : Qos.t) =

@@ -144,6 +144,43 @@ type shard = {
           frames or producers stall *)
 }
 
+(** How one traffic label is spread over a flow's path set. *)
+type stripe_mode =
+  | Primary_backup
+      (** all PDUs ride the healthiest cheapest path; others carry
+          traffic only after it degrades — minimises reordering, so it
+          suits latency-labelled traffic *)
+  | Weighted_rr
+      (** deterministic weighted round-robin over every non-Down path,
+          weights inverse to path cost — maximises aggregate goodput at
+          the price of cross-path reordering (absorbed by EFCP's
+          reorder window) *)
+
+(** Path-resilience policy: the per-path health monitor and the
+    label-driven striping discipline an IPC process applies to the
+    several (N-1) flows it may hold toward the same next hop (the
+    second step of Fig. 4 forwarding).  With [probe_interval = 0] (the
+    default) the monitor is off and PoA choice keeps the legacy sticky
+    single-path behaviour. *)
+type multipath = {
+  probe_interval : float;
+      (** per-path keepalive probe period, s; 0 disables the monitor
+          (and with it striping + fast failover) *)
+  suspect_misses : int;
+      (** consecutive missed probe replies before Up degrades to
+          Suspect (path avoided while any Up path remains) *)
+  down_misses : int;
+      (** consecutive missed probe replies before the path is Down:
+          excluded from striping, outstanding PDUs re-striped onto
+          survivors; must be at least [suspect_misses] (lint L122) *)
+  reprobe_backoff : float;
+      (** base (s) of the full-jitter exponential backoff
+          ({!Rina_util.Backoff}) between re-probes of a Down path *)
+  latency : stripe_mode;  (** striping for latency-labelled flows *)
+  throughput : stripe_mode;  (** striping for throughput-labelled flows *)
+  background : stripe_mode;  (** striping for background-labelled flows *)
+}
+
 type t = {
   efcp : efcp;
   scheduler : scheduler;
@@ -155,6 +192,7 @@ type t = {
   telemetry : telemetry;
   congestion : congestion;
   shard : shard;
+  multipath : multipath;
 }
 
 val default_efcp : efcp
@@ -171,6 +209,12 @@ val default_congestion : congestion
 val default_shard : shard
 (** Sequential ([shards = 0]) with an 8192-entry mailbox bound —
     parallel decomposition is opt-in per configuration. *)
+
+val default_multipath : multipath
+(** Monitor off ([probe_interval = 0]): legacy sticky single-PoA
+    forwarding.  When armed, Suspect after 2 misses, Down after 4,
+    0.5 s re-probe backoff base; latency traffic primary-backup,
+    throughput and background weighted round-robin. *)
 
 val default : t
 (** Selective-repeat EFCP (window 64, mtu 1400), FIFO scheduling, 1 s

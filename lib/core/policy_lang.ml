@@ -9,6 +9,7 @@ type section =
   | S_telemetry
   | S_congestion
   | S_shard
+  | S_multipath
 
 (* Mutable build state folded over the lines of the spec. *)
 type state = {
@@ -252,8 +253,51 @@ let apply_kv st line key v =
               p with
               Policy.shard = { p.Policy.shard with Policy.mailbox_capacity = n };
             })
+  | S_multipath, "probe_interval" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.multipath = { p.Policy.multipath with Policy.probe_interval = f };
+          })
+  | S_multipath, "suspect_misses" ->
+    parse_int line key v (fun n ->
+        Ok
+          {
+            p with
+            Policy.multipath = { p.Policy.multipath with Policy.suspect_misses = n };
+          })
+  | S_multipath, "down_misses" ->
+    parse_int line key v (fun n ->
+        Ok
+          {
+            p with
+            Policy.multipath = { p.Policy.multipath with Policy.down_misses = n };
+          })
+  | S_multipath, "reprobe_backoff" ->
+    parse_float line key v (fun f ->
+        Ok
+          {
+            p with
+            Policy.multipath = { p.Policy.multipath with Policy.reprobe_backoff = f };
+          })
+  | S_multipath, (("latency" | "throughput" | "background") as label) -> (
+    let set mode =
+      let m = p.Policy.multipath in
+      let m =
+        match label with
+        | "latency" -> { m with Policy.latency = mode }
+        | "throughput" -> { m with Policy.throughput = mode }
+        | _ -> { m with Policy.background = mode }
+      in
+      Ok { p with Policy.multipath = m }
+    in
+    match v with
+    | "primary" -> set Policy.Primary_backup
+    | "wrr" -> set Policy.Weighted_rr
+    | other -> err line (Printf.sprintf "%s must be primary|wrr, got %S" label other))
   | ( ( S_efcp | S_scheduler | S_routing | S_enrollment | S_auth | S_dif | S_telemetry
-      | S_congestion | S_shard ),
+      | S_congestion | S_shard | S_multipath ),
       other ) ->
     err line (Printf.sprintf "unknown key %S in this section" other)
 
@@ -291,6 +335,7 @@ let section_name = function
   | S_telemetry -> "telemetry"
   | S_congestion -> "congestion"
   | S_shard -> "shard"
+  | S_multipath -> "multipath"
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -359,6 +404,9 @@ let parse ?(base = Policy.default) text =
         | "shard" ->
           st.section <- S_shard;
           loop (n + 1) rest
+        | "multipath" ->
+          st.section <- S_multipath;
+          loop (n + 1) rest
         | other -> err n (Printf.sprintf "unknown section [%s]" other)
       end
       else
@@ -382,6 +430,10 @@ let parse ?(base = Policy.default) text =
           | Error _ as e -> e))
   in
   loop 1 lines
+
+let stripe_name = function
+  | Policy.Primary_backup -> "primary"
+  | Policy.Weighted_rr -> "wrr"
 
 let to_string (p : Policy.t) =
   let e = p.Policy.efcp and r = p.Policy.routing and en = p.Policy.enrollment in
@@ -452,5 +504,13 @@ let to_string (p : Policy.t) =
       "[shard]";
       Printf.sprintf "shards = %d" p.Policy.shard.Policy.shards;
       Printf.sprintf "mailbox_capacity = %d" p.Policy.shard.Policy.mailbox_capacity;
+      "[multipath]";
+      Printf.sprintf "probe_interval = %g" p.Policy.multipath.Policy.probe_interval;
+      Printf.sprintf "suspect_misses = %d" p.Policy.multipath.Policy.suspect_misses;
+      Printf.sprintf "down_misses = %d" p.Policy.multipath.Policy.down_misses;
+      Printf.sprintf "reprobe_backoff = %g" p.Policy.multipath.Policy.reprobe_backoff;
+      Printf.sprintf "latency = %s" (stripe_name p.Policy.multipath.Policy.latency);
+      Printf.sprintf "throughput = %s" (stripe_name p.Policy.multipath.Policy.throughput);
+      Printf.sprintf "background = %s" (stripe_name p.Policy.multipath.Policy.background);
       "";
     ]

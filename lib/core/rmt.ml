@@ -16,6 +16,7 @@ type port = {
   deficits : float array;        (* DRR state *)
   mutable rr_class : int;        (* DRR scan position *)
   mutable busy : bool;           (* a departure is scheduled *)
+  tx_key : string;               (* per-port egress counter key *)
 }
 
 type t = {
@@ -34,6 +35,10 @@ type t = {
   mutable deliver : Types.port_id option -> Pdu.t -> unit;
   mutable classify : Pdu.t -> int;
   mutable ingress_filter : Types.port_id -> Pdu.t -> bool;
+  mutable drop_reason : Pdu.t -> Rina_util.Flight.reason;
+      (* refines the drop reason when forwarding says None: the IPC
+         process reports [R_path_down] when routes exist but every
+         member path is Down, [R_no_route] otherwise *)
   metrics : Rina_util.Metrics.t;
 }
 
@@ -53,6 +58,7 @@ let create engine ~own_address ~scheduler
     deliver = (fun _ _ -> ());
     classify = (fun _ -> 0);
     ingress_filter = (fun _ _ -> true);
+    drop_reason = (fun _ -> Rina_util.Flight.R_no_route);
     metrics = Rina_util.Metrics.create ();
   }
 
@@ -63,6 +69,8 @@ let set_deliver t f = t.deliver <- f
 let set_classify t f = t.classify <- f
 
 let set_ingress_filter t f = t.ingress_filter <- f
+
+let set_drop_reason t f = t.drop_reason <- f
 
 let metrics t = t.metrics
 
@@ -97,6 +105,7 @@ let flight_frame t frame kind =
 
 let transmit_now t port frame =
   Rina_util.Metrics.incr t.metrics "sent";
+  Rina_util.Metrics.incr t.metrics port.tx_key;
   flight_frame t frame Flight.Pdu_sent;
   port.chan.Rina_sim.Chan.send frame
 
@@ -216,45 +225,62 @@ let deliver_up t from_port pdu =
   flight_pdu t pdu Flight.Pdu_recvd;
   t.deliver from_port pdu
 
+(* An unroutable PDU: let the IPC process refine the reason (all
+   member paths Down vs. genuinely no route), then account it. *)
+let drop_unroutable t pdu =
+  let reason = t.drop_reason pdu in
+  flight_pdu t pdu (Flight.Pdu_dropped reason);
+  Rina_util.Metrics.incr t.metrics
+    (if reason = Flight.R_path_down then "path_down_dropped" else "no_route")
+
 (* Locally originated PDUs ([send]): route, then encode exactly once —
-   the frame the destination verifies is the one built here. *)
+   the frame the destination verifies is the one built here.  Returns
+   the egress port when the PDU was actually queued on one ([None] for
+   local delivery and every drop) — EFCP tags outstanding PDUs with it
+   so failover can re-stripe exactly the stranded ones. *)
 let relay_or_deliver t from_port pdu =
   let own = t.own_address () in
-  if pdu.Pdu.dst_addr = own || pdu.Pdu.dst_addr = Types.no_address then
-    deliver_up t from_port pdu
+  if pdu.Pdu.dst_addr = own || pdu.Pdu.dst_addr = Types.no_address then begin
+    deliver_up t from_port pdu;
+    None
+  end
   else if pdu.Pdu.ttl <= 1 then begin
     flight_pdu t pdu (Flight.Pdu_dropped Flight.R_ttl_expired);
-    Rina_util.Metrics.incr t.metrics "ttl_expired"
+    Rina_util.Metrics.incr t.metrics "ttl_expired";
+    None
   end
   else begin
     let pdu = { pdu with Pdu.ttl = pdu.Pdu.ttl - 1 } in
     match t.forwarding pdu with
     | None ->
-      flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
-      Rina_util.Metrics.incr t.metrics "no_route"
+      drop_unroutable t pdu;
+      None
     | Some port_id -> (
       match Hashtbl.find_opt t.ports port_id with
       | None ->
-        flight_pdu t pdu (Flight.Pdu_dropped Flight.R_no_route);
-        Rina_util.Metrics.incr t.metrics "no_route"
+        drop_unroutable t pdu;
+        None
       | Some port ->
         (if from_port <> None then Rina_util.Metrics.incr t.metrics "relayed");
-        enqueue t port ~hdr:pdu (Pdu.encode_frame pdu))
+        enqueue t port ~hdr:pdu (Pdu.encode_frame pdu);
+        Some port_id)
   end
 
 (* A transit frame: copy, decrement the TTL byte in place, re-seal the
    trailer.  No decode/encode round trip. *)
 let relay_frame t ~hdr frame =
   let hdr = { hdr with Pdu.ttl = hdr.Pdu.ttl - 1 } in
+  let drop () =
+    let reason = t.drop_reason hdr in
+    flight_frame t frame (Flight.Pdu_dropped reason);
+    Rina_util.Metrics.incr t.metrics
+      (if reason = Flight.R_path_down then "path_down_dropped" else "no_route")
+  in
   match t.forwarding hdr with
-  | None ->
-    flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
-    Rina_util.Metrics.incr t.metrics "no_route"
+  | None -> drop ()
   | Some port_id -> (
     match Hashtbl.find_opt t.ports port_id with
-    | None ->
-      flight_frame t frame (Flight.Pdu_dropped Flight.R_no_route);
-      Rina_util.Metrics.incr t.metrics "no_route"
+    | None -> drop ()
     | Some port ->
       Rina_util.Metrics.incr t.metrics "relayed";
       let frame = Bytes.copy frame in
@@ -313,6 +339,7 @@ let add_port t ?rate chan =
       deficits = Array.make num_classes 0.;
       rr_class = 0;
       busy = false;
+      tx_key = "sent_port" ^ string_of_int id;
     }
   in
   Hashtbl.replace t.ports id port;

@@ -70,9 +70,19 @@ val ports : t -> Types.port_id list
 
 val port_chan : t -> Types.port_id -> Rina_sim.Chan.t option
 
-val send : t -> Pdu.t -> unit
+val set_drop_reason : t -> (Pdu.t -> Rina_util.Flight.reason) -> unit
+(** Refine the drop reason recorded when forwarding returns no port:
+    the management task answers [R_path_down] when the destination is
+    routed but every member path is Down (multipath monitor), and
+    [R_no_route] otherwise (the default).  The refined reason also
+    splits the metric: [path_down_dropped] vs [no_route]. *)
+
+val send : t -> Pdu.t -> Types.port_id option
 (** Route-or-deliver a locally originated PDU: destination may be this
-    very process (looped up), a neighbour or any remote member. *)
+    very process (looped up), a neighbour or any remote member.
+    Returns the egress port the PDU was queued on, [None] for local
+    delivery or a drop — the path tag EFCP keeps per outstanding PDU
+    so failover can re-stripe exactly the stranded ones. *)
 
 val send_on_port : t -> Types.port_id -> Pdu.t -> unit
 (** Neighbour-scope transmission on an explicit port (hellos,
@@ -87,5 +97,6 @@ val class_depths : t -> Types.port_id -> int array
     it to plot queue build-up. *)
 
 val metrics : t -> Rina_util.Metrics.t
-(** [relayed], [delivered_up], [no_route], [ttl_expired],
-    [crc_dropped], [decode_dropped], [queue_dropped], [sent]... *)
+(** [relayed], [delivered_up], [no_route], [path_down_dropped],
+    [ttl_expired], [crc_dropped], [decode_dropped], [queue_dropped],
+    [sent], and per-port egress counters [sent_port<id>]... *)

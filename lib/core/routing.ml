@@ -156,4 +156,72 @@ let spf t ~source =
     done;
     result
 
+(* Equal-cost variant for multipath striping: per destination, the
+   sorted set of first hops that start a shortest path, plus the cost.
+   Dijkstra with first-hop sets merged on cost ties during relaxation;
+   ties discovered only between two already-equal finished nodes are
+   not chased (a predecessor-DAG pass could find more, but partial
+   ECMP is fine — what matters is that the result is deterministic). *)
+let spf_multi t ~source =
+  let result : (Types.address, Types.address list * float) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  match Hashtbl.find_opt t.db source with
+  | None -> result
+  | Some _ ->
+    let heap = Rina_util.Heap.create () in
+    let dist : (Types.address, float) Hashtbl.t = Hashtbl.create 32 in
+    let fhs : (Types.address, Types.address list) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    Hashtbl.replace dist source 0.;
+    Rina_util.Heap.push heap 0. source;
+    let finished : (Types.address, unit) Hashtbl.t = Hashtbl.create 32 in
+    let continue = ref true in
+    while !continue do
+      match Rina_util.Heap.pop heap with
+      | None -> continue := false
+      | Some (cost, node) ->
+        if not (Hashtbl.mem finished node) then begin
+          Hashtbl.replace finished node ();
+          if node <> source then
+            Hashtbl.replace result node
+              ( (match Hashtbl.find_opt fhs node with
+                | Some l -> List.sort_uniq compare l
+                | None -> []),
+                cost );
+          match Hashtbl.find_opt t.db node with
+          | None -> ()
+          | Some lsa ->
+            List.iter
+              (fun (next, edge_cost) ->
+                if not (Hashtbl.mem finished next) then begin
+                  let ncost = cost +. edge_cost in
+                  let nfh =
+                    if node = source then [ next ]
+                    else
+                      match Hashtbl.find_opt fhs node with
+                      | Some l -> l
+                      | None -> []
+                  in
+                  match Hashtbl.find_opt dist next with
+                  | Some d when ncost > d -> ()
+                  | Some d when ncost = d ->
+                    let cur =
+                      match Hashtbl.find_opt fhs next with
+                      | Some l -> l
+                      | None -> []
+                    in
+                    Hashtbl.replace fhs next
+                      (List.sort_uniq compare (nfh @ cur))
+                  | Some _ | None ->
+                    Hashtbl.replace dist next ncost;
+                    Hashtbl.replace fhs next nfh;
+                    Rina_util.Heap.push heap ncost next
+                end)
+              (usable_neighbors t lsa)
+        end
+    done;
+    result
+
 let size t = Hashtbl.length t.db

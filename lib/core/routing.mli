@@ -61,5 +61,13 @@ val spf : t -> source:Types.address -> next_hops
     advertise it (two-way check), which keeps transients loop-free.
     The source itself does not appear in the result. *)
 
+val spf_multi :
+  t -> source:Types.address -> (Types.address, Types.address list * float) Hashtbl.t
+(** Equal-cost variant of {!spf} for multipath striping: destination →
+    (sorted equal-cost first hops, path cost).  Ties discovered during
+    relaxation are merged; the result is deterministic for a given
+    database.  The multihoming layer unions the live ports toward each
+    listed first hop into the candidate path set. *)
+
 val size : t -> int
 (** Number of LSAs stored (per-node routing-state metric for C1). *)

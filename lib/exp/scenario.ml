@@ -82,9 +82,24 @@ let open_flow_sharded (net : Topo.sharded_net) ?(domains = 1) ~src ~dst ~qos_id
    [Rina_sim.Fault] knows links, we know IPC processes and topology
    indexes, so the closures are built here. *)
 
+(* A node crash is fail-stop: besides killing the IPC process, every
+   frame already in flight toward it on an incident link — including
+   mangler holdbacks — must die (R_endpoint_crash) rather than arrive
+   at the restarted process with its fresh address. *)
+let void_links_toward (net : Topo.rina_net) node =
+  Array.iteri
+    (fun i (a, b) ->
+      if a = node then Rina_sim.Link.crash_endpoint net.Topo.links.(i) `A
+      else if b = node then Rina_sim.Link.crash_endpoint net.Topo.links.(i) `B)
+    net.Topo.edges
+
+let crash_ipcp net node =
+  Ipcp.crash net.Topo.nodes.(node);
+  void_links_toward net node
+
 let crash_node (net : Topo.rina_net) plan ~at ~node =
   Rina_sim.Fault.inject plan ~at ~label:(Printf.sprintf "crash-n%d" node)
-    (fun () -> Ipcp.crash net.Topo.nodes.(node))
+    (fun () -> crash_ipcp net node)
 
 let restart_node (net : Topo.rina_net) plan ~at ~node =
   Rina_sim.Fault.heal_at plan ~at ~label:(Printf.sprintf "crash-n%d" node)
@@ -93,7 +108,7 @@ let restart_node (net : Topo.rina_net) plan ~at ~node =
 let crash_window (net : Topo.rina_net) plan ~at ~until ~node =
   Rina_sim.Fault.window plan ~at ~until
     ~label:(Printf.sprintf "crash-n%d" node)
-    ~apply:(fun () -> Ipcp.crash net.Topo.nodes.(node))
+    ~apply:(fun () -> crash_ipcp net node)
     ~heal:(fun () -> Ipcp.restart net.Topo.nodes.(node))
 
 let straddling_links (net : Topo.rina_net) ~group =
@@ -165,7 +180,7 @@ let random_plan (net : Topo.rina_net) ?(protect = [ 0 ]) ~rng ~horizon ~faults
       let node = Rina_util.Prng.pick rng crashable in
       Rina_sim.Fault.window plan ~at ~until
         ~label:(Printf.sprintf "crash%d-n%d" k node)
-        ~apply:(fun () -> Ipcp.crash net.Topo.nodes.(node))
+        ~apply:(fun () -> crash_ipcp net node)
         ~heal:(fun () -> Ipcp.restart net.Topo.nodes.(node))
   done;
   plan

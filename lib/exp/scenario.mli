@@ -45,11 +45,19 @@ val open_flow_sharded :
     deliberately lacks.  All of them only {e record} steps; nothing
     happens until the plan is armed on the engine. *)
 
+val void_links_toward : Topo.rina_net -> int -> unit
+(** Kill every frame currently in flight toward node [node] on its
+    incident links ({!Rina_sim.Link.crash_endpoint}) — including
+    mangler holdbacks — so a later restart with a fresh address never
+    receives pre-crash traffic.  Called by the crash hooks below;
+    exposed for hand-built crash closures. *)
+
 val crash_node : Topo.rina_net -> Rina_sim.Fault.t -> at:float -> node:int -> unit
 (** Schedule a fail-stop crash ({!Rina_core.Ipcp.crash}) of node
-    [node] at virtual time [at].  Crashing node 0 (the DIF's founding
-    member, which runs address allocation) prevents later
-    re-enrollments — chaos plans normally protect it. *)
+    [node] at virtual time [at]; frames already in flight toward the
+    node die with [R_endpoint_crash] ({!void_links_toward}).  Crashing
+    node 0 (the DIF's founding member, which runs address allocation)
+    prevents later re-enrollments — chaos plans normally protect it. *)
 
 val restart_node : Topo.rina_net -> Rina_sim.Fault.t -> at:float -> node:int -> unit
 (** Schedule the matching {!Rina_core.Ipcp.restart} (recorded as a

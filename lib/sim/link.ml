@@ -30,6 +30,9 @@ type half = {
   mutable queued : int;
   mutable receiver : bytes -> unit;
   mutable epoch : int;  (* bumped on carrier-down; voids in-flight frames *)
+  mutable epoch_reason : Rina_util.Flight.reason;
+      (* why the last epoch bump voided the in-flight frames: carrier
+         loss (the default) or a crash of the receiving endpoint *)
   conserv : conservation;
       (* sanitizer accounting: only maintained while
          [Rina_util.Invariant.enabled]; at drain, injected must equal
@@ -60,6 +63,7 @@ let make_half engine rng ~bit_rate ~delay ~queue_capacity ~loss ~mangle ~comp =
     queued = 0;
     receiver = (fun _ -> ());
     epoch = 0;
+    epoch_reason = Rina_util.Flight.R_link_down;
     conserv = { injected = 0; delivered = 0; dropped = 0; blackholed = 0 };
   }
 
@@ -107,6 +111,17 @@ let[@inline] flight_drop half reason size =
   if Rina_util.Flight.on r then
     Rina_util.Flight.emit_to r ~component:half.comp ~size
       (Rina_util.Flight.Pdu_dropped reason)
+
+(* A frame whose epoch went stale died with whatever voided it —
+   carrier loss or an endpoint crash; the typed reason keeps a held-back
+   frame from masquerading as an ordinary link_down drop. *)
+let stale_drop half size =
+  account_late_drop half;
+  flight_drop half half.epoch_reason size;
+  Rina_util.Metrics.incr half.stats
+    (match half.epoch_reason with
+     | Rina_util.Flight.R_endpoint_crash -> "dropped_crash"
+     | _ -> "dropped_down")
 
 (* ---------- delivery (post-propagation) ----------
 
@@ -159,11 +174,7 @@ and redeliver t half epoch frame =
     flight_drop half Rina_util.Flight.R_blackhole (Bytes.length frame);
     Rina_util.Metrics.incr half.stats "dropped_blackhole"
   end
-  else begin
-    account_late_drop half;
-    flight_drop half Rina_util.Flight.R_link_down (Bytes.length frame);
-    Rina_util.Metrics.incr half.stats "dropped_down"
-  end
+  else stale_drop half (Bytes.length frame)
 
 let hold_back t half epoch frame displacement =
   Rina_util.Metrics.incr half.stats "mangle_reorder";
@@ -269,17 +280,8 @@ let transmit t half frame =
                           (Bytes.length frame);
                         Rina_util.Metrics.incr m "dropped_blackhole"
                       end
-                      else begin
-                        account_late_drop half;
-                        flight_drop half Rina_util.Flight.R_link_down
-                          (Bytes.length frame);
-                        Rina_util.Metrics.incr m "dropped_down"
-                      end))
-           else begin
-             account_late_drop half;
-             flight_drop half Rina_util.Flight.R_link_down (Bytes.length frame);
-             Rina_util.Metrics.incr m "dropped_down"
-           end))
+                      else stale_drop half (Bytes.length frame)))
+           else stale_drop half (Bytes.length frame)))
   end
 
 (* Endpoint A transmits on the forward half and receives from the
@@ -334,11 +336,26 @@ let set_up t up =
       (* Void everything in flight and reset transmitter state. *)
       t.forward.epoch <- t.forward.epoch + 1;
       t.backward.epoch <- t.backward.epoch + 1;
+      t.forward.epoch_reason <- Rina_util.Flight.R_link_down;
+      t.backward.epoch_reason <- Rina_util.Flight.R_link_down;
       t.forward.busy_until <- Engine.now t.forward.engine;
       t.backward.busy_until <- Engine.now t.backward.engine
     end;
     List.iter (fun f -> f up) t.watchers
   end
+
+let crash_endpoint t side =
+  (* Fail-stop of one endpoint, seen from the wire: every frame in
+     flight toward it — including copies a mangler is holding back for
+     reorder or delay-spike — dies with [R_endpoint_crash] instead of
+     reaching whatever process later reattaches to the same channel.
+     Frames toward endpoint A travel on the backward half.  The other
+     direction is untouched: the survivor's transmissions already in
+     flight still arrive at the survivor's peer queue (and are thrown
+     away there by the crashed process's ingress gate). *)
+  let half = match side with `A -> t.backward | `B -> t.forward in
+  half.epoch <- half.epoch + 1;
+  half.epoch_reason <- Rina_util.Flight.R_endpoint_crash
 
 let is_up t = t.up
 

@@ -78,6 +78,18 @@ val set_mangle : t -> Mangle.t -> unit
     [injected] frame so the conservation identity
     [injected = delivered + dropped + blackholed] is preserved. *)
 
+val crash_endpoint : t -> [ `A | `B ] -> unit
+(** Fail-stop of one endpoint, seen from the wire: voids every frame in
+    flight {e toward} that endpoint — including frames a mangler is
+    holding back for reorder or delay-spike — so nothing contaminates a
+    process that later restarts behind the same channel with a fresh
+    address.  Voided frames drop with {!Rina_util.Flight.R_endpoint_crash}
+    (metric [dropped_crash]) instead of [R_link_down]; conservation
+    still balances.  The opposite direction and the carrier state are
+    untouched (no watcher fires — a crash is not a carrier event).
+    [Rina_exp.Scenario.crash_node] calls this for every link incident
+    to the crashed node. *)
+
 val is_up : t -> bool
 
 val stats_a : t -> Rina_util.Metrics.t

@@ -13,16 +13,15 @@ let check ~base ~cap =
   if base <= 0. then invalid_arg "Backoff: base must be positive";
   if cap < base then invalid_arg "Backoff: cap must be >= base"
 
+(* No float exponent survives a shift past 1074 (the subnormal floor
+   to the overflow ceiling spans 2^-1074 .. 2^1024), so clamping the
+   attempt count there makes [ldexp] safe for any [n]: past the clamp
+   the exact power is moot — it saturates and the cap wins. *)
+let max_shift = 1074
+
 let raw ~base ~cap n =
-  (* 2^n without overflow drama: past the cap the exact power is moot. *)
-  let d = ref base in
-  (try
-     for _ = 1 to n do
-       d := !d *. 2.;
-       if !d >= cap then raise Exit
-     done
-   with Exit -> ());
-  Float.min !d cap
+  let d = Float.ldexp base (min n max_shift) in
+  if Float.is_nan d then cap else Float.max 0. (Float.min d cap)
 
 let jittered rng d =
   match rng with

@@ -28,6 +28,8 @@ type reason =
   | R_dup
   | R_reorder_overflow
   | R_congestion
+  | R_endpoint_crash
+  | R_path_down
   | R_other of string
 
 type kind =
@@ -232,6 +234,8 @@ let reason_to_string = function
   | R_dup -> "dup"
   | R_reorder_overflow -> "reorder_overflow"
   | R_congestion -> "congestion"
+  | R_endpoint_crash -> "endpoint_crash"
+  | R_path_down -> "path_down"
   | R_other s -> s
 
 let reason_of_string = function
@@ -250,6 +254,8 @@ let reason_of_string = function
   | "dup" -> R_dup
   | "reorder_overflow" -> R_reorder_overflow
   | "congestion" -> R_congestion
+  | "endpoint_crash" -> R_endpoint_crash
+  | "path_down" -> R_path_down
   | s -> R_other s
 
 let kind_to_string = function
@@ -355,6 +361,8 @@ let reason_tag = function
   | R_dup -> 13
   | R_reorder_overflow -> 14
   | R_congestion -> 15
+  | R_endpoint_crash -> 16
+  | R_path_down -> 17
 
 let kind_tag = function
   | Pdu_sent -> 0
@@ -413,6 +421,8 @@ let read_event r =
          | 13 -> R_dup
          | 14 -> R_reorder_overflow
          | 15 -> R_congestion
+         | 16 -> R_endpoint_crash
+         | 17 -> R_path_down
          | n -> raise (R.Decode_error (Printf.sprintf "unknown reason tag %d" n)))
     | 3 -> Enqueued
     | 4 -> Dequeued

@@ -36,6 +36,10 @@ type reason =
   | R_dup  (** duplicate suppressed by EFCP (cache or window) *)
   | R_reorder_overflow  (** EFCP reorder buffer full *)
   | R_congestion  (** overflow of a queue already past its ECN mark threshold *)
+  | R_endpoint_crash
+      (** frame was in flight (or held back by a mangler) toward an
+          endpoint that crashed before delivery *)
+  | R_path_down  (** PDU steered onto a path whose health monitor holds it Down *)
   | R_other of string
 
 type kind =

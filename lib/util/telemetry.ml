@@ -157,6 +157,10 @@ let observe t (e : Flight.event) =
        counters are exact — `rina_stats` shows how hard the AQM and
        the layer push-back worked during the run *)
     count t mark
+  | Flight.Custom (("path_up" | "path_suspect" | "path_down") as transition) ->
+    (* path-health transitions are landmarks too: exact counts of how
+       often the multipath monitor demoted and revived paths *)
+    count t transition
   | Flight.Custom _ | Flight.Timer_set | Flight.Timer_fired | Flight.Retransmit
   | Flight.Enqueued | Flight.Dequeued ->
     ()

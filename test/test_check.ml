@@ -275,6 +275,37 @@ let test_l121_shard_spec_unusable () =
   Alcotest.(check bool) "L121 is an error" true
     (severity_of "L121" "[shard]\nmailbox_capacity = 1\n" = Diag.Error)
 
+let test_l122_multipath_monitor () =
+  (* Down fires while the path is still Up: Suspect unreachable *)
+  fires "L122" "[multipath]\nsuspect_misses = 4\ndown_misses = 2\n";
+  silent "L122" "[multipath]\nsuspect_misses = 2\ndown_misses = 4\n";
+  silent "L122" "[multipath]\nsuspect_misses = 3\ndown_misses = 3\n";
+  (* armed monitor with a zero re-probe base: busy loop on Down paths *)
+  fires "L122" "[multipath]\nprobe_interval = 0.05\nreprobe_backoff = 0\n";
+  silent "L122" "[multipath]\nprobe_interval = 0.05\nreprobe_backoff = 0.1\n";
+  (* monitor off: the zero backoff is never consulted *)
+  silent "L122" "[multipath]\nreprobe_backoff = 0\n";
+  silent "L122" "";
+  Alcotest.(check bool) "L122 is an error" true
+    (severity_of "L122" "[multipath]\nsuspect_misses = 4\ndown_misses = 2\n"
+     = Diag.Error)
+
+let test_l123_failover_slower_than_routing () =
+  (* 0.05 x 4 = 0.2 s, dead_peer_timeout defaults to 3.5 s: fine *)
+  silent "L123" "[multipath]\nprobe_interval = 0.05\n";
+  (* 1 x 4 = 4 s >= 3.5 s: Down fires after routing already tore down *)
+  fires "L123" "[multipath]\nprobe_interval = 1\n";
+  silent "L123"
+    "[multipath]\nprobe_interval = 1\ndown_misses = 3\n[routing]\n\
+     dead_peer_timeout = 10\n";
+  fires "L123"
+    "[multipath]\nprobe_interval = 0.05\n[routing]\ndead_peer_timeout = 0.1\n";
+  (* monitor off: no failover path to race *)
+  silent "L123" "[multipath]\ndown_misses = 100\n";
+  silent "L123" "";
+  Alcotest.(check bool) "L123 is a warning" true
+    (severity_of "L123" "[multipath]\nprobe_interval = 1\n" = Diag.Warning)
+
 (* ---------- topology-aware rules ---------- *)
 
 let topo =
@@ -395,6 +426,17 @@ let random_policy rng =
         Policy.shards = Prng.int rng 9;
         mailbox_capacity = 2 + Prng.int rng 100_000;
       };
+    multipath =
+      (let mode rng = if Prng.bool rng then Policy.Primary_backup else Policy.Weighted_rr in
+       {
+         Policy.probe_interval = (if Prng.bool rng then 0. else milli rng 10 9999);
+         suspect_misses = 1 + Prng.int rng 8;
+         down_misses = 1 + Prng.int rng 16;
+         reprobe_backoff = milli rng 1 5000;
+         latency = mode rng;
+         throughput = mode rng;
+         background = mode rng;
+       });
   }
 
 let test_roundtrip_random_policies () =
@@ -543,12 +585,14 @@ let test_sanitizer_efcp_lossy_transfer_clean () =
         if not (Prng.bernoulli rng 0.1) then
           ignore
             (Engine.schedule engine ~delay:0.002 (fun () ->
-                 match !receiver_ref with Some r -> Efcp.handle_pdu r pdu | None -> ()))
+                 match !receiver_ref with Some r -> Efcp.handle_pdu r pdu | None -> ()));
+        0
       in
       let to_sender (pdu : Pdu.t) =
         ignore
           (Engine.schedule engine ~delay:0.002 (fun () ->
-               match !sender_ref with Some s -> Efcp.handle_pdu s pdu | None -> ()))
+               match !sender_ref with Some s -> Efcp.handle_pdu s pdu | None -> ()));
+        0
       in
       let delivered = ref 0 in
       let sender =
@@ -670,6 +714,10 @@ let () =
             test_l120_congestion_signal_unwired;
           Alcotest.test_case "L121 unusable shard spec" `Quick
             test_l121_shard_spec_unusable;
+          Alcotest.test_case "L122 multipath monitor" `Quick
+            test_l122_multipath_monitor;
+          Alcotest.test_case "L123 failover vs dead-peer" `Quick
+            test_l123_failover_slower_than_routing;
         ] );
       ( "lint-topology",
         [

@@ -524,6 +524,7 @@ let prop_policy_lang_roundtrip_random =
             telemetry = Policy.default_telemetry;
             congestion = Policy.default_congestion;
             shard = Policy.default_shard;
+            multipath = Policy.default_multipath;
           })
         (tup4
            (tup4 (int_range 1 512) (int_range 16 9000) (int_range 0 2) bool)

@@ -46,7 +46,8 @@ let make_harness ?(cfg = base_cfg) ?(rcv_cfg = base_cfg) ?(in_order = true)
         (Engine.schedule engine ~delay:(delay_of !data_count) (fun () ->
              match !receiver_ref with
              | Some r -> Efcp.handle_pdu r pdu
-             | None -> ()))
+             | None -> ()));
+    0
   in
   let to_sender (pdu : Pdu.t) =
     incr ack_count;
@@ -55,7 +56,8 @@ let make_harness ?(cfg = base_cfg) ?(rcv_cfg = base_cfg) ?(in_order = true)
         (Engine.schedule engine ~delay:0.001 (fun () ->
              match !sender_ref with
              | Some s -> Efcp.handle_pdu s pdu
-             | None -> ()))
+             | None -> ()));
+    0
   in
   let sender =
     Efcp.create engine ~config:cfg ~in_order ~local_cep:1 ~remote_cep:2 ~qos_id:1
@@ -271,7 +273,8 @@ let test_efcp_dup_cache_suppression () =
                  match !receiver_ref with
                  | Some r -> Efcp.handle_pdu r pdu
                  | None -> ())))
-        [ 0.001; 0.002 ]
+        [ 0.001; 0.002 ];
+      0
     in
     let sender =
       Efcp.create engine ~config:cfg ~in_order:false ~local_cep:1 ~remote_cep:2
@@ -283,7 +286,7 @@ let test_efcp_dup_cache_suppression () =
     let receiver =
       Efcp.create engine ~config:cfg ~in_order:false ~local_cep:2 ~remote_cep:1
         ~qos_id:0
-        ~send_pdu:(fun _ -> ())
+        ~send_pdu:(fun _ -> 0)
         ~deliver:(fun b -> delivered := Bytes.to_string b :: !delivered)
         ~on_error:(fun _ -> ())
         ()
@@ -333,14 +336,16 @@ let test_efcp_ecn_echo_and_backoff () =
       (Engine.schedule engine ~delay:0.001 (fun () ->
            match !receiver_ref with
            | Some r -> Efcp.handle_pdu r pdu
-           | None -> ()))
+           | None -> ()));
+    0
   in
   let to_sender (pdu : Pdu.t) =
     ignore
       (Engine.schedule engine ~delay:0.001 (fun () ->
            match !sender_ref with
            | Some s -> Efcp.handle_pdu s pdu
-           | None -> ()))
+           | None -> ()));
+    0
   in
   let sender =
     Efcp.create engine ~config:cfg ~in_order:true ~local_cep:1 ~remote_cep:2

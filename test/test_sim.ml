@@ -984,6 +984,79 @@ let test_link_mangle_reorder_conservation () =
   Alcotest.(check bool) "every frame delivered exactly once" true
     (List.sort compare seqs = List.init 200 Fun.id)
 
+(* Regression: frames the mangler is holding back for reorder must not
+   outlive a crash of the endpoint they are heading for.  Before the
+   fix, the max-hold flush redelivered them after the endpoint had
+   restarted — to a process with a fresh address that never saw the
+   original flow.  Now [Link.crash_endpoint] voids the holds and they
+   drop with the typed [R_endpoint_crash] reason. *)
+let test_link_holdback_vs_endpoint_crash () =
+  Sanitizer.enable ();
+  let e = Engine.create () in
+  let rng = Prng.create 11 in
+  (* Every frame is held, and needs more overtakers than will ever
+     come, so only the max-hold flush (or the crash) can resolve it. *)
+  let spec = Mangle.make ~reorder:1.0 ~max_displacement:64 ~max_hold:0.2 () in
+  let l =
+    Link.create e rng ~bit_rate:1_000_000. ~delay:0.001 ~label:"crashy"
+      ~mangle:spec ()
+  in
+  let tr = Rina_sim.Trace.create e in
+  Rina_sim.Trace.attach tr;
+  let received = ref 0 in
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr received);
+  for i = 0 to 9 do
+    ignore
+      (Engine.schedule_at e
+         ~time:(0.002 *. float_of_int i)
+         (fun () -> (Link.endpoint_a l).Chan.send (Bytes.make 64 'h')))
+  done;
+  (* Crash B while every frame is still held back (holds flush at
+     ~0.2 s); a restarted process would re-arm the same receiver. *)
+  ignore (Engine.schedule_at e ~time:0.05 (fun () -> Link.crash_endpoint l `B));
+  Engine.run e;
+  Rina_sim.Trace.detach ();
+  Sanitizer.disable ();
+  let c = Link.conservation_a l in
+  check Alcotest.int "nothing delivered after the crash" 0 !received;
+  check Alcotest.int "all ten died as crash drops" 10
+    (Rina_util.Metrics.get (Link.stats_a l) "dropped_crash");
+  check Alcotest.int "conservation still balances" c.Link.injected
+    (c.Link.delivered + c.Link.dropped + c.Link.blackholed);
+  let crash_drops =
+    List.length
+      (List.filter
+         (fun (ev : Flight.event) ->
+           match ev.Flight.kind with
+           | Flight.Pdu_dropped Flight.R_endpoint_crash -> true
+           | _ -> false)
+         (Rina_sim.Trace.typed_events tr))
+  in
+  check Alcotest.int "typed drop reason in the trace" 10 crash_drops
+
+(* The crash voids only the direction toward the dead endpoint: the
+   survivor keeps receiving what the (pre-crash) peer had in flight. *)
+let test_link_crash_is_directional () =
+  let e = Engine.create () in
+  let rng = Prng.create 12 in
+  let l = Link.create e rng ~bit_rate:1_000_000. ~delay:0.01 () in
+  let at_a = ref 0 and at_b = ref 0 in
+  (Link.endpoint_a l).Chan.set_receiver (fun _ -> incr at_a);
+  (Link.endpoint_b l).Chan.set_receiver (fun _ -> incr at_b);
+  (* Both directions have a frame in flight when B dies. *)
+  ignore
+    (Engine.schedule_at e ~time:0.001 (fun () ->
+         (Link.endpoint_a l).Chan.send (Bytes.make 32 'x');
+         (Link.endpoint_b l).Chan.send (Bytes.make 32 'y')));
+  ignore (Engine.schedule_at e ~time:0.005 (fun () -> Link.crash_endpoint l `B));
+  (* After the crash the link itself still works for new A-bound frames. *)
+  ignore
+    (Engine.schedule_at e ~time:0.02 (fun () ->
+         (Link.endpoint_b l).Chan.send (Bytes.make 32 'z')));
+  Engine.run e;
+  check Alcotest.int "survivor got both frames toward it" 2 !at_a;
+  check Alcotest.int "crashed side got nothing" 0 !at_b
+
 (* End-to-end property: whatever seeded mangle schedule the link runs
    (corruption + duplication + reordering + delay spikes), a reliable
    flow through a DIF still delivers each SDU exactly once, in order —
@@ -1040,6 +1113,91 @@ let prop_mangled_exactly_once_and_replayable =
       delivered = List.init n Fun.id
       && delivered' = delivered
       && Bytes.equal trace trace')
+
+(* ---------- multipath: dual-homed failover ---------- *)
+
+module Policy = Rina_core.Policy
+
+(* Two members joined by two parallel links (a dual-homed adjacency),
+   multipath monitor armed.  Mid-transfer one link loses carrier: the
+   stranded PDUs must be re-striped onto the survivor within a probe
+   interval (no dead-peer wait), delivery stays exactly-once in order,
+   and once the link returns the path is probed back to Up. *)
+let test_multipath_failover_and_recovery () =
+  let e = Engine.create () in
+  let rng = Prng.create 42 in
+  let policy =
+    {
+      Rina_core.Policy.default with
+      Policy.multipath =
+        {
+          Policy.default_multipath with
+          Policy.probe_interval = 0.05;
+          reprobe_backoff = 0.1;
+        };
+    }
+  in
+  let dif = Dif.create e ~policy "mp" in
+  let a = Dif.add_member dif ~name:"a" () in
+  let b = Dif.add_member dif ~name:"b" () in
+  let l1 = Link.create e rng ~bit_rate:10_000_000. ~delay:0.001 ~label:"p1" () in
+  let l2 = Link.create e rng ~bit_rate:10_000_000. ~delay:0.001 ~label:"p2" () in
+  Dif.connect dif a b (Link.endpoint_a l1, Link.endpoint_b l1);
+  Dif.connect dif a b (Link.endpoint_a l2, Link.endpoint_b l2);
+  Dif.run_until_converged dif ();
+  let delivered = ref [] in
+  Ipcp.register_app b (Types.apn "sink") ~on_flow:(fun fl ->
+      fl.Ipcp.set_on_receive (fun sdu ->
+          delivered := Int32.to_int (Bytes.get_int32_be sdu 0) :: !delivered));
+  let n = 60 in
+  Ipcp.allocate_flow a ~src:(Types.apn "src") ~dst:(Types.apn "sink") ~qos_id:1
+    ~on_result:(fun r ->
+      match r with
+      | Ok fl ->
+        let t0 = Engine.now e in
+        for i = 0 to n - 1 do
+          ignore
+            (Engine.schedule_at e
+               ~time:(t0 +. (0.01 *. float_of_int i))
+               (fun () ->
+                 let sdu = Bytes.make 32 'm' in
+                 Bytes.set_int32_be sdu 0 (Int32.of_int i);
+                 fl.Ipcp.send sdu))
+        done;
+        (* kill one member path mid-stream, revive it later *)
+        ignore
+          (Engine.schedule_at e ~time:(t0 +. 0.15) (fun () ->
+               Link.set_up l1 false));
+        ignore
+          (Engine.schedule_at e ~time:(t0 +. 0.40) (fun () ->
+               Link.set_up l1 true))
+      | Error msg -> Alcotest.failf "allocate failed: %s" msg);
+  Engine.run ~until:(Engine.now e +. 10.) e;
+  check Alcotest.(list int) "exactly once, in order" (List.init n Fun.id)
+    (List.rev !delivered);
+  let am = Ipcp.metrics a in
+  Alcotest.(check bool) "sender ran fast failover" true
+    (Rina_util.Metrics.get am "failovers" >= 1);
+  Alcotest.(check bool) "path went down" true
+    (Rina_util.Metrics.get am "path_down" >= 1);
+  Alcotest.(check bool) "path probed back up" true
+    (Rina_util.Metrics.get am "path_up" >= 1);
+  (* both paths healthy again at the end *)
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "healthy at end: %s" line)
+        true
+        (contains_sub line "=up"))
+    (Ipcp.path_health a);
+  Alcotest.(check bool) "striping used both ports before the kill" true
+    (Rina_util.Metrics.get (Ipcp.rmt_metrics a) "sent_port1" > 0
+    && Rina_util.Metrics.get (Ipcp.rmt_metrics a) "sent_port2" > 0)
 
 (* ---------- sharded engine: cross-shard delivery order ---------- *)
 
@@ -1156,6 +1314,112 @@ let prop_sharded_delivery_order =
       && Array.exists (fun l -> l <> []) base
       && base = chunked && base = par)
 
+(* ---------- multipath x sharded: failover determinism ---------- *)
+
+(* A dual-homed segment inside shard 0 (a ==2 links== r) feeding a
+   cross-shard hop r -> b on shard 1 (cross-links are ideal, so the
+   faulted member path must be shard-local).  A seeded fault window
+   downs one member link mid-transfer and revives it.  The reliable
+   flow must deliver exactly-once in order, and the delivery log —
+   arrival time and payload — must be identical whether the fleet runs
+   on one domain or two: the failover machinery (probe timers, WRR
+   striping, re-striping of stranded PDUs) sits inside the determinism
+   contract. *)
+let run_sharded_failover_trial ~seed ~kill_at ~kill_for ~domains =
+  let lookahead = 0.005 in
+  let sh = Sharded.create ~shards:2 ~lookahead () in
+  let e0 = Sharded.engine sh 0 and e1 = Sharded.engine sh 1 in
+  let rng = Prng.create seed in
+  let policy =
+    {
+      Rina_core.Policy.default with
+      Policy.multipath =
+        {
+          Policy.default_multipath with
+          Policy.probe_interval = 0.05;
+          reprobe_backoff = 0.1;
+        };
+    }
+  in
+  let d0 = Dif.create e0 ~policy "mpsh" in
+  let d1 = Dif.create e1 ~policy "mpsh" in
+  let a = Dif.add_member d0 ~bootstrap:true ~name:"a" () in
+  let r = Dif.add_member d0 ~bootstrap:false ~name:"r" () in
+  let b = Dif.add_member d1 ~bootstrap:false ~name:"b" () in
+  let l1 = Link.create e0 rng ~bit_rate:10_000_000. ~delay:0.001 ~label:"m1" () in
+  let l2 = Link.create e0 rng ~bit_rate:10_000_000. ~delay:0.001 ~label:"m2" () in
+  Dif.connect d0 a r (Link.endpoint_a l1, Link.endpoint_b l1);
+  Dif.connect d0 a r (Link.endpoint_a l2, Link.endpoint_b l2);
+  let er, eb =
+    Sharded.cross_link sh ~src:0 ~dst:1 ~bit_rate:10_000_000. ~delay:lookahead
+      ~label:"x" ()
+  in
+  ignore (Ipcp.bind_port r er);
+  ignore (Ipcp.bind_port b eb);
+  let hello = policy.Rina_core.Policy.routing.Rina_core.Policy.hello_interval in
+  let converged () =
+    Ipcp.is_enrolled a && Ipcp.is_enrolled r && Ipcp.is_enrolled b
+    && Ipcp.lsdb_size a >= 3
+    && Ipcp.lsdb_size r >= 3
+    && Ipcp.lsdb_size b >= 3
+  in
+  let t = ref 0. in
+  while (not (converged ())) && !t < 120. do
+    t := !t +. hello;
+    Sharded.run ~domains sh ~until:!t
+  done;
+  Sharded.run ~domains sh ~until:(!t +. (2. *. hello));
+  let log = ref [] in
+  let alloc_failed = ref false in
+  Ipcp.register_app b (Types.apn "sink") ~on_flow:(fun fl ->
+      fl.Ipcp.set_on_receive (fun sdu ->
+          log :=
+            (Engine.now e1, Int32.to_int (Bytes.get_int32_be sdu 0)) :: !log));
+  let n = 40 in
+  let base = Sharded.granted sh in
+  Ipcp.allocate_flow a ~src:(Types.apn "src") ~dst:(Types.apn "sink") ~qos_id:1
+    ~on_result:(fun res ->
+      match res with
+      | Ok fl ->
+        let t0 = Engine.now e0 in
+        for i = 0 to n - 1 do
+          ignore
+            (Engine.schedule_at e0
+               ~time:(t0 +. (0.01 *. float_of_int i))
+               (fun () ->
+                 let sdu = Bytes.make 32 's' in
+                 Bytes.set_int32_be sdu 0 (Int32.of_int i);
+                 fl.Ipcp.send sdu))
+        done
+      | Error _ -> alloc_failed := true);
+  ignore
+    (Engine.schedule_at e0 ~time:(base +. kill_at) (fun () ->
+         Link.set_up l1 false));
+  ignore
+    (Engine.schedule_at e0
+       ~time:(base +. kill_at +. kill_for)
+       (fun () -> Link.set_up l1 true));
+  Sharded.run ~domains sh ~until:(base +. 15.);
+  (List.rev !log, converged () && not !alloc_failed)
+
+let prop_multipath_sharded_failover =
+  QCheck.Test.make
+    ~name:"multipath: random fault window, exactly-once, 1-vs-2 domain replay"
+    ~count:6
+    QCheck.(triple (int_range 0 100_000) (int_range 0 20) (int_range 1 25))
+    (fun (seed, kill_slot, dur_slot) ->
+      let kill_at = 0.02 +. (0.01 *. float_of_int kill_slot) in
+      let kill_for = 0.02 *. float_of_int dur_slot in
+      let log1, ok1 =
+        run_sharded_failover_trial ~seed ~kill_at ~kill_for ~domains:1
+      in
+      let log2, ok2 =
+        run_sharded_failover_trial ~seed ~kill_at ~kill_for ~domains:2
+      in
+      ok1 && ok2
+      && List.map snd log1 = List.init 40 Fun.id
+      && log1 = log2)
+
 let test_sharded_build_validation () =
   Alcotest.check_raises "shards < 1"
     (Invalid_argument "Sharded.create: need at least one shard") (fun () ->
@@ -1248,7 +1512,17 @@ let () =
             test_link_mangle_duplicate_conservation;
           Alcotest.test_case "reorder conservation" `Quick
             test_link_mangle_reorder_conservation;
+          Alcotest.test_case "holdback vs endpoint crash" `Quick
+            test_link_holdback_vs_endpoint_crash;
+          Alcotest.test_case "crash voids one direction" `Quick
+            test_link_crash_is_directional;
           QCheck_alcotest.to_alcotest prop_mangled_exactly_once_and_replayable;
+        ] );
+      ( "multipath",
+        [
+          Alcotest.test_case "dual-homed failover + recovery" `Quick
+            test_multipath_failover_and_recovery;
+          QCheck_alcotest.to_alcotest prop_multipath_sharded_failover;
         ] );
       ( "sharded",
         [

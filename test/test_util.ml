@@ -862,6 +862,22 @@ let test_backoff_jitter_bounds () =
       (Rina_util.Backoff.delay_for ~rng:b ~base:0.3 n)
   done
 
+(* The raw doubling must never escape [0, cap], however absurd the
+   attempt count: the exponent is clamped before the shift, so 2^n
+   cannot overflow or go negative on its way to the cap. *)
+let prop_backoff_delay_in_range =
+  QCheck.Test.make ~name:"backoff delay in [0, cap] up to 10k attempts" ~count:300
+    QCheck.(
+      triple (int_bound 10_000)
+        (float_range 1e-6 10.)
+        (pair (float_range 1. 100.) (int_range 0 1_000_000)))
+    (fun (n, base, (cap_mult, seed)) ->
+      let cap = base *. cap_mult in
+      let rng = Prng.create seed in
+      let bare = Rina_util.Backoff.delay_for ~base ~cap n in
+      let jit = Rina_util.Backoff.delay_for ~rng ~base ~cap n in
+      bare >= 0. && bare <= cap +. 1e-12 && jit >= 0. && jit <= cap +. 1e-12)
+
 let test_backoff_rejects_bad_args () =
   Alcotest.check_raises "base <= 0"
     (Invalid_argument "Backoff: base must be positive") (fun () ->
@@ -955,6 +971,7 @@ let () =
           Alcotest.test_case "jitter bounds" `Quick test_backoff_jitter_bounds;
           Alcotest.test_case "rejects bad args" `Quick
             test_backoff_rejects_bad_args;
+          QCheck_alcotest.to_alcotest prop_backoff_delay_in_range;
         ] );
       ( "flight",
         [

@@ -159,6 +159,42 @@ let test_feasibility () =
            [ direct ~queue:8 "a" "b" ];
        ])
 
+let test_multihomed_in_name_only () =
+  (* Both attachments of the registrant ride the same lower DIF, and
+     every lower path funnels through the single w.m--w.b edge: one
+     link failure severs both "redundant" attachments. *)
+  let lower =
+    dif "w"
+      [ mem ~addr:1 "w.a1"; mem ~addr:2 "w.a2"; mem ~addr:3 "w.m"; mem ~addr:4 "w.b" ]
+      [ direct "w.a1" "w.m"; direct "w.a2" "w.m"; direct "w.m" "w.b" ]
+  in
+  let upper vias =
+    dif "d"
+      [ mem ~addr:1 ~apps:[ "app" ] "srv"; mem ~addr:2 "r1"; mem ~addr:3 "r2" ]
+      (direct "r1" "r2"
+       :: List.map (fun (via_a, peer) -> stacked "w" via_a "w.b" peer "srv") vias)
+  in
+  flags "V230" (model [ lower; upper [ ("w.a1", "r1"); ("w.a2", "r2") ] ]);
+  (* a bypass edge gives the lower DIF two disjoint paths: no cut edge *)
+  let ringed = { lower with Verify.d_adjacencies = direct "w.a1" "w.b" :: lower.Verify.d_adjacencies } in
+  silent (model [ ringed; upper [ ("w.a1", "r1"); ("w.a2", "r2") ] ]);
+  (* attachments over two independent lower DIFs share no fate at all *)
+  let w2 = wire "w2" in
+  let diverse =
+    dif "d"
+      [ mem ~addr:1 ~apps:[ "app" ] "srv"; mem ~addr:2 "r1"; mem ~addr:3 "r2" ]
+      [ direct "r1" "r2"; stacked "w" "w.a1" "w.b" "r1" "srv";
+        stacked "w2" "w2.a" "w2.b" "r2" "srv" ]
+  in
+  silent (model [ lower; w2; diverse ]);
+  (* a single-homed registrant over the same choke point stays silent *)
+  let single =
+    dif "d"
+      [ mem ~addr:1 ~apps:[ "app" ] "srv"; mem ~addr:2 "r1" ]
+      [ stacked "w" "w.a1" "w.b" "r1" "srv" ]
+  in
+  silent (model [ lower; single ])
+
 let test_enrollment_cycle () =
   let m =
     model
@@ -457,7 +493,8 @@ let test_rule_tables () =
     (fun c ->
       check Alcotest.bool (c ^ " documented") true (List.mem c documented))
     [ "V001"; "V002"; "V003"; "V004"; "V101"; "V102"; "V103"; "V104"; "V110";
-      "V201"; "V202"; "V203"; "V210"; "V211"; "V220"; "V221"; "V222"; "V301";
+      "V201"; "V202"; "V203"; "V210"; "V211"; "V220"; "V221"; "V222"; "V230";
+      "V301";
       "V401"; "V402"; "V403"; "V404"; "V405" ];
   List.iter
     (fun c ->
@@ -475,6 +512,8 @@ let () =
           Alcotest.test_case "addressing" `Quick test_addressing;
           Alcotest.test_case "recursion depth" `Quick test_depth;
           Alcotest.test_case "cross-layer feasibility" `Quick test_feasibility;
+          Alcotest.test_case "multihomed in name only" `Quick
+            test_multihomed_in_name_only;
           Alcotest.test_case "enrollment cycle" `Quick test_enrollment_cycle;
           Alcotest.test_case "shard safety" `Quick test_shards;
           Alcotest.test_case "effective delay" `Quick test_effective_delay;
